@@ -1,0 +1,40 @@
+//! Criterion bench: demand-coverage computation (§6.2) — the inner loop of
+//! every accelerable scheduling decision, evaluated once per candidate node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use libra_core::coverage::demand_coverage;
+use libra_core::pool::PoolEntryStatus;
+use libra_sim::resources::ResourceVec;
+use libra_sim::time::{SimDuration, SimTime};
+
+fn snapshot(n: usize) -> Vec<PoolEntryStatus> {
+    (0..n)
+        .map(|i| PoolEntryStatus {
+            cpu_idle_millis: 300 + (i as u64 % 5) * 250,
+            mem_idle_mb: 64 + (i as u64 % 3) * 128,
+            expiry: SimTime::from_secs(5 + (i as u64 * 7) % 60),
+        })
+        .collect()
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_coverage");
+    for &n in &[4usize, 16, 64, 256] {
+        let snap = snapshot(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                demand_coverage(
+                    &snap,
+                    ResourceVec::from_cores_mb(4, 1024),
+                    SimTime::from_secs(3),
+                    SimDuration::from_secs(20),
+                    0.9,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: the §8.6 profiler timing claims —
+//! offline training < 120 ms, prediction < 2 ms, online update < 1 ms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use libra_core::profiler::{ModelChoice, Profiler, ProfilerConfig};
+use libra_sim::demand::InputMeta;
+use libra_sim::invocation::Actuals;
+use libra_sim::time::SimDuration;
+use libra_workloads::apps::AppKind;
+use libra_workloads::sebs_suite;
+
+fn bench_profiler(c: &mut Criterion) {
+    let suite = sebs_suite();
+    let dh = AppKind::Dh.id().idx();
+    let gp = AppKind::Gp.id().idx();
+
+    c.bench_function("profiler_offline_train", |b| {
+        b.iter(|| {
+            let mut p = Profiler::new(10, ProfilerConfig::default(), ModelChoice::Auto);
+            p.train(dh, &suite[dh], InputMeta::new(1_000, 1));
+            p
+        })
+    });
+
+    let mut trained = Profiler::new(10, ProfilerConfig::default(), ModelChoice::Auto);
+    trained.train(dh, &suite[dh], InputMeta::new(1_000, 1));
+    let mut i = 0u64;
+    c.bench_function("profiler_predict_ml", |b| {
+        b.iter(|| {
+            i += 1;
+            trained.predict(dh, InputMeta::new(100 + i % 9_000, i))
+        })
+    });
+
+    let mut hist = Profiler::new(10, ProfilerConfig::default(), ModelChoice::HistogramOnly);
+    hist.train(gp, &suite[gp], InputMeta::new(5_000, 1));
+    let mut j = 0u64;
+    c.bench_function("profiler_predict_hist", |b| {
+        b.iter(|| {
+            j += 1;
+            hist.predict(gp, InputMeta::new(5_000, j))
+        })
+    });
+
+    let mut k = 0u64;
+    c.bench_function("profiler_online_update_hist", |b| {
+        b.iter(|| {
+            k += 1;
+            hist.observe(
+                gp,
+                InputMeta::new(5_000, k),
+                &Actuals {
+                    cpu_peak_millis: 3_000,
+                    mem_peak_mb: 700,
+                    exec_duration: SimDuration::from_secs(5),
+                    input_size: 5_000,
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

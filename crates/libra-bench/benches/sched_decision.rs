@@ -1,0 +1,51 @@
+//! Criterion bench: native decision latency of the decentralized sharding
+//! scheduler (Fig 12c / §6.4 — must stay well under a millisecond even at
+//! 50 nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use libra_core::sharding::{ScheduleRequest, ShardedScheduler};
+use libra_sim::resources::ResourceVec;
+use libra_sim::time::{SimDuration, SimTime};
+
+fn req(i: u64, accelerable: bool) -> ScheduleRequest {
+    ScheduleRequest {
+        nominal: ResourceVec::from_cores_mb(2, 512),
+        extra: if accelerable { ResourceVec::from_cores_mb(2, 256) } else { ResourceVec::ZERO },
+        func: (i % 10) as u32,
+        duration: SimDuration::from_secs(5),
+        now: SimTime::ZERO,
+    }
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_decision");
+    for &nodes in &[10usize, 50, 200] {
+        let sched = ShardedScheduler::spawn(4, nodes, ResourceVec::from_cores_mb(24, 24 * 1024), 0.9);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("hash_path", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let d = sched.schedule(req(i, false));
+                if let Some(node) = d.node {
+                    sched.release((i as usize).wrapping_sub(1) % 4, node, ResourceVec::from_cores_mb(2, 512));
+                }
+                d
+            })
+        });
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("coverage_path", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                j += 1;
+                let d = sched.schedule(req(j, true));
+                if let Some(node) = d.node {
+                    sched.release((j as usize).wrapping_sub(1) % 4, node, ResourceVec::from_cores_mb(2, 512));
+                }
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Standalone driver for the design-choice ablations; see
+//! `libra_bench::experiments::ablations`.
+
+fn main() {
+    libra_bench::experiments::ablations::run();
+}

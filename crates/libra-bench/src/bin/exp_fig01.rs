@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig01` experiment; see
+//! `libra_bench::experiments::fig01`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig01::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig06` experiment; see
+//! `libra_bench::experiments::fig06`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig06::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig07` experiment; see
+//! `libra_bench::experiments::fig07`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig07::run();
+}

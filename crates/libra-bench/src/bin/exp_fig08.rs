@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig08` experiment; see
+//! `libra_bench::experiments::fig08`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig08::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig09_10_11` experiment; see
+//! `libra_bench::experiments::fig09_10_11`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig09_10_11::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig12` experiment; see
+//! `libra_bench::experiments::fig12`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig12::run();
+}

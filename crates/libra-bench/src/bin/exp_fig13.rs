@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig13` experiment; see
+//! `libra_bench::experiments::fig13`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig13::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig14` experiment; see
+//! `libra_bench::experiments::fig14`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig14::run();
+}

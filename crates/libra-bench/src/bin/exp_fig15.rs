@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig15` experiment; see
+//! `libra_bench::experiments::fig15`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig15::run();
+}

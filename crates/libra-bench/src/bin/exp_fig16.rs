@@ -1,0 +1,6 @@
+//! Standalone driver for the `fig16` experiment; see
+//! `libra_bench::experiments::fig16`.
+
+fn main() {
+    let _ = libra_bench::experiments::fig16::run();
+}

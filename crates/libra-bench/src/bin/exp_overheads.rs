@@ -1,0 +1,6 @@
+//! Standalone driver for the `overheads` experiment; see
+//! `libra_bench::experiments::overheads`.
+
+fn main() {
+    let _ = libra_bench::experiments::overheads::run();
+}

@@ -1,0 +1,6 @@
+//! Standalone driver for the `table1` experiment; see
+//! `libra_bench::experiments::table1`.
+
+fn main() {
+    let _ = libra_bench::experiments::table1::run();
+}

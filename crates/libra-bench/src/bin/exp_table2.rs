@@ -1,0 +1,6 @@
+//! Standalone driver for the `table2` experiment; see
+//! `libra_bench::experiments::table2`.
+
+fn main() {
+    let _ = libra_bench::experiments::table2::run();
+}

@@ -1,0 +1,22 @@
+//! Run every experiment of the paper's evaluation section in order,
+//! regenerating all tables and figures (DESIGN.md §3 maps each to its
+//! module). Heavy sweeps honour `LIBRA_REPS` and `LIBRA_SCALE`.
+
+fn main() {
+    use libra_bench::experiments as e;
+    let _ = e::table1::run();
+    let _ = e::fig01::run();
+    let _ = e::fig06::run();
+    let _ = e::fig07::run();
+    let _ = e::fig08::run();
+    let _ = e::fig09_10_11::run();
+    let _ = e::fig12::run();
+    let _ = e::table2::run();
+    let _ = e::fig13::run();
+    let _ = e::fig14::run();
+    let _ = e::fig15::run();
+    let _ = e::fig16::run();
+    let _ = e::overheads::run();
+    e::ablations::run();
+    println!("\nAll experiments complete. CSV artifacts are under results/.");
+}

@@ -1,0 +1,225 @@
+//! Design-choice ablations (beyond the paper's own NS/NP/NSP study):
+//! quantify the pieces of Libra's design that the paper motivates but never
+//! isolates.
+//!
+//! 1. **Pool hand-out order** — Fig 4 argues for longest-lived-first
+//!    ("prioritizes harvested resources that can potentially be utilized
+//!    longer"); we compare it against FIFO and the adversarial
+//!    shortest-lived-first, counting mid-flight loan expirations.
+//! 2. **Continuous acceleration** — topping up accelerable invocations at
+//!    each monitor window vs the literal one-shot reading of §5.1.
+//! 3. **Harvest headroom** — how much padding above the predicted peak to
+//!    keep (interacts with the safeguard's trigger rate).
+//! 4. **Coverage vs volume-only scheduling** — the time dimension of demand
+//!    coverage (§6.2) against a scheduler that chases raw idle volume.
+
+use crate::*;
+use libra_core::pool::GetOrder;
+use libra_core::{CoverageSelector, LibraConfig, LibraPlatform, NodeSelector, VolumeSelector};
+use libra_sim::engine::SimConfig;
+use libra_sim::platform::Platform;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+
+fn single_run(cfg: LibraConfig, seed: u64) -> PlatformRun {
+    let gen = TraceGen::standard(&ALL_APPS, seed);
+    let trace = gen.single_set();
+    run_on(
+        sebs_suite(),
+        testbeds::single_node(),
+        SimConfig::default(),
+        &trace,
+        Box::new(LibraPlatform::new(cfg)),
+    )
+}
+
+fn extra(run: &PlatformRun, key: &str) -> f64 {
+    run.report
+        .extra
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0)
+}
+
+/// Ablation 1: pool hand-out order.
+pub fn pool_order() {
+    header("Ablation: pool hand-out order (Fig 4's longest-lived-first vs FIFO/worst)");
+    row(&["order".into(), "P99 (s)".into(), "mean speedup".into(), "loans expired".into(), "re-harvested".into()]);
+    for (name, order) in [
+        ("longest-lived", GetOrder::LongestLived),
+        ("fifo", GetOrder::Fifo),
+        ("shortest-lived", GetOrder::ShortestLived),
+    ] {
+        let (mut p99, mut sp, mut expired, mut reh) = (0.0, 0.0, 0.0, 0.0);
+        let reps = repetitions();
+        for rep in 0..reps {
+            let run = single_run(LibraConfig { pool_order: order, ..LibraConfig::libra() }, 42 + rep);
+            p99 += run.result.latency_percentile(99.0);
+            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
+            expired += extra(&run, "loans_expired");
+            reh += extra(&run, "loans_reharvested");
+        }
+        let n = reps as f64;
+        row(&[
+            name.into(),
+            format!("{:.1}", p99 / n),
+            format!("{:.3}", sp / n),
+            format!("{:.0}", expired / n),
+            format!("{:.0}", reh / n),
+        ]);
+    }
+    println!("Expected: longest-lived-first loses the fewest loans to source");
+    println!("completions and achieves the best speedups — the paper's Fig 4 logic.");
+}
+
+/// Ablation 2: continuous acceleration vs one-shot.
+pub fn continuous_acceleration() {
+    header("Ablation: continuous acceleration (per-tick top-ups) vs one-shot at start");
+    row(&["variant".into(), "P99 (s)".into(), "accelerated".into(), "mean speedup".into()]);
+    for (name, on) in [("continuous", true), ("one-shot", false)] {
+        let (mut p99, mut acc, mut sp) = (0.0, 0.0, 0.0);
+        let reps = repetitions();
+        for rep in 0..reps {
+            let run = single_run(
+                LibraConfig { continuous_acceleration: on, ..LibraConfig::libra() },
+                42 + rep,
+            );
+            p99 += run.result.latency_percentile(99.0);
+            acc += run.result.records.iter().filter(|r| r.flags.accelerated).count() as f64;
+            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
+        }
+        let n = reps as f64;
+        row(&[name.into(), format!("{:.1}", p99 / n), format!("{:.0}", acc / n), format!("{:.3}", sp / n)]);
+    }
+    println!("Expected: one-shot acceleration strands long invocations whose");
+    println!("donors churn — continuous top-ups capture far more of the harvest.");
+}
+
+/// Ablation 3: harvest headroom sweep.
+pub fn headroom() {
+    header("Ablation: harvest headroom (grant = prediction × h)");
+    row(&["headroom".into(), "P99 (s)".into(), "safeguarded".into(), "cpu util".into()]);
+    for h in [1.0, 1.1, 1.2, 1.3, 1.5] {
+        let (mut p99, mut sg, mut util) = (0.0, 0.0, 0.0);
+        let reps = repetitions();
+        for rep in 0..reps {
+            let run = single_run(LibraConfig { harvest_headroom: h, ..LibraConfig::libra() }, 42 + rep);
+            p99 += run.result.latency_percentile(99.0);
+            sg += run.report.safeguard_triggers as f64;
+            util += run.result.mean_cpu_util();
+        }
+        let n = reps as f64;
+        row(&[format!("{h:.1}"), format!("{:.1}", p99 / n), format!("{:.0}", sg / n), format!("{:.3}", util / n)]);
+    }
+    println!("Expected: more headroom = fewer safeguard trips but less harvest");
+    println!("volume; the aggressive 1.0 posture relies on the safeguard.");
+}
+
+/// Ablation 4: coverage scheduling vs volume-only.
+pub fn coverage_vs_volume() {
+    header("Ablation: demand coverage (volume × timeliness) vs volume-only scheduling");
+    row(&["selector".into(), "P99 (s)".into(), "loans expired".into(), "mean speedup".into()]);
+    let config = SimConfig { shards: 2, ..SimConfig::default() };
+    fn boxed<S: NodeSelector + 'static>(s: S) -> Box<dyn Platform> {
+        Box::new(LibraPlatform::with_selector(LibraConfig::libra(), s))
+    }
+    for name in ["coverage", "volume-only"] {
+        let (mut p99, mut expired, mut sp) = (0.0, 0.0, 0.0);
+        let reps = repetitions();
+        for rep in 0..reps {
+            let sets = TraceGen::standard(&ALL_APPS, 42 + rep).multi_sets();
+            let trace = &sets.iter().find(|(rpm, _)| *rpm == 240).expect("240 RPM set").1;
+            let platform = match name {
+                "coverage" => boxed(CoverageSelector),
+                _ => boxed(VolumeSelector),
+            };
+            let run = run_on(sebs_suite(), testbeds::multi_node(), config.clone(), trace, platform);
+            p99 += run.result.latency_percentile(99.0);
+            expired += extra(&run, "loans_expired");
+            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
+        }
+        let n = reps as f64;
+        row(&[name.into(), format!("{:.1}", p99 / n), format!("{:.0}", expired / n), format!("{:.3}", sp / n)]);
+    }
+    println!("Expected: coverage-aware placement sends accelerable invocations");
+    println!("where the harvest *lasts*, losing fewer loans to expiry.");
+}
+
+/// Ablation 5: the greedy scheduler's optimality gap (the paper's
+/// acknowledged limitation, §1), measured on random batches against the
+/// exhaustive batch-optimal assigner — with the decision-time cost that
+/// justifies shipping the greedy.
+pub fn greedy_gap() {
+    use libra_core::batch::{greedy_assign, optimal_assign, BatchNode, BatchRequest};
+    use libra_core::pool::PoolEntryStatus;
+    use libra_sim::resources::ResourceVec;
+    use libra_sim::time::{SimDuration, SimTime};
+
+    header("Ablation: greedy vs batch-optimal scheduling (random 6-request batches, 4 nodes)");
+    let mut z = 0x5eedu64;
+    let mut next = move || {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let scenarios = 200;
+    let (mut gap_sum, mut worst_gap) = (0.0f64, 0.0f64);
+    let (mut greedy_ns, mut optimal_ns) = (0u128, 0u128);
+    for _ in 0..scenarios {
+        let nodes: Vec<BatchNode> = (0..4)
+            .map(|_| BatchNode {
+                free: ResourceVec::from_cores_mb(4 + next() % 8, 16_384),
+                snapshot: (0..(1 + next() % 4))
+                    .map(|_| PoolEntryStatus {
+                        cpu_idle_millis: 500 + next() % 3_000,
+                        mem_idle_mb: 128 + next() % 512,
+                        expiry: SimTime::from_secs(2 + next() % 40),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let reqs: Vec<BatchRequest> = (0..6)
+            .map(|_| BatchRequest {
+                nominal: ResourceVec::from_cores_mb(1 + next() % 3, 512),
+                extra: ResourceVec::new(500 + next() % 3_000, next() % 512),
+                duration: SimDuration::from_secs(2 + next() % 25),
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let g = greedy_assign(&reqs, &nodes, SimTime::ZERO, 0.9);
+        greedy_ns += t0.elapsed().as_nanos();
+        let t0 = std::time::Instant::now();
+        let o = optimal_assign(&reqs, &nodes, SimTime::ZERO, 0.9);
+        optimal_ns += t0.elapsed().as_nanos();
+        if o.total_coverage > 1e-9 {
+            let gap = 1.0 - g.total_coverage / o.total_coverage;
+            gap_sum += gap;
+            worst_gap = worst_gap.max(gap);
+        }
+    }
+    compare(
+        "mean greedy optimality gap",
+        "unquantified (limitation, §1)",
+        format!("{:.1}%", 100.0 * gap_sum / scenarios as f64),
+    );
+    compare("worst observed gap", "—", format!("{:.1}%", 100.0 * worst_gap));
+    compare(
+        "decision cost greedy vs optimal",
+        "greedy kept for sub-second latency",
+        format!(
+            "{:.1} µs vs {:.1} µs per batch",
+            greedy_ns as f64 / scenarios as f64 / 1e3,
+            optimal_ns as f64 / scenarios as f64 / 1e3
+        ),
+    );
+}
+
+/// Run all five ablations.
+pub fn run() {
+    pool_order();
+    continuous_acceleration();
+    headroom();
+    coverage_vs_volume();
+    greedy_gap();
+}

@@ -1,0 +1,59 @@
+//! Fig 13 — profiler model ablation and input-size sensitivity (§8.6–8.7).
+//!
+//! * (a) Libra vs histogram-only vs ML-only on the hybrid workload,
+//! * (b) Default / Freyr / Libra on the input size-related workload
+//!   (UL, TN, CP, DV, DH only),
+//! * (c) the same on the input size-unrelated workload (VP, IR, GP, GM, GB).
+
+use crate::*;
+use libra_sim::engine::SimConfig;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, size_related_suite, size_unrelated_suite, testbeds, ALL_APPS};
+
+fn p99_speedup(run: &PlatformRun) -> f64 {
+    libra_sim::metrics::percentile(&run.result.speedups(), 99.0)
+}
+
+/// Run all three panels; returns `(panel, platform, p99 latency, p99 speedup)`.
+pub fn run() -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+
+    header("Fig 13(a): model ablation on the hybrid workload (speedup quantiles)");
+    let gen = TraceGen::standard(&ALL_APPS, 42);
+    let trace = gen.single_set();
+    for kind in [PlatformKind::LibraHist, PlatformKind::LibraMl, PlatformKind::Libra] {
+        let run = run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+        cdf_summary(kind.name(), &run.result.speedups(), "");
+        out.push(("hybrid".into(), kind.name().into(), run.result.latency_percentile(99.0), p99_speedup(&run)));
+    }
+    println!("Expected: full Libra at least matches either single-model variant.");
+
+    for (panel, (suite, kinds)) in [
+        ("size-related", size_related_suite()),
+        ("size-unrelated", size_unrelated_suite()),
+    ] {
+        header(&format!("Fig 13({}): {panel} workload", if panel == "size-related" { "b" } else { "c" }));
+        let gen = TraceGen::standard(&kinds, 42);
+        let trace = gen.single_set();
+        let mut p99s = Vec::new();
+        for kind in [PlatformKind::Default, PlatformKind::Freyr, PlatformKind::Libra] {
+            let run = run_kind(kind, suite.clone(), testbeds::single_node(), SimConfig::default(), &trace);
+            cdf_summary(kind.name(), &run.result.speedups(), "");
+            p99s.push(run.result.latency_percentile(99.0));
+            out.push((panel.into(), kind.name().into(), run.result.latency_percentile(99.0), p99_speedup(&run)));
+        }
+        compare(
+            &format!("{panel}: Libra P99 vs Default / Freyr"),
+            if panel == "size-related" { "-94% speedup gain / -58%" } else { "+13% / +12% improvement" },
+            format!(
+                "{:.0}% / {:.0}% lower P99 latency",
+                100.0 * (1.0 - p99s[2] / p99s[0]),
+                100.0 * (1.0 - p99s[2] / p99s[1])
+            ),
+        );
+    }
+    println!("\nExpected shape: the more size-related the workload, the larger");
+    println!("Libra's gain; the unrelated workload still improves (conservative");
+    println!("histogram harvesting), just less.");
+    out
+}

@@ -1,0 +1,46 @@
+//! Fig 14 — safeguard threshold sensitivity (§8.8): sweep the trigger
+//! threshold 0 → 1 and report the fraction of invocations safeguarded and
+//! the P99 response latency. The paper's default 0.8 should be (close to)
+//! the sweet spot, with the safeguarded ratio falling as the threshold rises.
+
+use crate::*;
+use libra_core::{LibraConfig, LibraPlatform};
+use libra_sim::engine::SimConfig;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+
+/// Run the sweep; returns `(threshold, safeguarded_ratio, p99_s)`.
+pub fn run() -> Vec<(f64, f64, f64)> {
+    header("Fig 14: safeguard threshold sweep (single-node, `single` trace)");
+    row(&["threshold".into(), "safeguarded %".into(), "P99 (s)".into()]);
+    let gen = TraceGen::standard(&ALL_APPS, 42);
+    let trace = gen.single_set();
+    let mut out = Vec::new();
+    for i in 0..=10 {
+        let thr = i as f64 / 10.0;
+        let cfg = LibraConfig { safeguard_threshold: thr, ..LibraConfig::libra() };
+        let mut platform = LibraPlatform::new(cfg);
+        let sim = libra_sim::engine::Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
+        let res = sim.run(&trace, &mut platform);
+        let ratio = res.safeguarded_ratio();
+        let p99 = res.latency_percentile(99.0);
+        row(&[format!("{thr:.1}"), format!("{:.0}%", 100.0 * ratio), format!("{p99:.1}")]);
+        out.push((thr, ratio, p99));
+    }
+    println!();
+    let monotone_drop = out.windows(2).filter(|w| w[1].1 <= w[0].1 + 0.02).count();
+    compare("safeguarded ratio falls with threshold", "yes (Fig 14a)", format!("{monotone_drop}/10 steps non-increasing"));
+    let best = out.iter().cloned().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    compare("best threshold", "≈0.8 (Fig 14b)", format!("{:.1} (P99 {:.1}s)", best.0, best.2));
+    let series = vec![
+        ("safeguarded %".to_string(), out.iter().map(|&(t, r, _)| (t, 100.0 * r)).collect::<Vec<_>>()),
+        ("P99 (s)".to_string(), out.iter().map(|&(t, _, p)| (t, p)).collect()),
+    ];
+    println!("\n{}", crate::plot::line_chart("safeguard threshold sweep", &series, 56, 12));
+    write_csv(
+        "fig14_safeguard_sweep",
+        &["threshold", "safeguarded_ratio", "p99_s"],
+        &out.iter().map(|&(t, r, p)| vec![t, r, p]).collect::<Vec<_>>(),
+    );
+    out
+}

@@ -1,0 +1,48 @@
+//! Fig 16 — demand-coverage weight sensitivity (§8.8): sweep α (the CPU
+//! weight in `D = α·D_cpu + (1−α)·D_mem`) and report the idle-resource
+//! ledgers and the P99 latency on the multi-node cluster at 120 RPM.
+
+use crate::*;
+use libra_core::{LibraConfig, LibraPlatform};
+use libra_sim::engine::SimConfig;
+use libra_sim::platform::Platform as _;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+
+/// Run the sweep; returns `(alpha, idle_cpu_core_s, idle_mem_mb_s, p99_s)`.
+pub fn run() -> Vec<(f64, f64, f64, f64)> {
+    header("Fig 16: demand-coverage weight sweep (multi-node, 240 RPM)");
+    row(&["alpha".into(), "CPU idle (core·s)".into(), "mem idle (GB·s)".into(), "P99 (s)".into()]);
+    let sets = TraceGen::heavy(&ALL_APPS, 42).multi_sets();
+    let trace = &sets.iter().find(|(rpm, _)| *rpm == 240).expect("240 RPM set").1;
+    let config = SimConfig { shards: 2, ..SimConfig::default() };
+    let mut out = Vec::new();
+    for i in 0..=10 {
+        let alpha = i as f64 / 10.0;
+        let cfg = LibraConfig { alpha, ..LibraConfig::libra() };
+        let mut platform = LibraPlatform::new(cfg);
+        let sim = libra_sim::engine::Simulation::new(sebs_suite(), testbeds::multi_node(), config.clone());
+        let res = sim.run(trace, &mut platform);
+        let rep = platform.report();
+        let p99 = res.latency_percentile(99.0);
+        row(&[
+            format!("{alpha:.1}"),
+            format!("{:.0}", rep.pool_idle_cpu_core_sec),
+            format!("{:.1}", rep.pool_idle_mem_mb_sec / 1024.0),
+            format!("{p99:.1}"),
+        ]);
+        out.push((alpha, rep.pool_idle_cpu_core_sec, rep.pool_idle_mem_mb_sec, p99));
+    }
+    println!();
+    let lo_alpha_cpu = out[1].1;
+    let hi_alpha_cpu = out[9].1;
+    compare("CPU idle falls as alpha rises", "yes (Fig 16a)", format!("{lo_alpha_cpu:.0} -> {hi_alpha_cpu:.0} core·s"));
+    let best = out.iter().cloned().min_by(|a, b| a.3.partial_cmp(&b.3).unwrap()).unwrap();
+    compare("best alpha", "0.9 (Fig 16b)", format!("{:.1} (P99 {:.1}s)", best.0, best.3));
+    write_csv(
+        "fig16_weight_sweep",
+        &["alpha", "idle_cpu_core_s", "idle_mem_mb_s", "p99_s"],
+        &out.iter().map(|&(a, c, m, p)| vec![a, c, m, p]).collect::<Vec<_>>(),
+    );
+    out
+}

@@ -1,0 +1,100 @@
+//! §8.10 — overheads of Libra's components, plus the §8.6 profiler timing
+//! claims, measured natively on this machine.
+
+use crate::*;
+use libra_core::profiler::{ModelChoice, Profiler, ProfilerConfig};
+use libra_core::{HarvestResourcePool, LibraConfig, LibraPlatform};
+use libra_sim::demand::InputMeta;
+use libra_sim::engine::SimConfig;
+use libra_sim::ids::InvocationId;
+use libra_sim::platform::Platform as _;
+use libra_sim::resources::ResourceVec;
+use libra_sim::time::SimTime;
+use libra_workloads::apps::AppKind;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+use std::time::Instant;
+
+/// Run the overhead measurements.
+pub fn run() {
+    header("§8.6: profiler timing claims (native measurements)");
+    let suite = sebs_suite();
+    let mut p = Profiler::new(10, ProfilerConfig::default(), ModelChoice::Auto);
+    let t0 = Instant::now();
+    p.train(AppKind::Dh.id().idx(), &suite[AppKind::Dh.id().idx()], InputMeta::new(1000, 1));
+    let offline = t0.elapsed();
+    let t0 = Instant::now();
+    let n_pred = 1000;
+    for i in 0..n_pred {
+        let _ = p.predict(AppKind::Dh.id().idx(), InputMeta::new(100 + i, 1));
+    }
+    let pred = t0.elapsed() / n_pred as u32;
+    compare("offline training per function", "< 120 ms", format!("{:.1} ms", offline.as_secs_f64() * 1e3));
+    compare("prediction overhead", "< 2 ms", format!("{:.3} ms", pred.as_secs_f64() * 1e3));
+
+    // Online update timing (histogram insert path).
+    let mut p2 = Profiler::new(10, ProfilerConfig::default(), ModelChoice::HistogramOnly);
+    p2.train(AppKind::Gp.id().idx(), &suite[AppKind::Gp.id().idx()], InputMeta::new(5_000, 1));
+    let t0 = Instant::now();
+    let n_obs = 10_000;
+    for i in 0..n_obs {
+        p2.observe(
+            AppKind::Gp.id().idx(),
+            InputMeta::new(5_000, i),
+            &libra_sim::invocation::Actuals {
+                cpu_peak_millis: 3_000,
+                mem_peak_mb: 700,
+                exec_duration: libra_sim::time::SimDuration::from_secs(5),
+                input_size: 5_000,
+            },
+        );
+    }
+    let online = t0.elapsed() / n_obs as u32;
+    compare("online update", "< 1 ms", format!("{:.4} ms", online.as_secs_f64() * 1e3));
+
+    header("Harvest pool operation costs (native)");
+    let mut pool = HarvestResourcePool::new();
+    let t0 = Instant::now();
+    let n = 100_000u32;
+    for i in 0..n {
+        pool.put(InvocationId(i % 64), ResourceVec::new(500, 128), SimTime::from_secs(100), SimTime(i as u64));
+        if i % 2 == 0 {
+            let _ = pool.get(ResourceVec::new(300, 64), SimTime(i as u64));
+        }
+        if i % 64 == 63 {
+            for k in 0..64 {
+                pool.remove(InvocationId(k), SimTime(i as u64));
+            }
+        }
+    }
+    let per_op = t0.elapsed() / n;
+    compare("pool put+get cost", "negligible (§8.10)", format!("{:.2} µs/op", per_op.as_secs_f64() * 1e6));
+
+    header("§8.10: component bookkeeping volume (multi-node workload)");
+    let gen = TraceGen::standard(&ALL_APPS, 42);
+    let trace = gen.poisson(300, 120.0);
+    let config = SimConfig { shards: 2, ..SimConfig::default() };
+    let sim = libra_sim::engine::Simulation::new(sebs_suite(), testbeds::multi_node(), config);
+    let mut platform = LibraPlatform::new(LibraConfig::libra());
+    let t0 = Instant::now();
+    let res = sim.run(&trace, &mut platform);
+    let wall = t0.elapsed();
+    let rep = platform.report();
+    println!(
+        "  {} invocations, simulated {:.0} s in {:.2} s wall clock",
+        res.records.len(),
+        res.completion_time.as_secs_f64(),
+        wall.as_secs_f64()
+    );
+    println!(
+        "  pool ops: {} puts, {} gets; safeguard triggers: {}",
+        rep.pool_puts, rep.pool_gets, rep.safeguard_triggers
+    );
+    let control_ops = rep.pool_puts + rep.pool_gets;
+    let per_inv = control_ops as f64 / res.records.len() as f64;
+    compare(
+        "control-plane ops per invocation",
+        "< 3% CPU overhead (§8.10)",
+        format!("{per_inv:.1} pool ops/invocation at ~µs each"),
+    );
+}

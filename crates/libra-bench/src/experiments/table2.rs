@@ -1,0 +1,170 @@
+//! Table 2 — the profiler's model study (§8.6): LR, SVM, NN and RF compared
+//! on CPU-class accuracy, memory-class accuracy and duration R² for each of
+//! the ten functions, with a 7:3 train/test split on duplicator datasets.
+
+use crate::*;
+use libra_core::profiler::{WorkloadDuplicator, MEM_CLASS_MB};
+use libra_ml::dataset::Dataset;
+use libra_ml::forest::{ForestParams, RandomForest};
+use libra_ml::linear::{LinearRegression, LogisticRegression};
+use libra_ml::metrics::{accuracy, r2_score};
+use libra_ml::nn::{Mlp, MlpTask};
+use libra_ml::svm::LinearSvm;
+use libra_ml::tree::Task;
+use libra_sim::demand::InputMeta;
+use libra_sim::resources::MILLIS_PER_CORE;
+use libra_workloads::apps::ALL_APPS;
+use libra_workloads::sebs_suite;
+
+/// One function's scores for one model family.
+#[derive(Clone, Copy, Debug)]
+pub struct Scores {
+    /// CPU-class accuracy.
+    pub cpu: f64,
+    /// Memory-class accuracy.
+    pub mem: f64,
+    /// Duration R².
+    pub dur: f64,
+}
+
+fn features(size: u64) -> Vec<f64> {
+    let s = size.max(1) as f64;
+    vec![s, s.ln()]
+}
+
+fn split(
+    x: &[Vec<f64>],
+    y: &[f64],
+) -> ((Vec<Vec<f64>>, Vec<f64>), (Vec<Vec<f64>>, Vec<f64>)) {
+    let d = Dataset::from_rows(x.to_vec(), y.to_vec());
+    let (tr, te) = d.train_test_split(0.7, 0xdead);
+    ((tr.x, tr.y), (te.x, te.y))
+}
+
+fn eval_family(model: &str, x: &[Vec<f64>], cpu: &[f64], mem: &[f64], dur: &[f64]) -> Scores {
+    let n_cpu = cpu.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
+    let n_mem = mem.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
+
+    let classify = |y: &[f64], n_classes: usize| -> f64 {
+        let ((trx, trl), (tex, tel)) = split(x, y);
+        let labels: Vec<usize> = trl.iter().map(|&v| v as usize).collect();
+        let truth: Vec<usize> = tel.iter().map(|&v| v as usize).collect();
+        let preds: Vec<usize> = match model {
+            "LR" => {
+                let mut m = LogisticRegression::new();
+                m.fit(&trx, &labels, n_classes);
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            "SVM" => {
+                let mut m = LinearSvm::new();
+                m.fit(&trx, &labels, n_classes);
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            "NN" => {
+                let mut m = Mlp::new(MlpTask::Classification { n_classes }, 12);
+                m.fit(&trx, &trl);
+                tex.iter().map(|r| m.predict_class(r)).collect()
+            }
+            "RF" => {
+                let m = RandomForest::fit(&trx, &trl, Task::Classification { n_classes }, ForestParams::default());
+                tex.iter().map(|r| m.predict_class(r)).collect()
+            }
+            _ => unreachable!(),
+        };
+        accuracy(&preds, &truth)
+    };
+
+    let regress = || -> f64 {
+        let ((trx, trl), (tex, tel)) = split(x, dur);
+        let preds: Vec<f64> = match model {
+            "LR" => {
+                let mut m = LinearRegression::default();
+                m.fit(&trx, &trl);
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            "SVM" => {
+                // SVR stand-in: linear regression on hinge-like clipped
+                // targets is not meaningful; the paper's SVR is emulated by
+                // a linear model with L2 (same hypothesis class).
+                let mut m = LinearRegression::new(1e-2);
+                m.fit(&trx, &trl);
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            "NN" => {
+                let mut m = Mlp::new(MlpTask::Regression, 12);
+                m.fit(&trx, &trl);
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            "RF" => {
+                let m = RandomForest::fit(&trx, &trl, Task::Regression, ForestParams::default());
+                tex.iter().map(|r| m.predict(r)).collect()
+            }
+            _ => unreachable!(),
+        };
+        r2_score(&preds, &tel)
+    };
+
+    Scores { cpu: classify(cpu, n_cpu), mem: classify(mem, n_mem), dur: regress() }
+}
+
+/// Run the study; returns `(func, model, scores)` triples.
+pub fn run() -> Vec<(String, String, Scores)> {
+    header("Table 2: model comparison (cpu acc / mem acc / duration R², 7:3 split)");
+    let suite = sebs_suite();
+    let models = ["LR", "SVM", "NN", "RF"];
+    let mut cols = vec!["func".to_string()];
+    cols.extend(models.iter().map(|m| m.to_string()));
+    row(&cols);
+
+    let mut out = Vec::new();
+    let mut sums = vec![(0.0, 0.0, 0.0); models.len()]; // related avg
+    let mut sums_un = vec![(0.0, 0.0, 0.0); models.len()];
+
+    for kind in ALL_APPS {
+        let f = kind.id().idx();
+        let (lo, hi) = kind.size_range();
+        let first = InputMeta::new(((lo as f64 * hi as f64).sqrt()) as u64, 4242);
+        let dup = WorkloadDuplicator { points: 100, noise: 0.02, seed: 77 ^ f as u64 };
+        let obs = dup.run(&suite[f], first);
+        let x: Vec<Vec<f64>> = obs.iter().map(|o| features(o.size)).collect();
+        let cpu: Vec<f64> = obs.iter().map(|o| o.cpu_peak_millis.div_ceil(MILLIS_PER_CORE) as f64).collect();
+        let mem: Vec<f64> = obs.iter().map(|o| o.mem_peak_mb.div_ceil(MEM_CLASS_MB) as f64).collect();
+        let dur: Vec<f64> = obs.iter().map(|o| o.duration.as_secs_f64()).collect();
+
+        let mut cols = vec![kind.name().to_string()];
+        for (mi, model) in models.iter().enumerate() {
+            let s = eval_family(model, &x, &cpu, &mem, &dur);
+            cols.push(format!("{:.2}/{:.2}/{:.2}", s.cpu, s.mem, s.dur.max(-99.0)));
+            let tgt = if kind.input_size_related() { &mut sums[mi] } else { &mut sums_un[mi] };
+            tgt.0 += s.cpu;
+            tgt.1 += s.mem;
+            tgt.2 += s.dur.max(-99.0);
+            out.push((kind.name().to_string(), model.to_string(), s));
+        }
+        row(&cols);
+    }
+    let mut cols = vec!["Avg(rel)".to_string()];
+    for s in &sums {
+        cols.push(format!("{:.2}/{:.2}/{:.2}", s.0 / 5.0, s.1 / 5.0, s.2 / 5.0));
+    }
+    row(&cols);
+    let mut cols = vec!["Avg(unrel)".to_string()];
+    for s in &sums_un {
+        cols.push(format!("{:.2}/{:.2}/{:.2}", s.0 / 5.0, s.1 / 5.0, s.2 / 5.0));
+    }
+    row(&cols);
+
+    // Headline: RF best on average for related functions.
+    let rf = &sums[3];
+    let best_cpu = sums.iter().all(|s| rf.0 >= s.0 - 1e-9);
+    let best_r2 = sums.iter().all(|s| rf.2 >= s.2 - 1e-9);
+    println!();
+    compare("RF best average cpu accuracy (related)", "yes (Table 2)", if best_cpu { "yes".into() } else { "no".into() });
+    compare("RF best average duration R² (related)", "yes (Table 2)", if best_r2 { "yes".into() } else { "no".into() });
+    compare(
+        "related vs unrelated gap visible",
+        "acc ~0.95 vs ~0.59 (RF)",
+        format!("{:.2} vs {:.2}", sums[3].0 / 5.0, sums_un[3].0 / 5.0),
+    );
+    out
+}

@@ -1,0 +1,223 @@
+//! # libra-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index); this library holds the shared machinery: platform constructors,
+//! run drivers, and plain-text table/CDF reporting.
+//!
+//! Every binary prints the paper's expected shape next to the measured
+//! numbers and writes CSV series under `results/` for external plotting.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+
+use libra_baselines::{Freyr, OpenWhiskDefault};
+use libra_core::{LibraConfig, LibraPlatform, ModelChoice};
+use libra_sim::engine::{SimConfig, Simulation};
+use libra_sim::function::FunctionSpec;
+use libra_sim::metrics::{percentile, RunResult};
+use libra_sim::platform::{Platform, PlatformReport};
+use libra_sim::resources::ResourceVec;
+use libra_sim::trace::Trace;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The six §8.3 platforms plus the Fig 13(a) model ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// OpenWhisk default.
+    Default,
+    /// The Freyr stand-in.
+    Freyr,
+    /// Full Libra.
+    Libra,
+    /// Libra without the safeguard.
+    LibraNs,
+    /// Libra without the profiler (moving window).
+    LibraNp,
+    /// Libra without either.
+    LibraNsp,
+    /// Libra with histogram models only.
+    LibraHist,
+    /// Libra with ML models only.
+    LibraMl,
+}
+
+impl PlatformKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlatformKind::Default => "Default",
+            PlatformKind::Freyr => "Freyr",
+            PlatformKind::Libra => "Libra",
+            PlatformKind::LibraNs => "Libra-NS",
+            PlatformKind::LibraNp => "Libra-NP",
+            PlatformKind::LibraNsp => "Libra-NSP",
+            PlatformKind::LibraHist => "Hist",
+            PlatformKind::LibraMl => "ML",
+        }
+    }
+
+    /// The six platforms of §8.3.
+    pub const MAIN_SIX: [PlatformKind; 6] = [
+        PlatformKind::Default,
+        PlatformKind::Freyr,
+        PlatformKind::Libra,
+        PlatformKind::LibraNs,
+        PlatformKind::LibraNp,
+        PlatformKind::LibraNsp,
+    ];
+
+    /// Build the platform.
+    pub fn build(&self) -> Box<dyn Platform> {
+        match self {
+            PlatformKind::Default => Box::new(OpenWhiskDefault),
+            PlatformKind::Freyr => Box::new(Freyr::new()),
+            PlatformKind::Libra => Box::new(LibraPlatform::new(LibraConfig::libra())),
+            PlatformKind::LibraNs => Box::new(LibraPlatform::new(LibraConfig::ns())),
+            PlatformKind::LibraNp => Box::new(LibraPlatform::new(LibraConfig::np())),
+            PlatformKind::LibraNsp => Box::new(LibraPlatform::new(LibraConfig::nsp())),
+            PlatformKind::LibraHist => Box::new(LibraPlatform::new(LibraConfig {
+                model_choice: ModelChoice::HistogramOnly,
+                ..LibraConfig::libra()
+            })),
+            PlatformKind::LibraMl => Box::new(LibraPlatform::new(LibraConfig {
+                model_choice: ModelChoice::MlOnly,
+                ..LibraConfig::libra()
+            })),
+        }
+    }
+}
+
+/// Result of one platform run, with the platform's self-report attached.
+pub struct PlatformRun {
+    /// Platform label.
+    pub name: String,
+    /// Simulator metrics.
+    pub result: RunResult,
+    /// Platform counters (pool ledger, safeguard triggers...).
+    pub report: PlatformReport,
+}
+
+/// Run `trace` on a cluster of `nodes` under `platform`.
+pub fn run_on(
+    funcs: Vec<FunctionSpec>,
+    nodes: Vec<ResourceVec>,
+    config: SimConfig,
+    trace: &Trace,
+    mut platform: Box<dyn Platform>,
+) -> PlatformRun {
+    let sim = Simulation::new(funcs, nodes, config);
+    let result = sim.run(trace, platform.as_mut());
+    PlatformRun { name: platform.name(), result, report: platform.report() }
+}
+
+/// Run a kind on the standard suite/cluster/config.
+pub fn run_kind(
+    kind: PlatformKind,
+    funcs: Vec<FunctionSpec>,
+    nodes: Vec<ResourceVec>,
+    config: SimConfig,
+    trace: &Trace,
+) -> PlatformRun {
+    run_on(funcs, nodes, config, trace, kind.build())
+}
+
+/// Averaged repetition: the paper reports results "averaged over five times
+/// of experiments"; we re-run with distinct trace seeds and aggregate.
+pub fn mean_of(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+// ---------------------------------------------------------------- reporting
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", "-".repeat(72));
+}
+
+/// Print a row of aligned columns.
+pub fn row(cols: &[String]) {
+    let line = cols
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// Quantile summary of a CDF (what a plotted CDF conveys, in text).
+pub fn cdf_summary(label: &str, data: &[f64], unit: &str) {
+    if data.is_empty() {
+        println!("{label:>12}: (no data)");
+        return;
+    }
+    let qs = [10.0, 25.0, 50.0, 75.0, 90.0, 99.0];
+    let cells: Vec<String> = qs
+        .iter()
+        .map(|&q| format!("p{q:>2.0}={:.2}{unit}", percentile(data, q)))
+        .collect();
+    println!("{label:>12}: {}", cells.join("  "));
+}
+
+/// Where CSV artifacts go.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("LIBRA_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Write a CSV artifact: `name.csv` with a header row and data rows.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).unwrap();
+    for r in rows {
+        let line = r.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+        writeln!(f, "{line}").unwrap();
+    }
+    println!("[wrote {}]", path.display());
+}
+
+/// Paper-vs-measured comparison line for EXPERIMENTS.md-style output.
+pub fn compare(label: &str, paper: &str, measured: String) {
+    println!("{label:<44} paper: {paper:<22} measured: {measured}");
+}
+
+/// Environment-tunable repetition count (default 3; the paper used 5).
+pub fn repetitions() -> u64 {
+    std::env::var("LIBRA_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Environment-tunable scale factor for heavyweight experiments (1.0 = paper
+/// scale). Smoke tests set it below 1.
+pub fn scale() -> f64 {
+    std::env::var("LIBRA_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_kinds_build() {
+        for k in PlatformKind::MAIN_SIX {
+            let p = k.build();
+            assert!(!p.name().is_empty());
+        }
+        assert_eq!(PlatformKind::Libra.name(), "Libra");
+    }
+
+    #[test]
+    fn mean_of_handles_edges() {
+        assert!(mean_of(&[]).is_nan());
+        assert_eq!(mean_of(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `libra` — the command-line interface to the Libra reproduction.
+//!
+//! ```text
+//! libra trace  --kind single|multi:<rpm>|poisson:<n>:<rpm> [--seed S] [--out FILE]
+//! libra run    --platform default|freyr|libra|ns|np|nsp
+//!              [--cluster single|multi|jetstream:<n>] [--shards K]
+//!              [--trace FILE | --kind ...] [--seed S] [--out FILE]
+//! libra compare [--cluster single|multi|jetstream:<n>] [--seed S] [--reps R]
+//! ```
+
+mod csvio;
+mod opts;
+
+use libra_baselines::{Freyr, OpenWhiskDefault};
+use libra_core::{LibraConfig, LibraPlatform};
+use libra_sim::engine::{SimConfig, Simulation};
+use libra_sim::metrics::RunResult;
+use libra_sim::platform::Platform;
+use libra_sim::trace::Trace;
+use libra_workloads::trace::TraceGen;
+use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+use opts::{ClusterSpec, Opts, TraceKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", opts::USAGE);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "trace" => cmd_trace(&opts),
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", opts::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn make_trace(opts: &Opts) -> Result<Trace, String> {
+    if let Some(path) = &opts.trace_file {
+        let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        return csvio::read_trace(f).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let gen = TraceGen::standard(&ALL_APPS, opts.seed);
+    Ok(match opts.kind {
+        TraceKind::Single => gen.single_set(),
+        TraceKind::Multi(rpm) => {
+            let sets = gen.multi_sets();
+            sets.into_iter()
+                .find(|(r, _)| *r == rpm)
+                .map(|(_, t)| t)
+                .ok_or(format!("no multi set at {rpm} RPM (valid: 10,20,30,40,50,60,120,180,240,300)"))?
+        }
+        TraceKind::Poisson { n, rpm } => gen.poisson(n, rpm),
+    })
+}
+
+fn build_platform(name: &str) -> Result<Box<dyn Platform>, String> {
+    Ok(match name {
+        "default" => Box::new(OpenWhiskDefault),
+        "freyr" => Box::new(Freyr::new()),
+        "libra" => Box::new(LibraPlatform::new(LibraConfig::libra())),
+        "ns" => Box::new(LibraPlatform::new(LibraConfig::ns())),
+        "np" => Box::new(LibraPlatform::new(LibraConfig::np())),
+        "nsp" => Box::new(LibraPlatform::new(LibraConfig::nsp())),
+        other => return Err(format!("unknown platform `{other}`")),
+    })
+}
+
+fn cluster(opts: &Opts) -> Vec<libra_sim::resources::ResourceVec> {
+    match opts.cluster {
+        ClusterSpec::Single => testbeds::single_node(),
+        ClusterSpec::Multi => testbeds::multi_node(),
+        ClusterSpec::Jetstream(n) => testbeds::jetstream(n),
+    }
+}
+
+fn execute(opts: &Opts, platform: &mut dyn Platform, trace: &Trace) -> RunResult {
+    let config = SimConfig { shards: opts.shards, ..SimConfig::default() };
+    let sim = Simulation::new(sebs_suite(), cluster(opts), config);
+    sim.run(trace, platform)
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let trace = make_trace(opts)?;
+    match &opts.out {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            csvio::write_trace(&trace, f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} invocations to {path}", trace.len());
+        }
+        None => {
+            csvio::write_trace(&trace, std::io::stdout()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let trace = make_trace(opts)?;
+    let mut platform = build_platform(&opts.platform)?;
+    let result = execute(opts, platform.as_mut(), &trace);
+    summarize(&result);
+    if let Some(path) = &opts.out {
+        let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        csvio::write_results(&result, f).map_err(|e| e.to_string())?;
+        eprintln!("wrote per-invocation records to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>9} {:>9} {:>8}",
+        "platform", "p50 (s)", "p99 (s)", "completion", "cpu util", "worst", "accel"
+    );
+    for name in ["default", "freyr", "libra", "ns", "np", "nsp"] {
+        let mut p50 = 0.0;
+        let mut p99 = 0.0;
+        let mut compl = 0.0;
+        let mut util = 0.0;
+        let mut worst: f64 = 0.0;
+        let mut accel = 0usize;
+        for rep in 0..opts.reps {
+            let rep_opts = Opts { seed: opts.seed + rep, ..opts.clone() };
+            let trace = make_trace(&rep_opts)?;
+            let mut platform = build_platform(name)?;
+            let r = execute(&rep_opts, platform.as_mut(), &trace);
+            p50 += r.latency_percentile(50.0);
+            p99 += r.latency_percentile(99.0);
+            compl += r.completion_time.as_secs_f64();
+            util += r.mean_cpu_util();
+            worst = worst.min(r.worst_degradation());
+            accel += r.records.iter().filter(|x| x.flags.accelerated).count();
+        }
+        let n = opts.reps as f64;
+        println!(
+            "{:<10} {:>9.1} {:>9.1} {:>11.1}s {:>8.1}% {:>9.2} {:>8}",
+            name,
+            p50 / n,
+            p99 / n,
+            compl / n,
+            100.0 * util / n,
+            worst,
+            accel / opts.reps as usize,
+        );
+    }
+    Ok(())
+}
+
+fn summarize(r: &RunResult) {
+    println!("platform    : {}", r.platform);
+    println!("invocations : {}", r.records.len());
+    println!("completion  : {:.1} s", r.completion_time.as_secs_f64());
+    println!("p50 / p99   : {:.1} / {:.1} s", r.latency_percentile(50.0), r.latency_percentile(99.0));
+    println!("cpu util    : {:.1} %", 100.0 * r.mean_cpu_util());
+    println!("worst spdup : {:+.2}", r.worst_degradation());
+    let h = r.records.iter().filter(|x| x.flags.harvested).count();
+    let a = r.records.iter().filter(|x| x.flags.accelerated).count();
+    let s = r.records.iter().filter(|x| x.flags.safeguarded).count();
+    println!("harvested/accelerated/safeguarded: {h}/{a}/{s}");
+}

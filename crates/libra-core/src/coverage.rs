@@ -1,0 +1,169 @@
+//! Demand coverage (§6.2).
+//!
+//! Resource availability has two dimensions — volume and timeliness — so a
+//! node's attractiveness for an accelerable invocation is measured by how
+//! much of the invocation's *extra* demand, integrated over its predicted
+//! execution window, the node's harvested resources can cover:
+//!
+//! ```text
+//!               ∫ₜᵗ⁺ᵈ min(available(τ), demand) dτ
+//! coverage  =  ────────────────────────────────────
+//!                         demand × d
+//! ```
+//!
+//! where `available(τ)` sums pool entries whose expiry is after τ (Fig 5:
+//! "we count the entire d from t3 to t5 and only part of e from t5 to t7").
+//! CPU and memory coverages are combined as `D = α·D_cpu + (1−α)·D_mem` with
+//! α > 0.5 because harvested idle cores are more precious than memory.
+
+use crate::pool::PoolEntryStatus;
+use libra_sim::resources::ResourceVec;
+use libra_sim::time::{SimDuration, SimTime};
+
+/// Coverage of a one-dimensional demand (`units` over `[start, start+dur]`)
+/// by pool entries `(volume, expiry)`. Returns a value in `[0, 1]`.
+/// A zero demand (or zero window) is trivially fully covered.
+pub fn coverage_1d(entries: &[(u64, SimTime)], units: u64, start: SimTime, dur: SimDuration) -> f64 {
+    if units == 0 || dur.as_micros() == 0 {
+        return 1.0;
+    }
+    let end = start + dur;
+    // Piecewise-constant availability: breakpoints at entry expiries inside
+    // the window.
+    let mut cuts: Vec<SimTime> = entries
+        .iter()
+        .map(|&(_, e)| e)
+        .filter(|&e| e > start && e < end)
+        .collect();
+    cuts.push(end);
+    cuts.sort();
+    cuts.dedup();
+
+    let mut covered: u128 = 0; // unit·µs
+    let mut seg_start = start;
+    for cut in cuts {
+        let avail: u64 = entries
+            .iter()
+            .filter(|&&(_, e)| e >= cut) // valid through this whole segment
+            .map(|&(v, _)| v)
+            .sum();
+        let seg = cut.since(seg_start).as_micros() as u128;
+        covered += (avail.min(units) as u128) * seg;
+        seg_start = cut;
+    }
+    let demand_area = units as u128 * dur.as_micros() as u128;
+    (covered as f64 / demand_area as f64).clamp(0.0, 1.0)
+}
+
+/// Weighted demand coverage for an invocation needing `extra` resources over
+/// `[now, now + dur]`, given a node's pool snapshot.
+/// `alpha` weights CPU vs memory (default 0.9, §8.2.3).
+pub fn demand_coverage(
+    snapshot: &[PoolEntryStatus],
+    extra: ResourceVec,
+    now: SimTime,
+    dur: SimDuration,
+    alpha: f64,
+) -> f64 {
+    let cpu_entries: Vec<(u64, SimTime)> = snapshot
+        .iter()
+        .filter(|e| e.cpu_idle_millis > 0)
+        .map(|e| (e.cpu_idle_millis, e.expiry))
+        .collect();
+    let mem_entries: Vec<(u64, SimTime)> = snapshot
+        .iter()
+        .filter(|e| e.mem_idle_mb > 0)
+        .map(|e| (e.mem_idle_mb, e.expiry))
+        .collect();
+    let dc = coverage_1d(&cpu_entries, extra.cpu_millis, now, dur);
+    let dm = coverage_1d(&mem_entries, extra.mem_mb, now, dur);
+    alpha * dc + (1.0 - alpha) * dm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn coverage_figure5_example() {
+        // Fig 5: demand 2 units over [t3, t7]. Entry d (1 unit) covers the
+        // whole window [expiry t8 >= t7]; entry e (1 unit) expires at t5...
+        // The paper's worked example: coverage = (1·(t5−t3) + 2·(t7−t5)) /
+        // (2·(t7−t3)). We mirror it with d expiring beyond t7 and a second
+        // entry arriving... entries: d=(1, t8), e=(1, ...) — e joins from t5?
+        // Pool snapshots are point-in-time, so we encode the equivalent
+        // instant: at t3 the pool holds d (1 unit until t8) and e (1 unit
+        // until t5 is WRONG — e is valid *from* t5).
+        // Equivalent arithmetic with expiries only: one unit valid the whole
+        // window + one unit valid for the first half covers
+        // (2·half + 1·half) / (2·full) = 0.75.
+        let entries = [(1u64, t(8)), (1u64, t(5))];
+        let c = coverage_1d(&entries, 2, t(3), d(4)); // window [3, 7]
+        // first 2 s: both valid -> min(2,2)=2; last 2 s: one valid -> 1.
+        // covered = 2·2 + 1·2 = 6; demand area = 2·4 = 8.
+        assert!((c - 0.75).abs() < 1e-9, "coverage {c}");
+    }
+
+    #[test]
+    fn zero_demand_is_fully_covered() {
+        assert_eq!(coverage_1d(&[], 0, t(0), d(10)), 1.0);
+        assert_eq!(coverage_1d(&[(5, t(1))], 3, t(0), SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn empty_pool_covers_nothing() {
+        assert_eq!(coverage_1d(&[], 2, t(0), d(10)), 0.0);
+    }
+
+    #[test]
+    fn full_coverage_when_volume_and_time_suffice() {
+        let entries = [(4u64, t(100))];
+        assert!((coverage_1d(&entries, 2, t(0), d(10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_entries_do_not_count() {
+        let entries = [(4u64, t(1))];
+        assert_eq!(coverage_1d(&entries, 2, t(5), d(10)), 0.0);
+    }
+
+    #[test]
+    fn partial_time_coverage_scales_linearly() {
+        // 2 units valid for half the window, demand 2 -> coverage 0.5
+        let entries = [(2u64, t(5))];
+        let c = coverage_1d(&entries, 2, t(0), d(10));
+        assert!((c - 0.5).abs() < 1e-9, "coverage {c}");
+    }
+
+    #[test]
+    fn volume_caps_at_demand() {
+        // 100 units available but only 2 demanded: still 1.0, not more.
+        let entries = [(100u64, t(100))];
+        assert!((coverage_1d(&entries, 2, t(0), d(10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_coverage_combines_dimensions() {
+        let snap = vec![PoolEntryStatus { cpu_idle_millis: 2000, mem_idle_mb: 0, expiry: t(100) }];
+        // CPU fully covered, memory demand uncovered.
+        let c = demand_coverage(&snap, ResourceVec::new(2000, 512), t(0), d(10), 0.9);
+        assert!((c - 0.9).abs() < 1e-9, "coverage {c}");
+        // alpha = 0.5 weights them evenly
+        let c2 = demand_coverage(&snap, ResourceVec::new(2000, 512), t(0), d(10), 0.5);
+        assert!((c2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_extra_demand_means_full_coverage() {
+        let c = demand_coverage(&[], ResourceVec::ZERO, t(0), d(10), 0.9);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,540 @@
+//! The Libra platform: profiler + harvest pools + safeguard + scheduler,
+//! wired into the simulator's five-step workflow (Fig 3).
+//!
+//! The platform is generic over its [`NodeSelector`] so the scheduling
+//! comparison of §8.4 (Default hashing, RR, JSQ, MWS vs Libra's coverage
+//! greedy) runs "with Libra's function harvesting and acceleration enabled"
+//! exactly as in the paper, and its ablations (§8.3) are configuration
+//! presets: Libra-NS (no safeguard), Libra-NP (no profiler, moving-window
+//! estimates), Libra-NSP (neither).
+
+use crate::pool::{GetOrder, HarvestResourcePool};
+use crate::profiler::{ModelChoice, Profiler, ProfilerConfig};
+use crate::safeguard::Safeguard;
+use crate::scheduler::{CoverageSelector, NodeSelector, SchedView};
+use libra_sim::engine::{SimCtx, World};
+use libra_sim::ids::{InvocationId, NodeId};
+use libra_sim::invocation::{Actuals, Loan, Prediction, PredictionPath};
+use libra_sim::platform::{LoanEnd, Platform, PlatformOverheads, PlatformReport};
+use libra_sim::time::SimDuration;
+use std::collections::VecDeque;
+
+/// Libra configuration (§8.2.3 defaults).
+#[derive(Clone, Debug)]
+pub struct LibraConfig {
+    /// Enable the profiler (off = Libra-NP: moving-window estimates).
+    pub profiler: bool,
+    /// Enable the safeguard (off = Libra-NS).
+    pub safeguard: bool,
+    /// Safeguard trigger threshold (default 0.8).
+    pub safeguard_threshold: f64,
+    /// Demand-coverage CPU weight α (default 0.9).
+    pub alpha: f64,
+    /// Which model families the profiler may use (Fig 13a ablation).
+    pub model_choice: ModelChoice,
+    /// Moving-window length for the NP variant (paper: n = 5).
+    pub np_window: usize,
+    /// Safeguard trips before a function's memory harvesting stops.
+    pub mem_blacklist_after: u32,
+    /// Multiplicative headroom left above the predicted peak when harvesting
+    /// (grant = pred × headroom, clamped to the user allocation). The default
+    /// 1.0 harvests down to the predicted class ceiling itself — the
+    /// aggressive posture of the paper, where the safeguard (not padding) is
+    /// what protects against mispredictions and near-boundary peaks (Fig 14
+    /// shows a sizeable safeguarded fraction at the default 0.8 threshold).
+    pub harvest_headroom: f64,
+    /// Pool hand-out order (ablation knob; the paper's design is
+    /// longest-lived-first, Fig 4).
+    pub pool_order: GetOrder,
+    /// Re-acquire an accelerable invocation's shortfall at every monitor
+    /// window (ablation knob; off = one-shot acceleration at start only).
+    pub continuous_acceleration: bool,
+    /// Profiler internals.
+    pub profiler_cfg: ProfilerConfig,
+}
+
+impl Default for LibraConfig {
+    fn default() -> Self {
+        LibraConfig {
+            profiler: true,
+            safeguard: true,
+            safeguard_threshold: 0.8,
+            alpha: 0.9,
+            model_choice: ModelChoice::Auto,
+            np_window: 5,
+            mem_blacklist_after: 3,
+            harvest_headroom: 1.0,
+            pool_order: GetOrder::LongestLived,
+            continuous_acceleration: true,
+            profiler_cfg: ProfilerConfig::default(),
+        }
+    }
+}
+
+impl LibraConfig {
+    /// Full Libra.
+    pub fn libra() -> Self {
+        Self::default()
+    }
+
+    /// Libra-NS: safeguard disabled.
+    pub fn ns() -> Self {
+        LibraConfig { safeguard: false, ..Self::default() }
+    }
+
+    /// Libra-NP: profiler replaced by a 5-invocation moving window of maxima.
+    pub fn np() -> Self {
+        LibraConfig { profiler: false, ..Self::default() }
+    }
+
+    /// Libra-NSP: neither safeguard nor profiler.
+    pub fn nsp() -> Self {
+        LibraConfig { profiler: false, safeguard: false, ..Self::default() }
+    }
+
+    /// Variant name for reports.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.profiler, self.safeguard) {
+            (true, true) => match self.model_choice {
+                ModelChoice::Auto => "Libra",
+                ModelChoice::HistogramOnly => "Libra-Hist",
+                ModelChoice::MlOnly => "Libra-ML",
+            },
+            (true, false) => "Libra-NS",
+            (false, true) => "Libra-NP",
+            (false, false) => "Libra-NSP",
+        }
+    }
+}
+
+/// Moving-window history for the NP variant: keeps the `n` latest actuals
+/// and predicts their maxima.
+#[derive(Clone, Debug, Default)]
+struct Window {
+    entries: VecDeque<(u64, u64, SimDuration)>,
+    cap: usize,
+}
+
+impl Window {
+    fn new(cap: usize) -> Self {
+        Window { entries: VecDeque::new(), cap }
+    }
+
+    fn push(&mut self, cpu: u64, mem: u64, dur: SimDuration) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((cpu, mem, dur));
+    }
+
+    fn predict(&self) -> Option<Prediction> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let cpu = self.entries.iter().map(|e| e.0).max().unwrap_or(0).max(100);
+        let mem = self.entries.iter().map(|e| e.1).max().unwrap_or(0).max(32);
+        let dur = self.entries.iter().map(|e| e.2).max().unwrap_or(SimDuration::ZERO);
+        Some(Prediction { cpu_millis: cpu, mem_mb: mem, duration: dur, path: PredictionPath::Window })
+    }
+}
+
+/// The Libra platform over a pluggable node selector.
+pub struct LibraPlatform<S: NodeSelector = CoverageSelector> {
+    cfg: LibraConfig,
+    selector: S,
+    profiler: Option<Profiler>,
+    windows: Vec<Window>,
+    pools: Vec<HarvestResourcePool>,
+    view: SchedView,
+    safeguard: Safeguard,
+    /// Loans cut short because their source completed (the timeliness tax).
+    loans_expired: u64,
+    /// Loans whose volume returned to the pool (re-harvesting, §5.1).
+    loans_reharvested: u64,
+    initialized: bool,
+}
+
+impl LibraPlatform<CoverageSelector> {
+    /// Full Libra with its own coverage-greedy scheduler.
+    pub fn new(cfg: LibraConfig) -> Self {
+        Self::with_selector(cfg, CoverageSelector)
+    }
+}
+
+impl<S: NodeSelector> LibraPlatform<S> {
+    /// Libra's harvesting stack over a custom node selector (for the §8.4
+    /// scheduling-algorithm comparison).
+    pub fn with_selector(cfg: LibraConfig, selector: S) -> Self {
+        LibraPlatform {
+            cfg,
+            selector,
+            profiler: None,
+            windows: Vec::new(),
+            pools: Vec::new(),
+            view: SchedView::new(),
+            safeguard: Safeguard::new(0, 0.8, 3),
+            loans_expired: 0,
+            loans_reharvested: 0,
+            initialized: false,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LibraConfig {
+        &self.cfg
+    }
+
+    /// Profiler access (None for NP variants).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    fn node_pool(&mut self, node: NodeId) -> &mut HarvestResourcePool {
+        &mut self.pools[node.idx()]
+    }
+
+    /// Harvest-or-accelerate on start (Step 5 of Fig 3).
+    fn harvest_or_accelerate(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        let rec = ctx.inv(inv);
+        let Some(pred) = rec.pred else { return };
+        let nominal = rec.nominal;
+        let node = rec.node.expect("on_start without node");
+        let func = rec.func.idx();
+        let now = ctx.now();
+
+        // Harvest: keep the predicted demand of each dimension plus the
+        // safety headroom (memory stays untouched for blacklisted functions).
+        let h = self.cfg.harvest_headroom;
+        let padded = libra_sim::resources::ResourceVec::new(
+            (pred.cpu_millis as f64 * h) as u64,
+            (pred.mem_mb as f64 * h) as u64,
+        );
+        let mut target = padded.min(&nominal);
+        if self.safeguard.mem_blacklisted(func) {
+            target.mem_mb = nominal.mem_mb;
+        }
+        if target.cpu_millis < nominal.cpu_millis || target.mem_mb < nominal.mem_mb {
+            ctx.set_own_grant(inv, target);
+            // The engine may clamp (memory floor); pool what actually freed up.
+            let freed = ctx.harvestable(inv);
+            if !freed.is_zero() {
+                let priority = now + pred.duration;
+                self.node_pool(node).put(inv, freed, priority, now);
+            }
+        }
+
+        // Accelerate: borrow the shortfall from the pool, best-effort.
+        let extra = pred.peak().saturating_sub(&nominal);
+        if !extra.is_zero() {
+            let order = self.cfg.pool_order;
+            let grants = self.node_pool(node).get_with(extra, now, order);
+            for (source, vol) in grants {
+                if !ctx.lend(source, inv, vol) {
+                    // Stale entry: the engine no longer honours this source.
+                    // Resynchronize by dropping it from the pool.
+                    self.node_pool(node).remove(source, now);
+                }
+            }
+        }
+    }
+}
+
+impl<S: NodeSelector> Platform for LibraPlatform<S> {
+    fn name(&self) -> String {
+        format!("{}({})", self.cfg.variant_name(), self.selector.name())
+    }
+
+    fn init(&mut self, world: &World) {
+        let n_funcs = world.functions().len();
+        self.profiler = self.cfg.profiler.then(|| {
+            Profiler::new(n_funcs, self.cfg.profiler_cfg.clone(), self.cfg.model_choice)
+        });
+        self.windows = vec![Window::new(self.cfg.np_window); n_funcs];
+        self.pools = (0..world.num_nodes()).map(|_| HarvestResourcePool::new()).collect();
+        self.safeguard = Safeguard::new(n_funcs, self.cfg.safeguard_threshold, self.cfg.mem_blacklist_after);
+        self.initialized = true;
+    }
+
+    fn overheads(&self) -> PlatformOverheads {
+        PlatformOverheads {
+            frontend: SimDuration(300),
+            // "less than 2 ms" prediction overhead (§8.6)
+            profiler: SimDuration(1_500),
+            pool: SimDuration(200),
+        }
+    }
+
+    fn predict(&mut self, world: &World, inv: InvocationId) -> Option<Prediction> {
+        debug_assert!(self.initialized, "predict before init");
+        let rec = world.inv(inv);
+        let f = rec.func.idx();
+        match &mut self.profiler {
+            Some(p) => {
+                if !p.is_trained(f) {
+                    // First-seen invocation: serve with user resources while
+                    // the duplicator profiles offline (§4.1).
+                    p.train(f, world.func(rec.func), rec.input);
+                    return None;
+                }
+                p.predict(f, rec.input)
+            }
+            None => self.windows[f].predict(),
+        }
+    }
+
+    fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        self.selector.select(world, shard, inv, &self.view, self.cfg.alpha)
+    }
+
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.harvest_or_accelerate(ctx, inv);
+    }
+
+    fn on_tick(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        let rec = ctx.inv(inv);
+        if !rec.is_running() {
+            return;
+        }
+        // Safeguard: invocations that had resources harvested need
+        // protection against mispredictions (§5.2).
+        if self.cfg.safeguard {
+            let harvested = rec.own_grant != rec.nominal || !rec.lent_out.is_zero();
+            if harvested {
+                let usage = ctx.usage(inv);
+                if self.safeguard.should_trigger(&usage) {
+                    let node = rec.node.expect("running without node");
+                    let func = rec.func.idx();
+                    let now = ctx.now();
+                    let _revoked: Vec<Loan> = ctx.preemptive_release(inv);
+                    self.node_pool(node).remove(inv, now);
+                    self.safeguard.record_trigger(func);
+                    return;
+                }
+            }
+        }
+        // Usage-guided trimming: if the invocation cannot use the CPU it
+        // borrowed (over-inflated prediction), return the excess to the pool
+        // so other accelerable invocations aren't starved. Memory is never
+        // trimmed — footprints grow over the execution, and a trimmed grant
+        // could turn into an OOM later.
+        let rec = ctx.inv(inv);
+        let Some(pred) = rec.pred else { return };
+        let usage = ctx.usage(inv);
+        let borrowed_cpu = rec.borrowed_total().cpu_millis;
+        if borrowed_cpu > 0 {
+            let keep = usage.cpu_busy_millis + usage.cpu_busy_millis / 3;
+            let floor = usage.effective.cpu_millis - borrowed_cpu;
+            let mut excess = usage.effective.cpu_millis.saturating_sub(keep.max(floor));
+            if excess > 0 {
+                let node = rec.node.expect("running without node");
+                let now = ctx.now();
+                // Shed newest loans first (LIFO): the oldest grants are the
+                // longest-lived, highest-value ones.
+                let loans: Vec<Loan> = rec.borrowed_in.iter().rev().copied().collect();
+                for loan in loans {
+                    if excess == 0 {
+                        break;
+                    }
+                    let give = libra_sim::resources::ResourceVec::new(loan.res.cpu_millis.min(excess), 0);
+                    if give.is_zero() {
+                        continue;
+                    }
+                    let returned = ctx.return_loan(inv, loan.source, give);
+                    excess -= returned.cpu_millis;
+                    if !returned.is_zero() {
+                        self.node_pool(node).give_back(loan.source, returned, now);
+                    }
+                }
+            }
+        }
+
+        // Continuous acceleration: an under-provisioned invocation whose
+        // loans expired (their sources completed — the timeliness law), or
+        // that started when the pool was dry, re-acquires its shortfall as
+        // new idle resources are harvested. Reassignment is live
+        // (docker-update, §7), so topping up at each monitor window is the
+        // natural provider-side policy; Fig 4's "accelerate one invocation
+        // using harvested resources from multiple invocations with varying
+        // timeliness" is realized here.
+        if !self.cfg.continuous_acceleration {
+            return;
+        }
+        let rec = ctx.inv(inv);
+        let shortfall = pred.peak().saturating_sub(&rec.effective_alloc());
+        if shortfall.is_zero() {
+            return;
+        }
+        // Don't re-borrow CPU the usage signal says it cannot use.
+        let cpu_cap = (usage.cpu_busy_millis + usage.cpu_busy_millis / 3)
+            .saturating_sub(ctx.inv(inv).effective_alloc().cpu_millis);
+        let want = libra_sim::resources::ResourceVec::new(
+            shortfall.cpu_millis.min(cpu_cap.max(0)),
+            shortfall.mem_mb,
+        );
+        if want.is_zero() {
+            return;
+        }
+        let node = ctx.inv(inv).node.expect("running without node");
+        let now = ctx.now();
+        let order = self.cfg.pool_order;
+        let grants = self.node_pool(node).get_with(want, now, order);
+        for (source, vol) in grants {
+            if !ctx.lend(source, inv, vol) {
+                self.node_pool(node).remove(source, now);
+            }
+        }
+    }
+
+    fn on_complete(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId, actuals: &Actuals) {
+        let rec = ctx.inv(inv);
+        let node = rec.node.expect("complete without node");
+        let f = rec.func.idx();
+        let input = rec.input;
+        let now = ctx.now();
+        self.node_pool(node).remove(inv, now);
+        if let Some(p) = &mut self.profiler {
+            if p.is_trained(f) {
+                p.observe(f, input, actuals);
+            }
+        }
+        self.windows[f].push(actuals.cpu_peak_millis, actuals.mem_peak_mb, actuals.exec_duration);
+    }
+
+    fn on_loan_ended(&mut self, ctx: &mut SimCtx<'_>, loan: &Loan, reason: LoanEnd) {
+        match reason {
+            LoanEnd::BorrowerCompleted => {
+                // Re-harvesting (§5.1): the volume returns to the pool with
+                // its original expiry, if the source is still alive.
+                self.loans_reharvested += 1;
+                if let Some(node) = ctx.inv(loan.source).node {
+                    let now = ctx.now();
+                    self.node_pool(node).give_back(loan.source, loan.res, now);
+                }
+            }
+            LoanEnd::SourceCompleted => {
+                // The timeliness tax: the borrower lost this loan mid-flight.
+                self.loans_expired += 1;
+            }
+            LoanEnd::SourceOom | LoanEnd::Safeguard => {
+                // The source's pool entry is removed in on_complete/on_oom;
+                // nothing to return.
+            }
+        }
+    }
+
+    fn on_oom(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        let rec = ctx.inv(inv);
+        let node = rec.node.expect("oom without node");
+        let f = rec.func.idx();
+        let now = ctx.now();
+        self.node_pool(node).remove(inv, now);
+        self.safeguard.record_oom(f);
+    }
+
+    fn on_ping(&mut self, world: &World, node: NodeId) {
+        // The piggyback (§6.4): schedulers learn pool status from pings.
+        let snap = self.pools[node.idx()].snapshot(world.now());
+        self.view.snapshots.insert(node, snap);
+    }
+
+    fn report(&self) -> PlatformReport {
+        let (mut cpu, mut mem, mut puts, mut gets) = (0.0, 0.0, 0, 0);
+        for p in &self.pools {
+            let (c, m) = p.idle_ledger();
+            cpu += c;
+            mem += m;
+            let (pu, ge) = p.op_counts();
+            puts += pu;
+            gets += ge;
+        }
+        PlatformReport {
+            pool_idle_cpu_core_sec: cpu,
+            pool_idle_mem_mb_sec: mem,
+            safeguard_triggers: self.safeguard.triggers(),
+            pool_puts: puts,
+            pool_gets: gets,
+            extra: vec![
+                ("loans_expired".into(), self.loans_expired as f64),
+                ("loans_reharvested".into(), self.loans_reharvested as f64),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_sim::engine::{SimConfig, Simulation};
+    use libra_sim::trace::Trace;
+    use libra_workloads::trace::TraceGen;
+    use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
+
+    fn run_single(cfg: LibraConfig, n: usize) -> (libra_sim::metrics::RunResult, PlatformReport) {
+        let gen = TraceGen::standard(&ALL_APPS, 42);
+        let full = gen.single_set();
+        let mut trace = Trace::new();
+        for e in full.entries.into_iter().take(n) {
+            trace.entries.push(e);
+        }
+        let sim = Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
+        let mut platform = LibraPlatform::new(cfg);
+        let res = sim.run(&trace, &mut platform);
+        let report = platform.report();
+        (res, report)
+    }
+
+    #[test]
+    fn libra_runs_single_trace_prefix_to_completion() {
+        let (res, report) = run_single(LibraConfig::libra(), 60);
+        assert_eq!(res.records.len(), 60);
+        assert!(report.pool_puts > 0, "harvesting should have happened");
+    }
+
+    #[test]
+    fn libra_accelerates_some_invocations() {
+        let (res, _) = run_single(LibraConfig::libra(), 80);
+        let accelerated = res.records.iter().filter(|r| r.flags.accelerated).count();
+        assert!(accelerated > 0, "some invocations should borrow harvested resources");
+        let positive = res.records.iter().filter(|r| r.speedup > 0.05).count();
+        assert!(positive > 0, "acceleration should produce positive speedups");
+    }
+
+    #[test]
+    fn libra_limits_degradation_with_safeguard() {
+        let (res, _) = run_single(LibraConfig::libra(), 80);
+        let worst = res.worst_degradation();
+        assert!(worst > -0.5, "safeguarded Libra must bound degradation, worst {worst}");
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(LibraConfig::libra().variant_name(), "Libra");
+        assert_eq!(LibraConfig::ns().variant_name(), "Libra-NS");
+        assert_eq!(LibraConfig::np().variant_name(), "Libra-NP");
+        assert_eq!(LibraConfig::nsp().variant_name(), "Libra-NSP");
+    }
+
+    #[test]
+    fn np_variant_uses_windows_and_still_completes() {
+        let (res, _) = run_single(LibraConfig::np(), 60);
+        assert_eq!(res.records.len(), 60);
+        let windowed = res
+            .records
+            .iter()
+            .filter(|r| matches!(r.pred.map(|p| p.path), Some(PredictionPath::Window)))
+            .count();
+        assert!(windowed > 0, "NP must produce window predictions");
+    }
+
+    #[test]
+    fn pool_state_is_clean_after_run() {
+        let gen = TraceGen::standard(&ALL_APPS, 7);
+        let trace = gen.poisson(50, 120.0);
+        let sim = Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
+        let mut platform = LibraPlatform::new(LibraConfig::libra());
+        let _ = sim.run(&trace, &mut platform);
+        for p in &platform.pools {
+            assert!(p.is_empty(), "every entry must be removed by completion");
+        }
+    }
+}

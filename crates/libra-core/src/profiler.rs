@@ -1,0 +1,657 @@
+//! The profiler (§4): transparent estimation of per-invocation resource
+//! demands and execution time from input *size* only.
+//!
+//! Workflow (Fig 3, steps a–d):
+//!
+//! 1. **First invocation** of a function is served with user-configured
+//!    resources while the [workload duplicator](WorkloadDuplicator) scales
+//!    its input uniformly (up to 100×), runs one fully-provisioned pilot
+//!    execution per duplicated point, and labels a training dataset with the
+//!    observed `(cpu peak, mem peak, duration)`.
+//! 2. Three models are trained per function — two random-forest classifiers
+//!    (CPU peak class = cores, memory peak class = 128 MB steps) and one
+//!    random-forest regressor (duration) — and evaluated on a held-out 30 %.
+//! 3. If accuracy and R² clear the thresholds, the function is **input
+//!    size-related** and the ML models serve predictions; otherwise it is
+//!    treated as a black box and three **histogram models** estimate
+//!    conservatively: 99th-percentile peaks, 5th-percentile duration
+//!    (§4.3.2).
+//! 4. Observed actuals feed **online updates** after every completion:
+//!    histogram inserts always, periodic forest refits for the ML path.
+//!
+//! On a real platform pilot executions run the user's container with maximum
+//! allocation; here a pilot run queries the function's ground-truth demand
+//! model (what a fully-provisioned execution would reveal) plus measurement
+//! noise — see DESIGN.md §1 for the substitution note.
+
+use libra_ml::dataset::Dataset;
+use libra_ml::forest::{ForestParams, RandomForest};
+use libra_ml::histogram::StreamingHistogram;
+use libra_ml::metrics::{accuracy, r2_score};
+use libra_ml::tree::Task;
+use libra_sim::demand::InputMeta;
+use libra_sim::function::FunctionSpec;
+use libra_sim::invocation::{Actuals, Prediction, PredictionPath};
+use libra_sim::resources::MILLIS_PER_CORE;
+use libra_sim::time::SimDuration;
+
+/// Memory class granularity: OpenWhisk-style 128 MB steps.
+pub const MEM_CLASS_MB: u64 = 128;
+
+/// Maximum CPU class (cores) a prediction may take; matches the 8-core
+/// maximum allocation of §8.2.3.
+pub const MAX_CPU_CLASS: usize = 16;
+
+/// Profiler tuning.
+#[derive(Clone, Debug)]
+pub struct ProfilerConfig {
+    /// Number of duplicated data points the duplicator produces (the paper
+    /// scales inputs "with a maximum of 100 times").
+    pub duplicate_points: usize,
+    /// Held-out fraction for the relatedness test (paper: 7:3 split).
+    pub train_frac: f64,
+    /// CPU-class accuracy threshold for declaring a function input
+    /// size-related.
+    pub acc_threshold: f64,
+    /// Memory-class accuracy threshold. Lower than the CPU threshold
+    /// because fine-grained 128 MB classes put many boundary-adjacent
+    /// samples within measurement noise, capping achievable accuracy even
+    /// for perfectly size-determined footprints; the decisive signal is the
+    /// wide gap to size-unrelated functions (compare Table 2's two halves).
+    pub mem_acc_threshold: f64,
+    /// R² threshold for declaring a function input size-related.
+    pub r2_threshold: f64,
+    /// Refit forests after this many online observations.
+    pub retrain_every: usize,
+    /// Tail percentile for CPU/memory peak estimates (histogram path).
+    pub peak_percentile: f64,
+    /// Head percentile for duration estimates (histogram path).
+    pub duration_percentile: f64,
+    /// Relative measurement noise applied to pilot observations.
+    pub pilot_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            duplicate_points: 100,
+            train_frac: 0.7,
+            acc_threshold: 0.7,
+            mem_acc_threshold: 0.55,
+            r2_threshold: 0.8,
+            retrain_every: 8,
+            peak_percentile: 99.0,
+            duration_percentile: 5.0,
+            pilot_noise: 0.02,
+            // (retrain_every default lowered so online observations extend a
+            // narrow first-seen size domain quickly)
+            seed: 0x11b7a,
+        }
+    }
+}
+
+/// Quality scores of the relatedness test (reported in Table 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModelScores {
+    /// CPU-class prediction accuracy on held-out data.
+    pub cpu_acc: f64,
+    /// Memory-class prediction accuracy on held-out data.
+    pub mem_acc: f64,
+    /// Duration R² on held-out data.
+    pub dur_r2: f64,
+}
+
+impl ModelScores {
+    /// The relatedness decision (§8.6): all three models must clear their
+    /// thresholds.
+    pub fn input_size_related(&self, acc_thr: f64, mem_acc_thr: f64, r2_thr: f64) -> bool {
+        self.cpu_acc >= acc_thr && self.mem_acc >= mem_acc_thr && self.dur_r2 >= r2_thr
+    }
+}
+
+/// The three labelled targets of one pilot execution.
+#[derive(Clone, Copy, Debug)]
+pub struct PilotObservation {
+    /// Input size the pilot ran with.
+    pub size: u64,
+    /// Observed CPU peak (millicores).
+    pub cpu_peak_millis: u64,
+    /// Observed memory peak (MB).
+    pub mem_peak_mb: u64,
+    /// Observed duration.
+    pub duration: SimDuration,
+}
+
+/// The workload duplicator (§4.2): scales a first-seen input into a labelled
+/// training set by running fully-provisioned pilot executions.
+pub struct WorkloadDuplicator {
+    /// Number of data points to generate.
+    pub points: usize,
+    /// Relative measurement noise on pilot observations.
+    pub noise: f64,
+    /// Seed for noise.
+    pub seed: u64,
+}
+
+impl WorkloadDuplicator {
+    /// Duplicate `first_input` of `spec` into labelled observations. Sizes
+    /// span `[max(1, s/10), 10·s]` **uniformly** ("duplicated uniformly",
+    /// §4.2) — a 100× total span ("a maximum of 100 times", §8.2.3) centred
+    /// on the first-seen size, covering both shrunk and grown variants. Each
+    /// duplicated point derives a fresh content seed, because duplicating
+    /// data changes its content too.
+    pub fn run(&self, spec: &FunctionSpec, first_input: InputMeta) -> Vec<PilotObservation> {
+        let s = first_input.size.max(1);
+        let lo = (s / 10).max(1);
+        let hi = s.saturating_mul(10).max(lo + 1);
+        (0..self.points)
+            .map(|k| {
+                let frac = k as f64 / (self.points - 1).max(1) as f64;
+                let size = (lo as f64 + frac * (hi - lo) as f64).round() as u64;
+                let content = splitmix(first_input.content_seed ^ self.seed, k as u64);
+                let d = spec.model.demand(&InputMeta::new(size.max(1), content));
+                // measurement noise (memory measurements are steadier)
+                let n1 = 1.0 + self.noise * (unit(content, 11) - 0.5) * 2.0;
+                let n2 = 1.0 + self.noise * 0.25 * (unit(content, 12) - 0.5) * 2.0;
+                PilotObservation {
+                    size: size.max(1),
+                    cpu_peak_millis: ((d.cpu_peak_millis as f64 * n1) as u64).max(1),
+                    mem_peak_mb: ((d.mem_peak_mb as f64 * n2) as u64).max(1),
+                    duration: SimDuration::from_secs_f64(d.base_duration.as_secs_f64() * n1),
+                }
+            })
+            .collect()
+    }
+}
+
+fn splitmix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(seed: u64, salt: u64) -> f64 {
+    (splitmix(seed, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Class encodings.
+fn cpu_class(millis: u64) -> usize {
+    (millis.div_ceil(MILLIS_PER_CORE) as usize).clamp(1, MAX_CPU_CLASS)
+}
+
+fn mem_class(mb: u64) -> usize {
+    (mb.div_ceil(MEM_CLASS_MB) as usize).clamp(1, 512)
+}
+
+fn features(size: u64) -> Vec<f64> {
+    let s = size.max(1) as f64;
+    vec![s, s.ln()]
+}
+
+/// The fitted ML path: three forests plus the accumulated dataset for
+/// online refits.
+struct MlModels {
+    cpu: RandomForest,
+    mem: RandomForest,
+    dur: RandomForest,
+    data: Dataset3,
+    since_refit: usize,
+    /// Size domain covered by the training data; predictions outside it
+    /// extrapolate linearly (trees otherwise flat-line at the boundary,
+    /// silently under-predicting demand for never-seen-this-big inputs —
+    /// the unsafe direction).
+    size_min: u64,
+    size_max: u64,
+}
+
+/// Three parallel target columns over shared features.
+#[derive(Default)]
+struct Dataset3 {
+    x: Vec<Vec<f64>>,
+    cpu: Vec<f64>,
+    mem: Vec<f64>,
+    dur: Vec<f64>,
+}
+
+impl Dataset3 {
+    fn push(&mut self, size: u64, cpu_cls: usize, mem_cls: usize, dur_s: f64) {
+        self.x.push(features(size));
+        self.cpu.push(cpu_cls as f64);
+        self.mem.push(mem_cls as f64);
+        self.dur.push(dur_s);
+    }
+
+    fn len(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// The histogram path: conservative percentile estimators (§4.3.2).
+struct HistModels {
+    cpu: StreamingHistogram,
+    mem: StreamingHistogram,
+    dur: StreamingHistogram,
+}
+
+impl HistModels {
+    fn new() -> Self {
+        HistModels {
+            cpu: StreamingHistogram::new(64, 1_000.0),
+            mem: StreamingHistogram::new(64, 256.0),
+            dur: StreamingHistogram::new(64, 1.0),
+        }
+    }
+
+    fn observe(&mut self, cpu_millis: u64, mem_mb: u64, dur_s: f64) {
+        self.cpu.insert(cpu_millis as f64);
+        self.mem.insert(mem_mb as f64);
+        self.dur.insert(dur_s);
+    }
+}
+
+enum FuncState {
+    /// Never invoked.
+    Untrained,
+    /// Input size-related: ML models serve predictions.
+    Ml(Box<MlModels>),
+    /// Input size-unrelated: histogram models serve predictions.
+    Hist(Box<HistModels>),
+}
+
+/// Which model families the profiler may use (the Fig 13(a) ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Full Libra: ML for related functions, histograms for unrelated.
+    Auto,
+    /// Histogram models for every function ("Hist" in Fig 13a).
+    HistogramOnly,
+    /// ML models for every function ("ML" in Fig 13a).
+    MlOnly,
+}
+
+/// The per-platform profiler: one model set per deployed function.
+pub struct Profiler {
+    cfg: ProfilerConfig,
+    choice: ModelChoice,
+    states: Vec<FuncState>,
+    scores: Vec<Option<ModelScores>>,
+    /// Native training-time measurements (§8.6): (offline µs, online µs).
+    pub train_micros: Vec<(u128, u128)>,
+}
+
+impl Profiler {
+    /// Create a profiler for `n_funcs` deployed functions.
+    pub fn new(n_funcs: usize, cfg: ProfilerConfig, choice: ModelChoice) -> Self {
+        Profiler {
+            cfg,
+            choice,
+            states: (0..n_funcs).map(|_| FuncState::Untrained).collect(),
+            scores: vec![None; n_funcs],
+            train_micros: Vec::new(),
+        }
+    }
+
+    /// Whether function `f` has been profiled yet.
+    pub fn is_trained(&self, f: usize) -> bool {
+        !matches!(self.states[f], FuncState::Untrained)
+    }
+
+    /// The relatedness-test scores for `f`, if trained.
+    pub fn scores(&self, f: usize) -> Option<ModelScores> {
+        self.scores[f]
+    }
+
+    /// Whether `f` was classified input size-related (ML path).
+    pub fn is_size_related(&self, f: usize) -> Option<bool> {
+        match &self.states[f] {
+            FuncState::Untrained => None,
+            FuncState::Ml(_) => Some(true),
+            FuncState::Hist(_) => Some(false),
+        }
+    }
+
+    /// One-time offline profiling on the first invocation of `f` (§4.1):
+    /// duplicate, pilot-run, train, and decide the model path.
+    pub fn train(&mut self, f: usize, spec: &FunctionSpec, first_input: InputMeta) {
+        let t0 = std::time::Instant::now();
+        let dup = WorkloadDuplicator {
+            points: self.cfg.duplicate_points,
+            noise: self.cfg.pilot_noise,
+            seed: self.cfg.seed ^ (f as u64) << 8,
+        };
+        let obs = dup.run(spec, first_input);
+
+        let mut data = Dataset3::default();
+        for o in &obs {
+            data.push(o.size, cpu_class(o.cpu_peak_millis), mem_class(o.mem_peak_mb), o.duration.as_secs_f64());
+        }
+        let (ml, scores) = Self::fit_forests(&data, self.cfg.train_frac, self.cfg.seed ^ f as u64);
+        self.scores[f] = Some(scores);
+
+        let related = scores.input_size_related(
+            self.cfg.acc_threshold,
+            self.cfg.mem_acc_threshold,
+            self.cfg.r2_threshold,
+        );
+        let use_ml = match self.choice {
+            ModelChoice::Auto => related,
+            ModelChoice::HistogramOnly => false,
+            ModelChoice::MlOnly => true,
+        };
+        self.states[f] = if use_ml {
+            FuncState::Ml(Box::new(ml))
+        } else {
+            let mut h = HistModels::new();
+            for o in &obs {
+                h.observe(o.cpu_peak_millis, o.mem_peak_mb, o.duration.as_secs_f64());
+            }
+            FuncState::Hist(Box::new(h))
+        };
+        self.train_micros.push((t0.elapsed().as_micros(), 0));
+    }
+
+    fn fit_forests(data: &Dataset3, train_frac: f64, seed: u64) -> (MlModels, ModelScores) {
+        // Hold-out split for the relatedness test, then refit on all rows.
+        let n = data.len();
+        let split = Dataset::from_rows(data.x.clone(), (0..n).map(|i| i as f64).collect());
+        let (tr_idx, te_idx) = split.train_test_split(train_frac, seed);
+        let pick = |idxs: &Dataset, col: &[f64]| -> (Vec<Vec<f64>>, Vec<f64>) {
+            let ids: Vec<usize> = idxs.y.iter().map(|&v| v as usize).collect();
+            (
+                ids.iter().map(|&i| data.x[i].clone()).collect(),
+                ids.iter().map(|&i| col[i]).collect(),
+            )
+        };
+        let params = ForestParams { n_trees: 24, seed, ..Default::default() };
+        let n_cpu_classes = MAX_CPU_CLASS + 1;
+        let n_mem_classes = data.mem.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
+
+        let (trx, trc) = pick(&tr_idx, &data.cpu);
+        let (tex, tec) = pick(&te_idx, &data.cpu);
+        let cpu_rf = RandomForest::fit(&trx, &trc, Task::Classification { n_classes: n_cpu_classes }, params);
+        let cpu_acc = accuracy(
+            &tex.iter().map(|r| cpu_rf.predict_class(r)).collect::<Vec<_>>(),
+            &tec.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+        );
+
+        let (_, trm) = pick(&tr_idx, &data.mem);
+        let (_, tem) = pick(&te_idx, &data.mem);
+        let mem_rf = RandomForest::fit(&trx, &trm, Task::Classification { n_classes: n_mem_classes }, params);
+        let mem_acc = accuracy(
+            &tex.iter().map(|r| mem_rf.predict_class(r)).collect::<Vec<_>>(),
+            &tem.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+        );
+
+        let (_, trd) = pick(&tr_idx, &data.dur);
+        let (_, ted) = pick(&te_idx, &data.dur);
+        let dur_rf = RandomForest::fit(&trx, &trd, Task::Regression, params);
+        let dur_r2 = r2_score(&tex.iter().map(|r| dur_rf.predict(r)).collect::<Vec<_>>(), &ted);
+
+        // Refit on the full dataset for serving.
+        let all_cpu = RandomForest::fit(&data.x, &data.cpu, Task::Classification { n_classes: n_cpu_classes }, params);
+        let all_mem = RandomForest::fit(&data.x, &data.mem, Task::Classification { n_classes: n_mem_classes }, params);
+        let all_dur = RandomForest::fit(&data.x, &data.dur, Task::Regression, params);
+
+        let data3 = Dataset3 {
+            x: data.x.clone(),
+            cpu: data.cpu.clone(),
+            mem: data.mem.clone(),
+            dur: data.dur.clone(),
+        };
+        let sizes: Vec<u64> = data3.x.iter().map(|r| r[0] as u64).collect();
+        let size_min = sizes.iter().copied().min().unwrap_or(1);
+        let size_max = sizes.iter().copied().max().unwrap_or(1);
+
+        (
+            MlModels {
+                cpu: all_cpu,
+                mem: all_mem,
+                dur: all_dur,
+                data: data3,
+                since_refit: 0,
+                size_min,
+                size_max,
+            },
+            ModelScores { cpu_acc, mem_acc, dur_r2 },
+        )
+    }
+
+    /// Predict the three metrics for an invocation of `f` with `input`
+    /// (Step c/d of Fig 3). Returns `None` when `f` is untrained.
+    pub fn predict(&self, f: usize, input: InputMeta) -> Option<Prediction> {
+        match &self.states[f] {
+            FuncState::Untrained => None,
+            FuncState::Ml(m) => {
+                // Inside the trained domain: query the forests directly.
+                // Beyond it: evaluate at the boundary and scale linearly by
+                // the size ratio — conservative over-estimation beats the
+                // silent under-estimation a flat-lining tree would give.
+                let clamped = input.size.clamp(m.size_min, m.size_max.max(m.size_min));
+                let ratio = if input.size > m.size_max {
+                    input.size as f64 / m.size_max.max(1) as f64
+                } else {
+                    1.0
+                };
+                let x = features(clamped);
+                let cpu_raw = (m.cpu.predict_class(&x)).max(1) as f64 * MILLIS_PER_CORE as f64;
+                let mem_raw = (m.mem.predict_class(&x)).max(1) as f64 * MEM_CLASS_MB as f64;
+                let cpu = (cpu_class((cpu_raw * ratio) as u64) as u64) * MILLIS_PER_CORE;
+                let mem = (mem_class((mem_raw * ratio) as u64) as u64) * MEM_CLASS_MB;
+                let dur = SimDuration::from_secs_f64((m.dur.predict(&x) * ratio).max(0.001));
+                Some(Prediction { cpu_millis: cpu, mem_mb: mem, duration: dur, path: PredictionPath::Ml })
+            }
+            FuncState::Hist(h) => {
+                let cpu_raw = h.cpu.percentile(self.cfg.peak_percentile)?;
+                let mem_raw = h.mem.percentile(self.cfg.peak_percentile)?;
+                let dur_raw = h.dur.percentile(self.cfg.duration_percentile)?;
+                let cpu = (cpu_class(cpu_raw.ceil() as u64) as u64) * MILLIS_PER_CORE;
+                let mem = (mem_class(mem_raw.ceil() as u64) as u64) * MEM_CLASS_MB;
+                Some(Prediction {
+                    cpu_millis: cpu,
+                    mem_mb: mem,
+                    duration: SimDuration::from_secs_f64(dur_raw.max(0.001)),
+                    path: PredictionPath::Histogram,
+                })
+            }
+        }
+    }
+
+    /// Online update after a completion (§4.1 "model update").
+    pub fn observe(&mut self, f: usize, input: InputMeta, actuals: &Actuals) {
+        let retrain_every = self.cfg.retrain_every;
+        match &mut self.states[f] {
+            FuncState::Untrained => {}
+            FuncState::Hist(h) => {
+                h.observe(actuals.cpu_peak_millis, actuals.mem_peak_mb, actuals.exec_duration.as_secs_f64());
+            }
+            FuncState::Ml(m) => {
+                m.data.push(
+                    input.size,
+                    cpu_class(actuals.cpu_peak_millis),
+                    mem_class(actuals.mem_peak_mb),
+                    actuals.exec_duration.as_secs_f64(),
+                );
+                m.size_min = m.size_min.min(input.size);
+                m.size_max = m.size_max.max(input.size);
+                m.since_refit += 1;
+                if m.since_refit >= retrain_every {
+                    m.since_refit = 0;
+                    let t0 = std::time::Instant::now();
+                    let params = ForestParams { n_trees: 24, seed: 1, ..Default::default() };
+                    let n_mem_classes = m.data.mem.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
+                    m.cpu = RandomForest::fit(&m.data.x, &m.data.cpu, Task::Classification { n_classes: MAX_CPU_CLASS + 1 }, params);
+                    m.mem = RandomForest::fit(&m.data.x, &m.data.mem, Task::Classification { n_classes: n_mem_classes }, params);
+                    m.dur = RandomForest::fit(&m.data.x, &m.data.dur, Task::Regression, params);
+                    self.train_micros.push((0, t0.elapsed().as_micros()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_workloads::apps::{AppKind, AppModel};
+    use libra_workloads::sebs_suite;
+
+    fn profiler() -> Profiler {
+        Profiler::new(10, ProfilerConfig::default(), ModelChoice::Auto)
+    }
+
+    fn first_input(kind: AppKind) -> InputMeta {
+        // Geometric mean: the median of the log-uniform input pools.
+        let (lo, hi) = kind.size_range();
+        InputMeta::new(((lo as f64 * hi as f64).sqrt()) as u64, 12345)
+    }
+
+    #[test]
+    fn classifies_dh_as_size_related() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Dh.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Dh));
+        assert_eq!(p.is_size_related(f), Some(true), "scores {:?}", p.scores(f));
+        let s = p.scores(f).unwrap();
+        assert!(s.cpu_acc >= 0.8 && s.dur_r2 >= 0.8, "{s:?}");
+    }
+
+    #[test]
+    fn classifies_vp_as_size_unrelated() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Vp.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Vp));
+        assert_eq!(p.is_size_related(f), Some(false), "scores {:?}", p.scores(f));
+    }
+
+    #[test]
+    fn all_ten_functions_classified_correctly() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        for kind in libra_workloads::ALL_APPS {
+            let f = kind.id().idx();
+            p.train(f, &suite[f], first_input(kind));
+            assert_eq!(
+                p.is_size_related(f),
+                Some(kind.input_size_related()),
+                "{} misclassified, scores {:?}",
+                kind.name(),
+                p.scores(f)
+            );
+        }
+    }
+
+    #[test]
+    fn ml_predictions_track_size() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Dh.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Dh));
+        let small = p.predict(f, InputMeta::new(100, 1)).unwrap();
+        let large = p.predict(f, InputMeta::new(10_000, 1)).unwrap();
+        assert!(large.cpu_millis > small.cpu_millis, "{small:?} vs {large:?}");
+        assert!(large.duration > small.duration);
+        assert_eq!(small.path, PredictionPath::Ml);
+    }
+
+    #[test]
+    fn ml_prediction_is_reasonably_accurate() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Dh.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Dh));
+        let model = AppModel { kind: AppKind::Dh };
+        let input = InputMeta::new(4_000, 777);
+        let truth = libra_sim::demand::DemandModel::demand(&model, &input);
+        let pred = p.predict(f, input).unwrap();
+        // class prediction should cover the true peak without huge slack
+        assert!(pred.cpu_millis >= truth.cpu_peak_millis, "pred {pred:?} truth {truth:?}");
+        assert!(pred.cpu_millis <= truth.cpu_peak_millis + 2 * MILLIS_PER_CORE);
+        let rel_err = (pred.duration.as_secs_f64() - truth.base_duration.as_secs_f64()).abs()
+            / truth.base_duration.as_secs_f64();
+        assert!(rel_err < 0.25, "duration rel err {rel_err}");
+    }
+
+    #[test]
+    fn histogram_path_is_conservative() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Gp.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Gp));
+        let pred = p.predict(f, InputMeta::new(5_000, 9)).unwrap();
+        assert_eq!(pred.path, PredictionPath::Histogram);
+        // p99 of GP cpu (1..6 cores) should be near the top of the range
+        assert!(pred.cpu_millis >= 4_000, "conservative peak, got {}", pred.cpu_millis);
+        // p5 duration should be near the bottom of the 2–20 s range
+        assert!(pred.duration.as_secs_f64() < 5.0, "conservative duration, got {}", pred.duration);
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let p = profiler();
+        assert!(p.predict(0, InputMeta::new(1, 1)).is_none());
+        assert!(!p.is_trained(0));
+        assert_eq!(p.is_size_related(0), None);
+    }
+
+    #[test]
+    fn online_observation_updates_histograms() {
+        let suite = sebs_suite();
+        let mut p = profiler();
+        let f = AppKind::Gb.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Gb));
+        // Feed many large observations; p99 cpu must move up.
+        let before = p.predict(f, InputMeta::new(1, 1)).unwrap();
+        for i in 0..500 {
+            p.observe(
+                f,
+                InputMeta::new(1, i),
+                &Actuals {
+                    cpu_peak_millis: 7_900,
+                    mem_peak_mb: 900,
+                    exec_duration: SimDuration::from_secs(9),
+                    input_size: 1,
+                },
+            );
+        }
+        let after = p.predict(f, InputMeta::new(1, 1)).unwrap();
+        assert!(after.cpu_millis > before.cpu_millis, "{before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn duplicator_spans_sizes_log_uniformly() {
+        let suite = sebs_suite();
+        let dup = WorkloadDuplicator { points: 50, noise: 0.0, seed: 3 };
+        let obs = dup.run(&suite[AppKind::Cp.id().idx()], InputMeta::new(50, 1));
+        assert_eq!(obs.len(), 50);
+        let min = obs.iter().map(|o| o.size).min().unwrap();
+        let max = obs.iter().map(|o| o.size).max().unwrap();
+        assert!(min <= 6, "should shrink to ~s/10, got {min}");
+        assert!(max >= 450, "should grow to ~10x, got {max}");
+    }
+
+    #[test]
+    fn hist_only_choice_forces_histograms() {
+        let suite = sebs_suite();
+        let mut p = Profiler::new(10, ProfilerConfig::default(), ModelChoice::HistogramOnly);
+        let f = AppKind::Dh.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Dh));
+        assert_eq!(p.is_size_related(f), Some(false));
+        assert_eq!(p.predict(f, InputMeta::new(100, 1)).unwrap().path, PredictionPath::Histogram);
+    }
+
+    #[test]
+    fn ml_only_choice_forces_forests() {
+        let suite = sebs_suite();
+        let mut p = Profiler::new(10, ProfilerConfig::default(), ModelChoice::MlOnly);
+        let f = AppKind::Vp.id().idx();
+        p.train(f, &suite[f], first_input(AppKind::Vp));
+        assert_eq!(p.is_size_related(f), Some(true));
+        assert_eq!(p.predict(f, InputMeta::new(100, 1)).unwrap().path, PredictionPath::Ml);
+    }
+}

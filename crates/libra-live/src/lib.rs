@@ -1,0 +1,25 @@
+//! # libra-live — Libra's control plane under real concurrency
+//!
+//! The deterministic simulator (`libra-sim`) validates Libra's *decisions*;
+//! this crate validates the *mechanics*: node state behind `parking_lot`
+//! locks, one thread per running invocation, the decentralized sharded
+//! scheduler of §6.4 doing real message-passing admission, and the
+//! timeliness law (§3.1) enforced in real time — a completing donor revokes
+//! its loans while borrowers are mid-quantum on other threads.
+//!
+//! ```no_run
+//! use libra_live::{mixed_workload, run_live, LiveConfig};
+//!
+//! let workload = mixed_workload(60, 7);
+//! let result = run_live(&workload, &LiveConfig::default());
+//! println!("p99 {:.0} ms, {} loans expired mid-flight",
+//!          result.latency_percentile(99.0), result.loans_expired);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod workload;
+
+pub use cluster::{run_live, LiveConfig, LiveRecord, LiveResult};
+pub use workload::{mixed_workload, LiveRequest};

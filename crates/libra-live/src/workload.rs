@@ -1,0 +1,107 @@
+//! Live workloads: real-time invocation requests.
+//!
+//! The live platform validates Libra's *concurrent control plane* — the
+//! races between harvesting, acceleration, safeguard releases and the
+//! timeliness revocations at completion — so its workload format carries the
+//! resolved facts of each invocation (allocation, true CPU demand, work),
+//! not the full profiling pipeline (which the deterministic simulator
+//! validates; see `libra-sim` / `libra-core`).
+
+use libra_sim::resources::ResourceVec;
+
+/// One invocation request for the live platform.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveRequest {
+    /// Arrival offset from workload start, in scaled milliseconds.
+    pub at_ms: u64,
+    /// Function id (drives hashing/warm locality).
+    pub func: u32,
+    /// User-defined allocation.
+    pub alloc: ResourceVec,
+    /// True CPU demand in millicores (what the code can actually use).
+    pub demand_cpu_millis: u64,
+    /// Total CPU work in millicore-milliseconds: running at `demand` for
+    /// `work / demand` milliseconds completes it.
+    pub work_mcore_ms: u64,
+}
+
+impl LiveRequest {
+    /// Execution time in (scaled) milliseconds at full demand.
+    pub fn base_duration_ms(&self) -> u64 {
+        self.work_mcore_ms / self.demand_cpu_millis.max(1)
+    }
+
+    /// Execution time at the user allocation only.
+    pub fn alloc_duration_ms(&self) -> u64 {
+        self.work_mcore_ms / self.demand_cpu_millis.min(self.alloc.cpu_millis).max(1)
+    }
+}
+
+/// A synthetic live workload mixing over-provisioned donors and
+/// under-provisioned acceptors — the harvesting opportunity in miniature.
+pub fn mixed_workload(n: usize, seed: u64) -> Vec<LiveRequest> {
+    let mut out = Vec::with_capacity(n);
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in 0..n {
+        let r = next();
+        let donor = r % 10 < 6; // 60% donors
+        let (alloc_c, demand_c) = if donor {
+            (4_000u64, 800 + (r >> 8) % 1_400) // uses 0.8-2.2 of 4 cores
+        } else {
+            (2_000, 3_000 + (r >> 8) % 3_000) // wants 3-6, allocated 2
+        };
+        let dur_ms = 400 + (r >> 20) % 1_600; // 0.4-2.0 s at demand
+        out.push(LiveRequest {
+            at_ms: (i as u64) * 25 + (r >> 40) % 25,
+            func: (r % 8) as u32,
+            alloc: ResourceVec::new(alloc_c, 512),
+            demand_cpu_millis: demand_c,
+            work_mcore_ms: demand_c * dur_ms,
+        });
+    }
+    out.sort_by_key(|r| r.at_ms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_relate_to_allocation() {
+        let r = LiveRequest {
+            at_ms: 0,
+            func: 0,
+            alloc: ResourceVec::new(2_000, 512),
+            demand_cpu_millis: 4_000,
+            work_mcore_ms: 4_000 * 1_000,
+        };
+        assert_eq!(r.base_duration_ms(), 1_000);
+        assert_eq!(r.alloc_duration_ms(), 2_000, "throttled to half speed");
+    }
+
+    #[test]
+    fn mixed_workload_is_sorted_and_mixed() {
+        let w = mixed_workload(100, 7);
+        assert_eq!(w.len(), 100);
+        assert!(w.windows(2).all(|p| p[0].at_ms <= p[1].at_ms));
+        let donors = w.iter().filter(|r| r.demand_cpu_millis < r.alloc.cpu_millis).count();
+        let acceptors = w.iter().filter(|r| r.demand_cpu_millis > r.alloc.cpu_millis).count();
+        assert!(donors > 20 && acceptors > 20, "{donors} donors, {acceptors} acceptors");
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic() {
+        let a = mixed_workload(50, 3);
+        let b = mixed_workload(50, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ms, y.at_ms);
+            assert_eq!(x.work_mcore_ms, y.work_mcore_ms);
+        }
+    }
+}

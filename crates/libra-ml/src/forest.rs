@@ -1,0 +1,201 @@
+//! Random forests: bagged CART trees with feature subsampling.
+//!
+//! The profiler's model of choice (§4.3.1, §8.6 — "After examining different
+//! models, we opt for Random Forest"). Two classifiers (CPU peak, memory
+//! peak) and one regressor (execution time) per function.
+//!
+//! Tree training is embarrassingly parallel; `fit` fans the trees out over
+//! crossbeam scoped threads (data-race-free by construction: each thread
+//! reads shared `&[Vec<f64>]` slices and writes its own tree slot).
+
+use crate::tree::{DecisionTree, Task, TreeParams};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Forest hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub tree: TreeParams,
+    /// Bootstrap sample fraction (1.0 = classic bagging).
+    pub bootstrap_frac: f64,
+    /// Seed for all randomness (bootstraps + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 32,
+            tree: TreeParams::default(),
+            bootstrap_frac: 1.0,
+            seed: 0x11b7a,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    task: Task,
+}
+
+impl RandomForest {
+    /// Fit a forest. Feature subsampling defaults per task: √d for
+    /// classification, max(1, d/3) for regression, unless `params.tree`
+    /// specifies one.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], task: Task, params: ForestParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let d = x[0].len();
+        let mut tree_params = params.tree;
+        if tree_params.feature_subsample.is_none() {
+            tree_params.feature_subsample = Some(match task {
+                Task::Classification { .. } => (d as f64).sqrt().ceil() as usize,
+                Task::Regression => (d / 3).max(1),
+            });
+        }
+        let n = x.len();
+        let sample_n = ((n as f64 * params.bootstrap_frac).round() as usize).max(1);
+
+        // Deterministic per-tree seeds derived up front so the parallel
+        // schedule cannot affect the result.
+        let mut seeder = ChaCha8Rng::seed_from_u64(params.seed);
+        let seeds: Vec<u64> = (0..params.n_trees).map(|_| seeder.next_u64()).collect();
+
+        let fit_one = |seed: u64| -> DecisionTree {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut bx = Vec::with_capacity(sample_n);
+            let mut by = Vec::with_capacity(sample_n);
+            for _ in 0..sample_n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            DecisionTree::fit(&bx, &by, task, tree_params, &mut rng)
+        };
+
+        // Parallel fan-out for larger forests; sequential below the
+        // threshold where thread spawn overhead dominates.
+        let trees: Vec<DecisionTree> = if params.n_trees >= 16 && n >= 64 {
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let chunk = params.n_trees.div_ceil(threads);
+            let mut out: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
+            crossbeam::scope(|s| {
+                for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
+                    s.spawn(move |_| {
+                        for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                            *slot = Some(fit_one(seed));
+                        }
+                    });
+                }
+            })
+            .expect("forest training thread panicked");
+            out.into_iter().map(|t| t.expect("tree slot unfilled")).collect()
+        } else {
+            seeds.iter().map(|&s| fit_one(s)).collect()
+        };
+
+        RandomForest { trees, task }
+    }
+
+    /// Predict one row: majority vote (classification) or mean (regression).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        match self.task {
+            Task::Regression => {
+                self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+            }
+            Task::Classification { n_classes } => {
+                let mut votes = vec![0usize; n_classes];
+                for t in &self.trees {
+                    let c = (t.predict(row) as usize).min(n_classes - 1);
+                    votes[c] += 1;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(c, _)| c as f64)
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Predict class index (classification convenience).
+    pub fn predict_class(&self, row: &[f64]) -> usize {
+        self.predict(row) as usize
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the forest has no trees (never the case after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2_score};
+
+    fn step_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 4) / n) as f64).collect(); // 4 classes
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_step_function() {
+        let (x, y) = step_data(200);
+        let f = RandomForest::fit(&x, &y, Task::Classification { n_classes: 4 }, ForestParams::default());
+        let preds: Vec<usize> = x.iter().map(|r| f.predict_class(r)).collect();
+        let truth: Vec<usize> = y.iter().map(|&v| v as usize).collect();
+        assert!(accuracy(&preds, &truth) > 0.95);
+    }
+
+    #[test]
+    fn regression_on_nonlinear_curve() {
+        let x: Vec<Vec<f64>> = (1..300).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (1..300).map(|i| (i as f64) * (i as f64).ln()).collect();
+        let f = RandomForest::fit(&x, &y, Task::Regression, ForestParams::default());
+        let preds: Vec<f64> = x.iter().map(|r| f.predict(r)).collect();
+        let r2 = r2_score(&preds, &y);
+        assert!(r2 > 0.97, "forest should fit n·ln n, r2={r2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = step_data(100);
+        let p = ForestParams { seed: 99, ..Default::default() };
+        let f1 = RandomForest::fit(&x, &y, Task::Classification { n_classes: 4 }, p);
+        let f2 = RandomForest::fit(&x, &y, Task::Classification { n_classes: 4 }, p);
+        for i in 0..100 {
+            let row = [i as f64, (i % 7) as f64];
+            assert_eq!(f1.predict(&row), f2.predict(&row));
+        }
+    }
+
+    #[test]
+    fn small_forest_trains_sequentially() {
+        let (x, y) = step_data(30);
+        let p = ForestParams { n_trees: 4, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, Task::Classification { n_classes: 4 }, p);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn parallel_path_matches_param_count() {
+        let (x, y) = step_data(128);
+        let p = ForestParams { n_trees: 32, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, Task::Regression, p);
+        assert_eq!(f.len(), 32);
+    }
+}

@@ -1,0 +1,91 @@
+//! Feature standardization (zero mean, unit variance).
+//!
+//! Gradient-based models (logistic regression, SVM, MLP) are sensitive to
+//! feature scale; input sizes span orders of magnitude, so every such model
+//! standardizes internally. Trees and forests are scale-invariant and skip it.
+
+/// Per-feature affine transform `(x − mean) / std`.
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// A no-op scaler for `d` features.
+    pub fn identity(d: usize) -> Self {
+        Scaler { mean: vec![0.0; d], std: vec![1.0; d] }
+    }
+
+    /// Fit means and standard deviations on the rows of `x`.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no rows");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0 // constant feature: leave centered but unscaled
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Scaler { mean, std }
+    }
+
+    /// Transform one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 10.0 + 5.0]).collect();
+        let s = Scaler::fit(&x);
+        let t: Vec<f64> = x.iter().map(|r| s.transform(r)[0]).collect();
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let var = t.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = vec![vec![3.0], vec![3.0], vec![3.0]];
+        let s = Scaler::fit(&x);
+        assert_eq!(s.transform(&[3.0]), vec![0.0]);
+        assert_eq!(s.transform(&[4.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let s = Scaler::identity(2);
+        assert_eq!(s.transform(&[5.0, -2.0]), vec![5.0, -2.0]);
+    }
+}

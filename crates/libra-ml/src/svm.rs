@@ -1,0 +1,135 @@
+//! Linear support vector machines (one-vs-rest, hinge loss, SGD).
+//!
+//! One of the four model families in the profiler's model study (Table 2,
+//! "SVM"). Trained with plain stochastic subgradient descent on the
+//! L2-regularized hinge loss (Pegasos-style step schedule), on standardized
+//! features.
+
+use crate::scaler::Scaler;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One-vs-rest linear SVM classifier.
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    classes: Vec<(Vec<f64>, f64)>,
+    scaler: Scaler,
+    /// Regularization strength (λ).
+    pub lambda: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed for sample shuffling.
+    pub seed: u64,
+}
+
+impl LinearSvm {
+    /// Create an unfitted SVM with default hyperparameters.
+    pub fn new() -> Self {
+        LinearSvm { classes: Vec::new(), scaler: Scaler::identity(0), lambda: 1e-3, epochs: 60, seed: 0x5b1 }
+    }
+
+    /// Fit on labels `0..n_classes`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let d = x[0].len();
+        self.scaler = Scaler::fit(x);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| self.scaler.transform(r)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        self.classes = (0..n_classes)
+            .map(|c| {
+                let t: Vec<f64> = y.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+                let mut w = vec![0.0; d];
+                let mut b = 0.0;
+                let mut step = 0usize;
+                let mut order: Vec<usize> = (0..xs.len()).collect();
+                for _ in 0..self.epochs {
+                    order.shuffle(&mut rng);
+                    for &i in &order {
+                        step += 1;
+                        let eta = 1.0 / (self.lambda * step as f64);
+                        let z: f64 = w.iter().zip(&xs[i]).map(|(wi, v)| wi * v).sum::<f64>() + b;
+                        // L2 shrink
+                        for wi in &mut w {
+                            *wi *= 1.0 - eta * self.lambda;
+                        }
+                        if t[i] * z < 1.0 {
+                            for (wi, v) in w.iter_mut().zip(&xs[i]) {
+                                *wi += eta * t[i] * v;
+                            }
+                            b += eta * t[i];
+                        }
+                    }
+                }
+                (w, b)
+            })
+            .collect();
+    }
+
+    /// Predict the class with the highest margin.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let xs = self.scaler.transform(row);
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(c, (w, b))| {
+                let z: f64 = w.iter().zip(&xs).map(|(wi, v)| wi * v).sum::<f64>() + b;
+                (c, z)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN margin"))
+            .map(|(c, _)| c)
+            .expect("predict before fit")
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let v = i as f64;
+            x.push(vec![v, -v * 0.5]);
+            y.push(if i < 30 { 0 } else { 1 });
+        }
+        let mut m = LinearSvm::new();
+        m.fit(&x, &y, 2);
+        let preds: Vec<usize> = x.iter().map(|r| m.predict(r)).collect();
+        assert!(accuracy(&preds, &y) > 0.93, "acc {}", accuracy(&preds, &y));
+    }
+
+    #[test]
+    fn multiclass_bands() {
+        let x: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..90).map(|i| i / 30).collect();
+        let mut m = LinearSvm::new();
+        m.fit(&x, &y, 3);
+        let preds: Vec<usize> = x.iter().map(|r| m.predict(r)).collect();
+        assert!(accuracy(&preds, &y) > 0.75, "acc {}", accuracy(&preds, &y));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..40).map(|i| (i / 20) as usize).collect();
+        let mut a = LinearSvm::new();
+        let mut b = LinearSvm::new();
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        for i in 0..40 {
+            assert_eq!(a.predict(&[i as f64]), b.predict(&[i as f64]));
+        }
+    }
+}

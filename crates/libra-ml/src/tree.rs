@@ -1,0 +1,252 @@
+//! CART decision trees (classification and regression).
+//!
+//! The building block for the random forests Libra's profiler uses
+//! (§4.3.1). Splits minimize Gini impurity (classification) or sum of
+//! squared errors (regression); candidate thresholds are the midpoints
+//! between consecutive distinct feature values. Datasets here are small
+//! (a workload duplicator produces ≤ a few hundred rows per function), so
+//! exact threshold enumeration is affordable and keeps the tree exact.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What the tree predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Multi-class classification with this many classes.
+    Classification {
+        /// Number of classes (labels are `0..n_classes`).
+        n_classes: usize,
+    },
+    /// Scalar regression.
+    Regression,
+}
+
+/// Tree growth limits.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// How many features to consider per split (`None` = all). Forests set
+    /// this to √d (classification) or max(1, d/3) (regression).
+    pub feature_subsample: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 2, feature_subsample: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted decision tree (arena-allocated nodes).
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<NodeKind>,
+    task: Task,
+}
+
+impl DecisionTree {
+    /// Fit a tree on `(x, y)`; classification labels must be `0..n_classes`
+    /// encoded as `f64`. `rng` drives feature subsampling (pass any
+    /// deterministic RNG for reproducible forests).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], task: Task, params: TreeParams, rng: &mut impl Rng) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(!x.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut tree = DecisionTree { nodes: Vec::new(), task };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, &idx, 0, params, rng);
+        tree
+    }
+
+    /// Predict for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                NodeKind::Leaf { value } => return *value,
+                NodeKind::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf_value(&self, y: &[f64], idx: &[usize]) -> f64 {
+        match self.task {
+            Task::Regression => idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64,
+            Task::Classification { n_classes } => {
+                let mut counts = vec![0usize; n_classes];
+                for &i in idx {
+                    counts[y[i] as usize] += 1;
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(k, _)| k as f64)
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn impurity(&self, y: &[f64], idx: &[usize]) -> f64 {
+        match self.task {
+            Task::Regression => {
+                let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+                idx.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>()
+            }
+            Task::Classification { n_classes } => {
+                let mut counts = vec![0usize; n_classes];
+                for &i in idx {
+                    counts[y[i] as usize] += 1;
+                }
+                let n = idx.len() as f64;
+                let gini = 1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>();
+                gini * n
+            }
+        }
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        depth: usize,
+        params: TreeParams,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let node_id = self.nodes.len();
+        self.nodes.push(NodeKind::Leaf { value: 0.0 }); // placeholder
+
+        let pure = idx.iter().all(|&i| y[i] == y[idx[0]]);
+        if depth >= params.max_depth || idx.len() < params.min_samples_split || pure {
+            self.nodes[node_id] = NodeKind::Leaf { value: self.leaf_value(y, idx) };
+            return node_id;
+        }
+
+        let d = x[0].len();
+        let mut feats: Vec<usize> = (0..d).collect();
+        if let Some(k) = params.feature_subsample {
+            feats.shuffle(rng);
+            feats.truncate(k.clamp(1, d));
+        }
+
+        let parent = self.impurity(y, idx);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &feats {
+            let mut vals: Vec<(f64, usize)> = idx.iter().map(|&i| (x[i][f], i)).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+            for w in 1..vals.len() {
+                if vals[w].0 == vals[w - 1].0 {
+                    continue;
+                }
+                let thr = (vals[w].0 + vals[w - 1].0) / 2.0;
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][f] <= thr);
+                if l.is_empty() || r.is_empty() {
+                    continue;
+                }
+                let gain = parent - self.impurity(y, &l) - self.impurity(y, &r);
+                if best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, f, thr));
+                }
+            }
+        }
+
+        match best {
+            Some((gain, f, thr)) if gain > 1e-12 => {
+                let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][f] <= thr);
+                let left = self.grow(x, y, &l, depth + 1, params, rng);
+                let right = self.grow(x, y, &r, depth + 1, params, rng);
+                self.nodes[node_id] = NodeKind::Split { feature: f, threshold: thr, left, right };
+            }
+            _ => {
+                self.nodes[node_id] = NodeKind::Leaf { value: self.leaf_value(y, idx) };
+            }
+        }
+        node_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn memorizes_simple_classification() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let t = DecisionTree::fit(&x, &y, Task::Classification { n_classes: 2 }, TreeParams::default(), &mut rng());
+        for i in 0..20 {
+            assert_eq!(t.predict(&[i as f64]), if i < 10 { 0.0 } else { 1.0 });
+        }
+    }
+
+    #[test]
+    fn fits_step_regression() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 5.0 } else { 11.0 }).collect();
+        let t = DecisionTree::fit(&x, &y, Task::Regression, TreeParams::default(), &mut rng());
+        assert!((t.predict(&[3.0]) - 5.0).abs() < 1e-9);
+        assert!((t.predict(&[33.0]) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let t = DecisionTree::fit(&x, &y, Task::Regression, params, &mut rng());
+        assert_eq!(t.size(), 1);
+        assert!((t.predict(&[0.0]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_is_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 10];
+        let t = DecisionTree::fit(&x, &y, Task::Regression, TreeParams::default(), &mut rng());
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.predict(&[100.0]), 7.0);
+    }
+
+    #[test]
+    fn nonlinear_regression_beats_constant() {
+        let x: Vec<Vec<f64>> = (1..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (1..100).map(|i| (i as f64).sqrt() * 3.0).collect();
+        let t = DecisionTree::fit(&x, &y, Task::Regression, TreeParams::default(), &mut rng());
+        let preds: Vec<f64> = x.iter().map(|r| t.predict(r)).collect();
+        let r2 = crate::metrics::r2_score(&preds, &y);
+        assert!(r2 > 0.95, "tree should fit sqrt well, r2={r2}");
+    }
+
+    #[test]
+    fn multiclass_three_way() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i / 10) as f64).collect();
+        let t = DecisionTree::fit(&x, &y, Task::Classification { n_classes: 3 }, TreeParams::default(), &mut rng());
+        assert_eq!(t.predict(&[5.0]), 0.0);
+        assert_eq!(t.predict(&[15.0]), 1.0);
+        assert_eq!(t.predict(&[25.0]), 2.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Model validation utilities: k-fold cross-validation and confusion
+//! matrices. Used by the profiler's relatedness analysis and the Table 2
+//! study when a single 7:3 split would be too noisy.
+
+use crate::dataset::Dataset;
+
+/// Deterministic k-fold split: returns `k` (train, test) pairs covering
+/// every row exactly once as test data.
+pub fn kfold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(data.len() >= k, "need at least k rows");
+    // Deterministic shuffle via the split helper (train_frac=1 shuffles all).
+    let (shuffled, _) = data.train_test_split(1.0, seed);
+    let n = shuffled.len();
+    (0..k)
+        .map(|fold| {
+            let lo = fold * n / k;
+            let hi = (fold + 1) * n / k;
+            let mut train = Dataset::new();
+            let mut test = Dataset::new();
+            for i in 0..n {
+                let dst = if (lo..hi).contains(&i) { &mut test } else { &mut train };
+                dst.push(shuffled.x[i].clone(), shuffled.y[i]);
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Mean of a metric evaluated across k folds.
+pub fn cross_val_score(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut fit_score: impl FnMut(&Dataset, &Dataset) -> f64,
+) -> f64 {
+    let folds = kfold(data, k, seed);
+    let total: f64 = folds.iter().map(|(tr, te)| fit_score(tr, te)).sum();
+    total / k as f64
+}
+
+/// A confusion matrix over `n_classes` labels.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>, // row = truth, col = prediction
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel prediction/truth slices.
+    pub fn new(n_classes: usize, pred: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(pred.len(), truth.len());
+        let mut counts = vec![0u64; n_classes * n_classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            assert!(p < n_classes && t < n_classes, "label out of range");
+            counts[t * n_classes + p] += 1;
+        }
+        ConfusionMatrix { n: n_classes, counts }
+    }
+
+    /// Count at (truth, prediction).
+    pub fn at(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.n + pred]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n).map(|i| self.at(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (diag / row sum), `None` if the class never occurs.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.n).map(|p| self.at(class, p)).sum();
+        (row > 0).then(|| self.at(class, class) as f64 / row as f64)
+    }
+
+    /// Precision of one class (diag / column sum), `None` if never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.n).map(|t| self.at(t, class)).sum();
+        (col > 0).then(|| self.at(class, class) as f64 / col as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+    use crate::metrics::accuracy;
+    use crate::tree::Task;
+
+    fn step_dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(vec![i as f64], ((i * 3) / n) as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn kfold_covers_every_row_once() {
+        let d = step_dataset(50);
+        let folds = kfold(&d, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let total_test: usize = folds.iter().map(|(_, te)| te.len()).sum();
+        assert_eq!(total_test, 50);
+        for (tr, te) in &folds {
+            assert_eq!(tr.len() + te.len(), 50);
+            assert!(te.len() >= 9 && te.len() <= 11);
+        }
+    }
+
+    #[test]
+    fn cross_val_scores_a_forest() {
+        let d = step_dataset(90);
+        let score = cross_val_score(&d, 3, 7, |tr, te| {
+            let rf = RandomForest::fit(
+                &tr.x,
+                &tr.y,
+                Task::Classification { n_classes: 3 },
+                ForestParams { n_trees: 8, ..Default::default() },
+            );
+            let preds: Vec<usize> = te.x.iter().map(|r| rf.predict_class(r)).collect();
+            accuracy(&preds, &te.labels())
+        });
+        assert!(score > 0.85, "cv accuracy {score}");
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_metrics() {
+        let pred = [0, 0, 1, 1, 2, 2, 0];
+        let truth = [0, 0, 1, 2, 2, 2, 1];
+        let m = ConfusionMatrix::new(3, &pred, &truth);
+        assert_eq!(m.at(0, 0), 2);
+        assert_eq!(m.at(2, 1), 1);
+        assert_eq!(m.at(1, 0), 1);
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+        assert!((m.recall(2).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_give_none() {
+        let m = ConfusionMatrix::new(3, &[0, 0], &[0, 0]);
+        assert!(m.recall(1).is_none());
+        assert!(m.precision(2).is_none());
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn kfold_rejects_k1() {
+        let _ = kfold(&step_dataset(10), 1, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Warm-container tracking with memory pinning.
+//!
+//! OpenWhisk keeps a container pool on each invoker: an invocation of
+//! function *k* can reuse an idle warm container for *k* on the same node and
+//! skip the cold start (container creation + dependency installation, §6.3
+//! footnote 4). Hash-based scheduling exists precisely to increase warm hits.
+//!
+//! Idle warm containers **pin memory**: a paused container's heap stays
+//! resident, charged against the shard slice that admitted it, until the
+//! container is reused (the pin transfers to the new invocation's own
+//! charge), expires past its keep-alive, or is evicted because admission
+//! needs the room. The engine drives those three paths.
+
+use crate::ids::FunctionId;
+use crate::resources::ResourceVec;
+use crate::time::{SimDuration, SimTime};
+
+/// One idle warm container.
+#[derive(Clone, Copy, Debug)]
+struct WarmEntry {
+    func: FunctionId,
+    /// Scheduler shard whose slice carries the pinned memory.
+    shard: usize,
+    /// Pinned memory (the container's grant at completion).
+    mem_mb: u64,
+    idle_since: SimTime,
+}
+
+/// Per-node pool of idle warm containers.
+#[derive(Default, Debug)]
+pub struct WarmPool {
+    idle: Vec<WarmEntry>,
+    /// How long an idle container stays warm before eviction.
+    keepalive: SimDuration,
+    warm_hits: u64,
+    cold_starts: u64,
+}
+
+impl WarmPool {
+    /// Create a pool with the given keep-alive window.
+    pub fn new(keepalive: SimDuration) -> Self {
+        WarmPool { idle: Vec::new(), keepalive, warm_hits: 0, cold_starts: 0 }
+    }
+
+    /// Try to take a warm container for `func`. On a hit, returns
+    /// `Some((shard, pinned_mem))` — the caller must credit that release
+    /// back to the shard's slice (the pin transfers to the new invocation).
+    /// Expired entries are ignored (the engine reaps them via
+    /// [`WarmPool::evict_expired`]).
+    pub fn acquire(&mut self, func: FunctionId, now: SimTime) -> Option<(usize, u64)> {
+        let keepalive = self.keepalive;
+        let pos = self
+            .idle
+            .iter()
+            .position(|e| e.func == func && now.since(e.idle_since) <= keepalive);
+        match pos {
+            Some(i) => {
+                let e = self.idle.swap_remove(i);
+                self.warm_hits += 1;
+                Some((e.shard, e.mem_mb))
+            }
+            None => {
+                self.cold_starts += 1;
+                None
+            }
+        }
+    }
+
+    /// Park a completed invocation's container as warm, pinning `mem_mb`
+    /// against `shard`.
+    pub fn release(&mut self, func: FunctionId, shard: usize, mem_mb: u64, now: SimTime) {
+        self.idle.push(WarmEntry { func, shard, mem_mb, idle_since: now });
+    }
+
+    /// Reap entries past their keep-alive, returning the `(shard, mem)`
+    /// pins to credit back.
+    pub fn evict_expired(&mut self, now: SimTime) -> Vec<(usize, u64)> {
+        let keepalive = self.keepalive;
+        let (expired, live): (Vec<WarmEntry>, Vec<WarmEntry>) = self
+            .idle
+            .drain(..)
+            .partition(|e| now.since(e.idle_since) > keepalive);
+        self.idle = live;
+        expired.into_iter().map(|e| (e.shard, e.mem_mb)).collect()
+    }
+
+    /// Evict LRU warm containers pinned to `shard` until at least `need_mb`
+    /// of memory is freed (or the pool is out of candidates). Returns the
+    /// freed pins.
+    pub fn evict_for(&mut self, shard: usize, need_mb: u64, _now: SimTime) -> Vec<(usize, u64)> {
+        let mut freed = Vec::new();
+        let mut total = 0u64;
+        while total < need_mb {
+            let lru = self
+                .idle
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.shard == shard)
+                .min_by_key(|(_, e)| e.idle_since)
+                .map(|(i, _)| i);
+            match lru {
+                Some(i) => {
+                    let e = self.idle.remove(i);
+                    total += e.mem_mb;
+                    freed.push((e.shard, e.mem_mb));
+                }
+                None => break,
+            }
+        }
+        freed
+    }
+
+    /// Number of idle warm containers for `func` still within keep-alive.
+    pub fn warm_count(&mut self, func: FunctionId, now: SimTime) -> usize {
+        self.count_at(func, now)
+    }
+
+    /// True if at least one warm container for `func` would be available.
+    pub fn has_warm(&mut self, func: FunctionId, now: SimTime) -> bool {
+        self.count_at(func, now) > 0
+    }
+
+    /// (warm hits, cold starts) served so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.warm_hits, self.cold_starts)
+    }
+
+    /// Non-mutating count of warm containers for `func` still within
+    /// keep-alive at `now` (for read-only scheduler queries).
+    pub fn count_at(&self, func: FunctionId, now: SimTime) -> usize {
+        self.idle
+            .iter()
+            .filter(|e| e.func == func && now.since(e.idle_since) <= self.keepalive)
+            .count()
+    }
+
+    /// Total memory currently pinned by live warm containers (diagnostics).
+    pub fn pinned_mem_mb(&self, now: SimTime) -> u64 {
+        self.idle
+            .iter()
+            .filter(|e| now.since(e.idle_since) <= self.keepalive)
+            .map(|e| e.mem_mb)
+            .sum()
+    }
+
+    /// Memory physically pinned against `shard` — *including* expired
+    /// entries that have not been reaped yet (an expired paused container
+    /// still holds its heap until the pool tears it down).
+    pub fn pinned_for(&self, shard: usize) -> u64 {
+        self.idle.iter().filter(|e| e.shard == shard).map(|e| e.mem_mb).sum()
+    }
+
+    /// Pins of every entry (used when tearing a node down in tests).
+    pub fn drain_all(&mut self) -> Vec<(usize, u64)> {
+        self.idle.drain(..).map(|e| (e.shard, e.mem_mb)).collect()
+    }
+}
+
+/// Convenience for engine call-sites.
+pub fn pin(shard: usize, mem_mb: u64) -> ResourceVec {
+    let _ = shard;
+    ResourceVec::new(0, mem_mb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FunctionId = FunctionId(1);
+
+    #[test]
+    fn first_acquire_is_cold() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        assert!(p.acquire(F, SimTime::ZERO).is_none());
+        assert_eq!(p.stats(), (0, 1));
+    }
+
+    #[test]
+    fn release_then_acquire_is_warm_and_returns_pin() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        p.release(F, 1, 512, SimTime::from_secs(1));
+        assert_eq!(p.pinned_mem_mb(SimTime::from_secs(2)), 512);
+        let hit = p.acquire(F, SimTime::from_secs(2));
+        assert_eq!(hit, Some((1, 512)));
+        assert_eq!(p.stats(), (1, 0));
+        // container consumed; next one is cold again
+        assert!(p.acquire(F, SimTime::from_secs(3)).is_none());
+    }
+
+    #[test]
+    fn keepalive_expires_containers() {
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.release(F, 0, 256, SimTime::ZERO);
+        assert!(p.has_warm(F, SimTime::from_secs(10)));
+        assert!(!p.has_warm(F, SimTime::from_secs(11)));
+        assert!(p.acquire(F, SimTime::from_secs(11)).is_none());
+        let reaped = p.evict_expired(SimTime::from_secs(12));
+        assert_eq!(reaped, vec![(0, 256)]);
+        assert_eq!(p.pinned_mem_mb(SimTime::from_secs(12)), 0);
+    }
+
+    #[test]
+    fn functions_do_not_share_containers() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        p.release(FunctionId(1), 0, 128, SimTime::ZERO);
+        assert!(p.acquire(FunctionId(2), SimTime::from_secs(1)).is_none());
+        assert!(p.acquire(FunctionId(1), SimTime::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn evict_for_frees_lru_first_within_shard() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        p.release(FunctionId(1), 0, 300, SimTime::from_secs(1)); // oldest, shard 0
+        p.release(FunctionId(2), 0, 300, SimTime::from_secs(2));
+        p.release(FunctionId(3), 1, 300, SimTime::ZERO); // other shard
+        let freed = p.evict_for(0, 300, SimTime::from_secs(5));
+        assert_eq!(freed, vec![(0, 300)]);
+        // the shard-0 survivor is the newer entry (func 2)
+        assert_eq!(p.count_at(FunctionId(1), SimTime::from_secs(5)), 0);
+        assert_eq!(p.count_at(FunctionId(2), SimTime::from_secs(5)), 1);
+        assert_eq!(p.count_at(FunctionId(3), SimTime::from_secs(5)), 1, "shard 1 untouched");
+    }
+
+    #[test]
+    fn evict_for_stops_when_shard_has_no_candidates() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        p.release(F, 1, 256, SimTime::ZERO);
+        let freed = p.evict_for(0, 1000, SimTime::from_secs(1));
+        assert!(freed.is_empty());
+    }
+
+    #[test]
+    fn multiple_warm_containers_stack() {
+        let mut p = WarmPool::new(SimDuration::from_secs(60));
+        p.release(F, 0, 100, SimTime::ZERO);
+        p.release(F, 0, 100, SimTime::ZERO);
+        assert_eq!(p.warm_count(F, SimTime::from_secs(1)), 2);
+        assert!(p.acquire(F, SimTime::from_secs(1)).is_some());
+        assert!(p.acquire(F, SimTime::from_secs(1)).is_some());
+        assert!(p.acquire(F, SimTime::from_secs(1)).is_none());
+    }
+}

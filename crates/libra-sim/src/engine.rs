@@ -1,0 +1,1322 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the *physics* of a serverless cluster, every rule a real
+//! OpenWhisk deployment would enforce regardless of the resource-management
+//! policy on top:
+//!
+//! * **Admission** — an invocation is reserved nominally (at its user-defined
+//!   allocation) inside one scheduler shard's slice of one node; the safety
+//!   invariant `Σ granted ≤ Σ nominal ≤ capacity` can never be violated.
+//! * **Execution rate** — an invocation accumulates work at
+//!   `min(granted cpu, true cpu peak)` millicores, degraded when memory is
+//!   user-under-provisioned (the container spills), so granting or revoking
+//!   resources immediately stretches or shrinks its remaining time.
+//! * **The timeliness law (§3.1)** — when an invocation completes, everything
+//!   it lent to others is revoked *at that instant*, no matter what the
+//!   policy believes. Policies that ignore timeliness (Freyr) feel this as
+//!   surprise revocations; Libra anticipates it.
+//! * **OOM** — if harvesting leaves an invocation with less memory than it
+//!   actually touches, it is killed and restarted with its full user
+//!   allocation (and a cold-start penalty). Harvesting is "treading on thin
+//!   ice" (§3.2) precisely because of this rule.
+//!
+//! Policies ([`Platform`]) only make decisions; they cannot bend physics.
+
+use crate::event::{Event, EventQueue};
+use crate::function::FunctionSpec;
+use crate::ids::{FunctionId, InvocationId, NodeId};
+use crate::invocation::{Actuals, InvState, Invocation, Loan};
+use crate::metrics::{InvRecord, RunResult, UtilSample};
+use crate::node::Node;
+use crate::platform::{LoanEnd, Platform, PlatformOverheads};
+use crate::resources::ResourceVec;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use std::collections::VecDeque;
+
+/// Engine tuning knobs (cluster-level, not policy-level).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of decentralized scheduler shards (§6.4). 1 = centralized.
+    pub shards: usize,
+    /// Container cold-start delay.
+    pub cold_start: SimDuration,
+    /// Warm container keep-alive window.
+    pub keepalive: SimDuration,
+    /// Safeguard monitor window (usage check interval, §5.2).
+    pub monitor_interval: SimDuration,
+    /// Node health-ping interval (pool status piggyback, §6.4).
+    pub ping_interval: SimDuration,
+    /// Cluster utilization sampling interval (Figs 7, 11).
+    pub sample_interval: SimDuration,
+    /// Fixed part of a scheduler decision's service time.
+    pub decision_base: SimDuration,
+    /// Per-known-node part of a decision's service time, in nanoseconds.
+    pub decision_per_node_ns: u64,
+    /// Hard ceiling on simulated time; exceeding it aborts with diagnostics
+    /// (guards against workloads that can never be placed).
+    pub max_sim_time: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            shards: 1,
+            cold_start: SimDuration::from_millis(500),
+            keepalive: SimDuration::from_secs(60),
+            monitor_interval: SimDuration::from_millis(100),
+            ping_interval: SimDuration::from_millis(500),
+            sample_interval: SimDuration::from_millis(500),
+            decision_base: SimDuration(300),
+            decision_per_node_ns: 2_000,
+            max_sim_time: SimDuration::from_secs(48 * 3600),
+        }
+    }
+}
+
+/// Instantaneous usage observation for one invocation — what a cgroups
+/// monitor would report (§5.2, §7 "Safeguard").
+#[derive(Clone, Copy, Debug)]
+pub struct UsageSample {
+    /// Busy millicores right now.
+    pub cpu_busy_millis: u64,
+    /// Memory footprint right now (MB).
+    pub mem_used_mb: u64,
+    /// Whether the cgroup was CPU-throttled in this window (the kernel's
+    /// `nr_throttled` signal): the code wanted more CPU than its quota.
+    pub cpu_throttled: bool,
+    /// Everything the invocation currently holds (own grant + loans in).
+    pub effective: ResourceVec,
+    /// Its user-defined entitlement.
+    pub nominal: ResourceVec,
+}
+
+impl UsageSample {
+    /// CPU usage as a fraction of the effective allocation.
+    pub fn cpu_ratio(&self) -> f64 {
+        self.cpu_busy_millis as f64 / self.effective.cpu_millis.max(1) as f64
+    }
+
+    /// Memory usage as a fraction of the effective allocation.
+    pub fn mem_ratio(&self) -> f64 {
+        self.mem_used_mb as f64 / self.effective.mem_mb.max(1) as f64
+    }
+}
+
+struct Shard {
+    /// (invocation, earliest time its decision may complete)
+    queue: VecDeque<(InvocationId, SimTime)>,
+    busy: Option<(InvocationId, SimTime)>,
+    blocked: Vec<InvocationId>,
+    retry_pending: bool,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard { queue: VecDeque::new(), busy: None, blocked: Vec::new(), retry_pending: false }
+    }
+}
+
+/// The full simulated cluster state. Policies receive `&World` for read-only
+/// hooks and a [`SimCtx`] for mutating hooks.
+pub struct World {
+    /// Current simulated time.
+    pub clock: SimTime,
+    /// Engine configuration.
+    pub config: SimConfig,
+    funcs: Vec<FunctionSpec>,
+    nodes: Vec<Node>,
+    invs: Vec<Invocation>,
+    cpu_peak_obs: Vec<u64>,
+    shards: Vec<Shard>,
+    queue: EventQueue,
+    records: Vec<InvRecord>,
+    util: Vec<UtilSample>,
+    completed: usize,
+    first_arrival: Option<SimTime>,
+    last_completion: SimTime,
+    decision_delay_sum_us: u64,
+    decisions: u64,
+    overheads: PlatformOverheads,
+}
+
+impl World {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Deployed function specs.
+    pub fn functions(&self) -> &[FunctionSpec] {
+        &self.funcs
+    }
+
+    /// One function spec.
+    pub fn func(&self, f: FunctionId) -> &FunctionSpec {
+        &self.funcs[f.idx()]
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.idx()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// One invocation record.
+    pub fn inv(&self, i: InvocationId) -> &Invocation {
+        &self.invs[i.idx()]
+    }
+
+    /// Number of scheduler shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Free nominal capacity of `node` within `shard`'s slice.
+    pub fn free_in_shard(&self, node: NodeId, shard: usize) -> ResourceVec {
+        self.nodes[node.idx()].free_in_shard(shard)
+    }
+
+    /// Count of warm idle containers for `func` on `node` right now.
+    pub fn warm_count(&self, node: NodeId, func: FunctionId) -> usize {
+        self.nodes[node.idx()].warm.count_at(func, self.clock)
+    }
+
+    /// A usage observation for a running invocation (what cgroups would say).
+    pub fn usage(&self, i: InvocationId) -> UsageSample {
+        let inv = &self.invs[i.idx()];
+        let busy = self.busy_cpu(i.idx());
+        let eff = inv.effective_alloc();
+        UsageSample {
+            cpu_busy_millis: busy,
+            mem_used_mb: inv.mem_usage_mb(),
+            cpu_throttled: inv.state == InvState::Running
+                && inv.true_demand.cpu_peak_millis > eff.cpu_millis,
+            effective: eff,
+            nominal: inv.nominal,
+        }
+    }
+
+    /// Total cluster capacity.
+    pub fn total_capacity(&self) -> ResourceVec {
+        self.nodes.iter().fold(ResourceVec::ZERO, |a, n| a + n.capacity)
+    }
+
+    /// Volume of `source`'s entitlement that is currently idle and lendable:
+    /// `nominal − own grant − already lent out`.
+    pub fn harvestable(&self, source: InvocationId) -> ResourceVec {
+        let inv = &self.invs[source.idx()];
+        inv.nominal.saturating_sub(&inv.own_grant).saturating_sub(&inv.lent_out)
+    }
+
+    /// Decision service time for a shard given the current cluster size.
+    fn decision_latency(&self) -> SimDuration {
+        let per_node = (self.config.decision_per_node_ns * self.nodes.len() as u64) / 1_000;
+        self.config.decision_base + SimDuration(per_node)
+    }
+
+    // ---- physics ------------------------------------------------------
+
+    /// Effective work-accumulation rate in millicores.
+    fn effective_rate(&self, idx: usize) -> u64 {
+        let inv = &self.invs[idx];
+        let eff = inv.effective_alloc();
+        let scale = inv.node.map_or(1.0, |n| self.node_cpu_scale(n.idx()));
+        let usable = (eff.cpu_millis as f64 * scale) as u64;
+        let busy = usable.min(inv.true_demand.cpu_peak_millis);
+        let peak_mem = inv.true_demand.mem_peak_mb;
+        let mem_factor = if eff.mem_mb >= peak_mem {
+            1.0
+        } else if peak_mem > inv.nominal.mem_mb {
+            // User under-provisioned memory: the container spills and slows
+            // down proportionally (this is the Fig 1 "memory acceleration"
+            // opportunity). Floor keeps progress strictly positive.
+            (eff.mem_mb as f64 / peak_mem as f64).max(0.3)
+        } else {
+            // Provider harvested below true usage: the container keeps full
+            // speed until its footprint crosses the grant, at which point the
+            // OOM rule fires (checked on monitor ticks).
+            1.0
+        };
+        ((busy as f64 * mem_factor) as u64).max(1)
+    }
+
+    /// Bring `progress`, the reassignment integrals and the observed CPU peak
+    /// up to `self.clock`, using the rate in force since `last_update`.
+    fn update_progress(&mut self, idx: usize) {
+        let now = self.clock;
+        let inv = &mut self.invs[idx];
+        if inv.state == InvState::Running {
+            let dt = now.since(inv.last_update).as_micros();
+            if dt > 0 {
+                inv.progress = (inv.progress + inv.rate_millis as u128 * dt as u128).min(inv.work_total);
+                let eff = inv.effective_alloc();
+                inv.cpu_reassigned += (eff.cpu_millis as i128 - inv.nominal.cpu_millis as i128) * dt as i128;
+                inv.mem_reassigned += (eff.mem_mb as i128 - inv.nominal.mem_mb as i128) * dt as i128;
+            }
+        }
+        inv.last_update = now;
+        let busy = self.busy_cpu(idx);
+        let peak = &mut self.cpu_peak_obs[idx];
+        *peak = (*peak).max(busy);
+    }
+
+    /// Recompute the rate and (re)schedule the Finish event. Must be called
+    /// after every allocation change. `update_progress` must already have
+    /// been called with the *old* allocation.
+    fn reschedule_finish(&mut self, idx: usize) {
+        let rate = self.effective_rate(idx);
+        let inv = &mut self.invs[idx];
+        inv.rate_millis = rate;
+        if inv.state != InvState::Running {
+            return;
+        }
+        inv.finish_gen += 1;
+        let remaining = inv.remaining_work();
+        let eta_us = (remaining + rate as u128 - 1) / rate as u128;
+        let at = SimTime(self.clock.0 + eta_us as u64);
+        let (id, generation) = (inv.id, inv.finish_gen);
+        self.queue.push(at, Event::Finish { inv: id, generation });
+    }
+
+    /// Σ effective CPU allocation of *running* invocations on a node.
+    fn node_running_eff_cpu(&self, node_idx: usize) -> u64 {
+        self.nodes[node_idx]
+            .resident
+            .iter()
+            .map(|i| &self.invs[i.idx()])
+            .filter(|inv| inv.state == InvState::Running)
+            .map(|inv| inv.effective_alloc().cpu_millis)
+            .sum()
+    }
+
+    /// Proportional-share CPU scale for a node: 1.0 while allocations fit;
+    /// `capacity / Σ allocations` when a safeguard/OOM restore transiently
+    /// oversubscribed it (the kernel's fair-share behaviour).
+    pub fn node_cpu_scale(&self, node_idx: usize) -> f64 {
+        let total = self.node_running_eff_cpu(node_idx);
+        let cap = self.nodes[node_idx].capacity.cpu_millis;
+        if total <= cap {
+            1.0
+        } else {
+            cap as f64 / total as f64
+        }
+    }
+
+    /// Busy millicores of one invocation right now (CPU-share scaled).
+    fn busy_cpu(&self, idx: usize) -> u64 {
+        let inv = &self.invs[idx];
+        if inv.state != InvState::Running {
+            return 0;
+        }
+        let node = match inv.node {
+            Some(n) => n.idx(),
+            None => return 0,
+        };
+        let scale = self.node_cpu_scale(node);
+        let usable = (inv.effective_alloc().cpu_millis as f64 * scale) as u64;
+        usable.min(inv.true_demand.cpu_peak_millis)
+    }
+
+    /// Bring progress up to date for every running invocation on a node
+    /// (using the rates in force until now).
+    fn settle_node(&mut self, node_idx: usize) {
+        let ids: Vec<usize> =
+            self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
+        for idx in ids {
+            if self.invs[idx].state == InvState::Running {
+                self.update_progress(idx);
+            }
+        }
+    }
+
+    /// Recompute rates and reschedule finishes for every running invocation
+    /// on a node.
+    fn reschedule_node(&mut self, node_idx: usize) {
+        let ids: Vec<usize> =
+            self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
+        for idx in ids {
+            if self.invs[idx].state == InvState::Running {
+                self.reschedule_finish(idx);
+            }
+        }
+    }
+
+    /// Run an allocation mutation with correct progress accounting: touched
+    /// invocations are settled first; if CPU ends up (or was) oversubscribed,
+    /// every resident's rate is recomputed, otherwise only the touched ones.
+    fn with_alloc_change(&mut self, node_idx: usize, touched: &[usize], f: impl FnOnce(&mut World)) {
+        let pre = self.node_cpu_scale(node_idx);
+        for &i in touched {
+            self.update_progress(i);
+        }
+        f(self);
+        let post = self.node_cpu_scale(node_idx);
+        if pre < 1.0 || post < 1.0 {
+            self.settle_node(node_idx);
+            self.reschedule_node(node_idx);
+        } else {
+            for &i in touched {
+                self.reschedule_finish(i);
+            }
+        }
+    }
+
+    /// Reconcile node reservation bookkeeping after an invocation's charge
+    /// (own grant + lent out) changed, and wake parked invocations when the
+    /// change freed capacity.
+    fn charge_updated(&mut self, idx: usize, old: ResourceVec) {
+        let inv = &self.invs[idx];
+        let new = inv.charge();
+        if new == old {
+            return;
+        }
+        let (Some(node), Some(shard)) = (inv.node, inv.shard) else {
+            return;
+        };
+        self.nodes[node.idx()].release(shard, old);
+        self.nodes[node.idx()].force_reserve(shard, new);
+        if !old.fits_within(&new) {
+            // Charge shrank in some dimension: parked invocations may fit now.
+            let now = self.clock;
+            for s in 0..self.shards.len() {
+                if !self.shards[s].blocked.is_empty() && !self.shards[s].retry_pending {
+                    self.shards[s].retry_pending = true;
+                    self.queue.push(now, Event::RetryBlocked { shard: s });
+                }
+            }
+        }
+    }
+
+    /// Cross-check every conservation invariant. Called by tests and (in
+    /// debug builds) at each completion.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for node in &self.nodes {
+            // Reservations must equal the residents' charges exactly. (They
+            // may transiently exceed the slice after a safeguard/OOM restore
+            // — that is by design; the proportional CPU scale absorbs it.)
+            let mut per_shard = vec![ResourceVec::ZERO; node.shards()];
+            for &iid in &node.resident {
+                let inv = &self.invs[iid.idx()];
+                per_shard[inv.shard.ok_or("resident without shard")?] += inv.charge();
+            }
+            for (s, want) in per_shard.iter().enumerate() {
+                let got = node.reserved_in(s);
+                if got != *want {
+                    return Err(format!(
+                        "{:?} shard {s} reservation drift: booked {:?}, residents charge {:?}",
+                        node.id, got, want
+                    ));
+                }
+            }
+        }
+        // Per-source loan conservation: lent_out must equal the sum of loans
+        // recorded by borrowers.
+        let mut lent_by_source = vec![ResourceVec::ZERO; self.invs.len()];
+        for inv in &self.invs {
+            for l in &inv.borrowed_in {
+                lent_by_source[l.source.idx()] += l.res;
+            }
+        }
+        for inv in &self.invs {
+            if lent_by_source[inv.id.idx()] != inv.lent_out {
+                return Err(format!(
+                    "{:?} lent_out {:?} disagrees with borrowers' records {:?}",
+                    inv.id, inv.lent_out, lent_by_source[inv.id.idx()]
+                ));
+            }
+            let committed = inv.own_grant + inv.lent_out;
+            if !committed.fits_within(&inv.nominal) {
+                return Err(format!(
+                    "{:?} grant {:?} + lent {:?} exceeds nominal {:?}",
+                    inv.id, inv.own_grant, inv.lent_out, inv.nominal
+                ));
+            }
+            for loan in &inv.borrowed_in {
+                let src = &self.invs[loan.source.idx()];
+                if src.state != InvState::Running {
+                    return Err(format!("{:?} holds loan from non-running {:?}", inv.id, src.id));
+                }
+                if src.node != inv.node {
+                    return Err(format!("cross-node loan {:?} -> {:?}", src.id, inv.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutating handle handed to policy hooks. Every operation keeps the physics
+/// consistent (progress accounting, finish rescheduling, invariants).
+pub struct SimCtx<'a> {
+    w: &'a mut World,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.w.clock
+    }
+
+    /// Read-only view of the world.
+    pub fn world(&self) -> &World {
+        self.w
+    }
+
+    /// One invocation record.
+    pub fn inv(&self, i: InvocationId) -> &Invocation {
+        self.w.inv(i)
+    }
+
+    /// The spec of the invoked function.
+    pub fn func_of(&self, i: InvocationId) -> &FunctionSpec {
+        self.w.func(self.w.inv(i).func)
+    }
+
+    /// Usage observation (what cgroups would report).
+    pub fn usage(&self, i: InvocationId) -> UsageSample {
+        self.w.usage(i)
+    }
+
+    /// Idle lendable volume of `source` (see [`World::harvestable`]).
+    pub fn harvestable(&self, source: InvocationId) -> ResourceVec {
+        self.w.harvestable(source)
+    }
+
+    /// Set how much of its own entitlement `inv` keeps (the *harvest*
+    /// operation when below nominal). Clamps to `[floor, nominal − lent]`:
+    /// the engine enforces the OOM memory floor of §5.1 and never lets a
+    /// grant cut into resources already on loan.
+    pub fn set_own_grant(&mut self, i: InvocationId, want: ResourceVec) {
+        let idx = i.idx();
+        let node = self.w.invs[idx].node.expect("set_own_grant before placement").idx();
+        let floor_mb = self.w.func(self.w.invs[idx].func).mem_floor_mb;
+        self.w.with_alloc_change(node, &[idx], |w| {
+            let inv = &mut w.invs[idx];
+            assert!(
+                matches!(inv.state, InvState::Running | InvState::ColdStarting),
+                "set_own_grant on {:?} in state {:?}",
+                i,
+                inv.state
+            );
+            let old = inv.charge();
+            let ceiling = inv.nominal.saturating_sub(&inv.lent_out);
+            let mut g = want.min(&ceiling);
+            g.mem_mb = g.mem_mb.max(floor_mb.min(ceiling.mem_mb));
+            g.cpu_millis = g.cpu_millis.max(100).min(ceiling.cpu_millis);
+            inv.own_grant = g;
+            if g.cpu_millis < inv.nominal.cpu_millis || g.mem_mb < inv.nominal.mem_mb {
+                inv.flags.harvested = true;
+            }
+            w.charge_updated(idx, old);
+        });
+    }
+
+    /// Lend `res` of `source`'s idle entitlement to `borrower` (the
+    /// *reassignment* of Fig 4). Returns `false` (and does nothing) if the
+    /// volume is not actually available or the two run on different nodes.
+    pub fn lend(&mut self, source: InvocationId, borrower: InvocationId, res: ResourceVec) -> bool {
+        if res.is_zero() || source == borrower {
+            return false;
+        }
+        let (si, bi) = (source.idx(), borrower.idx());
+        if self.w.invs[si].node != self.w.invs[bi].node || self.w.invs[si].node.is_none() {
+            return false;
+        }
+        if self.w.invs[si].state != InvState::Running || self.w.invs[bi].state != InvState::Running {
+            return false;
+        }
+        if !res.fits_within(&self.w.harvestable(source)) {
+            return false;
+        }
+        // Lending re-commits previously harvested (uncommitted) volume, so
+        // it must still fit the node: admission may have consumed it.
+        let node = self.w.invs[si].node.expect("checked above").idx();
+        let shard = self.w.invs[si].shard.expect("resident without shard");
+        if !res.fits_within(&self.w.nodes[node].free_in_shard(shard)) {
+            return false;
+        }
+        let now = self.w.clock;
+        self.w.with_alloc_change(node, &[bi], |w| {
+            let loan = Loan { source, borrower, res, created: now };
+            let old = w.invs[si].charge();
+            w.invs[si].lent_out += res;
+            w.invs[bi].borrowed_in.push(loan);
+            w.invs[bi].flags.accelerated = true;
+            w.charge_updated(si, old);
+        });
+        true
+    }
+
+    /// Return part (or all) of what `borrower` borrowed from `source`. The
+    /// volume is clamped to the outstanding loan; returns the volume actually
+    /// given back (zero if no such loan exists). The policy is responsible
+    /// for re-pooling it (re-harvesting, §5.1).
+    pub fn return_loan(&mut self, borrower: InvocationId, source: InvocationId, res: ResourceVec) -> ResourceVec {
+        let bi = borrower.idx();
+        let Some(node) = self.w.invs[bi].node.map(|n| n.idx()) else {
+            return ResourceVec::ZERO;
+        };
+        let mut returned = ResourceVec::ZERO;
+        self.w.with_alloc_change(node, &[bi], |w| {
+            let mut remaining = res;
+            for loan in w.invs[bi].borrowed_in.iter_mut() {
+                if loan.source != source || remaining.is_zero() {
+                    continue;
+                }
+                let take = loan.res.min(&remaining);
+                loan.res -= take;
+                remaining -= take;
+                returned += take;
+            }
+            w.invs[bi].borrowed_in.retain(|l| !l.res.is_zero());
+            let old = w.invs[source.idx()].charge();
+            w.invs[source.idx()].lent_out -= returned;
+            w.charge_updated(source.idx(), old);
+        });
+        returned
+    }
+
+    /// Preemptively release everything harvested from `source` (§5.2): all
+    /// outgoing loans are revoked and its own grant is restored to nominal.
+    /// Returns the revoked loans so the policy can fix up its pool
+    /// bookkeeping synchronously.
+    pub fn preemptive_release(&mut self, source: InvocationId) -> Vec<Loan> {
+        let si = source.idx();
+        let broken = self.revoke_loans_from(source);
+        let Some(node) = self.w.invs[si].node.map(|n| n.idx()) else {
+            return broken;
+        };
+        self.w.with_alloc_change(node, &[si], |w| {
+            let old = w.invs[si].charge();
+            let inv = &mut w.invs[si];
+            inv.own_grant = inv.nominal;
+            inv.flags.safeguarded = true;
+            w.charge_updated(si, old);
+        });
+        broken
+    }
+
+    /// Revoke every outgoing loan of `source` without touching its grant.
+    /// Used internally and by `preemptive_release`.
+    pub(crate) fn revoke_loans_from(&mut self, source: InvocationId) -> Vec<Loan> {
+        let si = source.idx();
+        let borrowers: Vec<Loan> = {
+            let mut all = Vec::new();
+            for inv in &self.w.invs {
+                for l in &inv.borrowed_in {
+                    if l.source == source {
+                        all.push(*l);
+                    }
+                }
+            }
+            all
+        };
+        let Some(node) = self.w.invs[si].node.map(|n| n.idx()) else {
+            debug_assert!(borrowers.is_empty());
+            return borrowers;
+        };
+        let touched: Vec<usize> = borrowers.iter().map(|l| l.borrower.idx()).collect();
+        self.w.with_alloc_change(node, &touched, |w| {
+            for loan in &borrowers {
+                let bi = loan.borrower.idx();
+                w.invs[bi].borrowed_in.retain(|l| l.source != source);
+            }
+            let old = w.invs[si].charge();
+            w.invs[si].lent_out = ResourceVec::ZERO;
+            w.charge_updated(si, old);
+        });
+        borrowers
+    }
+}
+
+/// A buildable, runnable simulated cluster.
+pub struct Simulation {
+    world: World,
+}
+
+impl Simulation {
+    /// Build a cluster: deployed functions, one capacity per node, config.
+    pub fn new(funcs: Vec<FunctionSpec>, node_caps: Vec<ResourceVec>, config: SimConfig) -> Self {
+        assert!(config.shards > 0, "need at least one scheduler shard");
+        assert!(!node_caps.is_empty(), "need at least one worker node");
+        let nodes = node_caps
+            .into_iter()
+            .enumerate()
+            .map(|(i, cap)| Node::new(NodeId(i as u32), cap, config.shards, config.keepalive))
+            .collect();
+        let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        Simulation {
+            world: World {
+                clock: SimTime::ZERO,
+                funcs,
+                nodes,
+                invs: Vec::new(),
+                cpu_peak_obs: Vec::new(),
+                shards,
+                queue: EventQueue::new(),
+                records: Vec::new(),
+                util: Vec::new(),
+                completed: 0,
+                first_arrival: None,
+                last_completion: SimTime::ZERO,
+                decision_delay_sum_us: 0,
+                decisions: 0,
+                overheads: PlatformOverheads::default(),
+                config,
+            },
+        }
+    }
+
+    /// Read-only access to the world (for tests and ad-hoc inspection).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Run `trace` under `platform` to completion and return all metrics.
+    pub fn run(mut self, trace: &Trace, platform: &mut dyn Platform) -> RunResult {
+        let w = &mut self.world;
+        w.overheads = platform.overheads();
+        // Seed invocations and arrival events.
+        let trace = trace.clone().sorted();
+        let max_slice = w
+            .nodes
+            .iter()
+            .map(Node::shard_capacity)
+            .fold(ResourceVec::ZERO, |a, c| a.max(&c));
+        for e in &trace.entries {
+            let id = InvocationId(w.invs.len() as u32);
+            let spec = &w.funcs[e.func.idx()];
+            assert!(
+                spec.user_alloc.fits_within(&max_slice),
+                "function {} requires {:?} but the largest shard slice is {:?} — \
+                 it could never be placed",
+                spec.name,
+                spec.user_alloc,
+                max_slice
+            );
+            let demand = spec.model.demand(&e.input);
+            w.invs.push(Invocation::new(id, e.func, e.input, demand, spec.user_alloc, e.at));
+            w.cpu_peak_obs.push(0);
+            w.queue.push(e.at, Event::Arrival(id));
+        }
+        let total = w.invs.len();
+        if total == 0 {
+            return RunResult { platform: platform.name(), ..RunResult::default() };
+        }
+        // Periodic events.
+        w.queue.push(SimTime::ZERO, Event::UtilizationSample);
+        for n in 0..w.nodes.len() {
+            w.queue.push(SimTime::ZERO + w.config.ping_interval, Event::HealthPing(NodeId(n as u32)));
+        }
+        platform.init(w);
+
+        while w.completed < total {
+            let (at, ev) = w
+                .queue
+                .pop()
+                .unwrap_or_else(|| panic!("event queue drained with {}/{total} invocations complete", w.completed));
+            debug_assert!(at >= w.clock, "time went backwards");
+            assert!(
+                at.since(SimTime::ZERO) <= w.config.max_sim_time,
+                "simulation exceeded max_sim_time with {}/{total} complete — \
+                 is some invocation permanently unplaceable?",
+                w.completed
+            );
+            w.clock = at;
+            Self::dispatch(w, platform, ev, total);
+        }
+        #[cfg(debug_assertions)]
+        w.check_invariants().expect("invariants violated at end of run");
+
+        let (mut warm, mut cold) = (0, 0);
+        for n in &w.nodes {
+            let (h, c) = n.warm.stats();
+            warm += h;
+            cold += c;
+        }
+        let first = w.first_arrival.unwrap_or(SimTime::ZERO);
+        RunResult {
+            platform: platform.name(),
+            records: std::mem::take(&mut w.records),
+            util: std::mem::take(&mut w.util),
+            completion_time: w.last_completion.since(first),
+            warm_hits: warm,
+            cold_starts: cold,
+            mean_sched_delay: SimDuration(w.decision_delay_sum_us / w.decisions.max(1)),
+        }
+    }
+
+    fn dispatch(w: &mut World, platform: &mut dyn Platform, ev: Event, total: usize) {
+        match ev {
+            Event::Arrival(id) => Self::on_arrival(w, platform, id),
+            Event::DecisionDone { shard } => Self::on_decision_done(w, platform, shard),
+            Event::StartExec(id) => Self::on_start_exec(w, platform, id),
+            Event::Finish { inv, generation } => Self::on_finish(w, platform, inv, generation),
+            Event::MonitorTick(id) => Self::on_monitor_tick(w, platform, id),
+            Event::HealthPing(node) => {
+                // Reap warm containers past their keep-alive (their pinned
+                // memory is freed with them).
+                let now = w.clock;
+                let _ = w.nodes[node.idx()].warm.evict_expired(now);
+                platform.on_ping(w, node);
+                if w.completed < total {
+                    let at = w.clock + w.config.ping_interval;
+                    w.queue.push(at, Event::HealthPing(node));
+                }
+            }
+            Event::UtilizationSample => {
+                Self::sample_utilization(w);
+                if w.completed < total {
+                    let at = w.clock + w.config.sample_interval;
+                    w.queue.push(at, Event::UtilizationSample);
+                }
+            }
+            Event::RetryBlocked { shard } => {
+                w.shards[shard].retry_pending = false;
+                let blocked: Vec<_> = std::mem::take(&mut w.shards[shard].blocked);
+                let now = w.clock;
+                for id in blocked.into_iter().rev() {
+                    w.invs[id.idx()].state = InvState::AwaitingDecision;
+                    w.shards[shard].queue.push_front((id, now));
+                }
+                Self::kick_shard(w, shard);
+            }
+        }
+    }
+
+    fn on_arrival(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+        let now = w.clock;
+        w.first_arrival = Some(w.first_arrival.map_or(now, |f| f.min(now)));
+        let idx = id.idx();
+        w.invs[idx].state = InvState::AwaitingDecision;
+        let pred = platform.predict(w, id);
+        let ovh = w.overheads;
+        let inv = &mut w.invs[idx];
+        inv.pred = pred;
+        inv.breakdown.frontend = ovh.frontend;
+        let mut ready = now + ovh.frontend;
+        if pred.is_some() {
+            inv.breakdown.profiler = ovh.profiler;
+            ready += ovh.profiler;
+        }
+        let shard = id.0 as usize % w.shards.len();
+        inv.shard = Some(shard);
+        w.shards[shard].queue.push_back((id, ready));
+        Self::kick_shard(w, shard);
+    }
+
+    fn kick_shard(w: &mut World, shard: usize) {
+        if w.shards[shard].busy.is_some() {
+            return;
+        }
+        let Some((id, ready)) = w.shards[shard].queue.pop_front() else {
+            return;
+        };
+        let svc = w.decision_latency();
+        let done = ready.max(w.clock) + svc;
+        w.shards[shard].busy = Some((id, done));
+        w.decision_delay_sum_us += svc.as_micros();
+        w.decisions += 1;
+        w.queue.push(done, Event::DecisionDone { shard });
+    }
+
+    fn on_decision_done(w: &mut World, platform: &mut dyn Platform, shard: usize) {
+        let (id, _) = w.shards[shard].busy.take().expect("DecisionDone without busy shard");
+        let now = w.clock;
+        let idx = id.idx();
+        match platform.select_node(w, shard, id) {
+            Some(node) if {
+                let nominal = w.invs[idx].nominal;
+                w.nodes[node.idx()].try_reserve(shard, nominal)
+            } =>
+            {
+                let inv = &mut w.invs[idx];
+                inv.decided_at = Some(now);
+                inv.node = Some(node);
+                inv.breakdown.scheduler = now.since(inv.arrival + inv.breakdown.frontend + inv.breakdown.profiler);
+                inv.breakdown.pool = w.overheads.pool;
+                let func = inv.func;
+                w.nodes[node.idx()].resident.push(id);
+                let warm = w.nodes[node.idx()].warm.acquire(func, now).is_some();
+                let mut start_at = now + w.overheads.pool;
+                if !warm {
+                    w.invs[idx].cold_start = true;
+                    w.invs[idx].breakdown.container_init = w.config.cold_start;
+                    start_at += w.config.cold_start;
+                }
+                w.invs[idx].state = InvState::ColdStarting;
+                w.queue.push(start_at, Event::StartExec(id));
+            }
+            _ => {
+                w.invs[idx].state = InvState::Blocked;
+                w.shards[shard].blocked.push(id);
+            }
+        }
+        Self::kick_shard(w, shard);
+    }
+
+    fn on_start_exec(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+        let now = w.clock;
+        let idx = id.idx();
+        let first_start = w.invs[idx].exec_start.is_none();
+        if first_start {
+            w.invs[idx].exec_start = Some(now);
+        }
+        w.invs[idx].state = InvState::Running;
+        w.invs[idx].last_update = now;
+        if first_start && w.invs[idx].restarts == 0 {
+            let mut ctx = SimCtx { w };
+            platform.on_start(&mut ctx, id);
+        }
+        // Joining the running set changes the node's CPU-share balance when
+        // it is oversubscribed; refresh everyone.
+        let node = w.invs[idx].node.expect("exec without node").idx();
+        w.settle_node(node);
+        w.reschedule_node(node);
+        let at = now + w.config.monitor_interval;
+        w.queue.push(at, Event::MonitorTick(id));
+    }
+
+    fn on_monitor_tick(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+        let idx = id.idx();
+        match w.invs[idx].state {
+            InvState::Running => {}
+            InvState::ColdStarting => {
+                // restarting after OOM: keep the tick chain alive
+                let at = w.clock + w.config.monitor_interval;
+                w.queue.push(at, Event::MonitorTick(id));
+                return;
+            }
+            _ => return,
+        }
+        w.update_progress(idx);
+        {
+            let mut ctx = SimCtx { w };
+            platform.on_tick(&mut ctx, id);
+        }
+        // OOM rule: only the provider's harvesting can kill an invocation;
+        // user under-provisioning degrades speed instead (spill model).
+        let inv = &w.invs[idx];
+        if inv.state == InvState::Running
+            && inv.true_demand.mem_peak_mb <= inv.nominal.mem_mb
+            && inv.mem_usage_mb() > inv.effective_alloc().mem_mb
+        {
+            Self::on_oom(w, platform, id);
+        }
+        let at = w.clock + w.config.monitor_interval;
+        w.queue.push(at, Event::MonitorTick(id));
+    }
+
+    fn on_oom(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+        let idx = id.idx();
+        // The dying invocation needs its lent-out memory back, and its
+        // borrowed-in loans are dropped for a clean restart.
+        let broken = {
+            let mut ctx = SimCtx { w };
+            ctx.revoke_loans_from(id)
+        };
+        for loan in &broken {
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceOom);
+        }
+        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        for loan in &returned {
+            let old = w.invs[loan.source.idx()].charge();
+            w.invs[loan.source.idx()].lent_out -= loan.res;
+            w.charge_updated(loan.source.idx(), old);
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
+        }
+        let now = w.clock;
+        let old_charge = w.invs[idx].charge();
+        let inv = &mut w.invs[idx];
+        inv.flags.oomed = true;
+        inv.restarts += 1;
+        inv.progress = 0;
+        inv.own_grant = inv.nominal;
+        inv.state = InvState::ColdStarting;
+        inv.finish_gen += 1;
+        inv.breakdown.container_init += w.config.cold_start;
+        w.charge_updated(idx, old_charge);
+        let node = w.invs[idx].node.expect("oom without node").idx();
+        w.settle_node(node);
+        w.reschedule_node(node);
+        let at = now + w.config.cold_start;
+        w.queue.push(at, Event::StartExec(id));
+        let mut ctx = SimCtx { w };
+        platform.on_oom(&mut ctx, id);
+    }
+
+    fn on_finish(w: &mut World, platform: &mut dyn Platform, id: InvocationId, generation: u64) {
+        let idx = id.idx();
+        if w.invs[idx].state != InvState::Running || w.invs[idx].finish_gen != generation {
+            return; // stale (lazy-cancelled) event
+        }
+        w.update_progress(idx);
+        if w.invs[idx].remaining_work() > 0 {
+            w.reschedule_finish(idx);
+            return;
+        }
+        let now = w.clock;
+
+        // Timeliness law (§3.1): everything this invocation lent out is gone.
+        let broken = {
+            let mut ctx = SimCtx { w };
+            ctx.revoke_loans_from(id)
+        };
+        for loan in &broken {
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceCompleted);
+        }
+        // Re-harvest opportunity (§5.1): loans it held return to their sources.
+        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        for loan in &returned {
+            let old = w.invs[loan.source.idx()].charge();
+            w.invs[loan.source.idx()].lent_out -= loan.res;
+            w.charge_updated(loan.source.idx(), old);
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
+        }
+
+        let inv = &mut w.invs[idx];
+        inv.state = InvState::Completed;
+        inv.end = Some(now);
+        let exec = now.since(inv.exec_start.expect("completed without exec start"));
+        inv.breakdown.exec = exec.saturating_sub(SimDuration(
+            inv.breakdown.container_init.as_micros()
+                - if inv.cold_start { w.config.cold_start.as_micros() } else { 0 },
+        ));
+
+        let actuals = Actuals {
+            cpu_peak_millis: w.cpu_peak_obs[idx],
+            mem_peak_mb: w.invs[idx].true_demand.mem_peak_mb,
+            exec_duration: exec,
+            input_size: w.invs[idx].input.size,
+        };
+
+        // Release the node reservation (the invocation's current charge:
+        // loans were already unwound above) and recycle the container.
+        let node = w.invs[idx].node.expect("completed without node");
+        let shard = w.invs[idx].shard.expect("completed without shard");
+        let charge = w.invs[idx].charge();
+        let func = w.invs[idx].func;
+        w.nodes[node.idx()].release(shard, charge);
+        w.nodes[node.idx()].resident.retain(|&r| r != id);
+        let pin_mem = charge.mem_mb;
+        w.nodes[node.idx()].park_warm(func, shard, pin_mem, now);
+        // The departure may lift an oversubscribed node's CPU scale.
+        w.settle_node(node.idx());
+        w.reschedule_node(node.idx());
+
+        Self::record_completion(w, id, exec);
+        {
+            let mut ctx = SimCtx { w };
+            platform.on_complete(&mut ctx, id, &actuals);
+        }
+        w.completed += 1;
+        w.last_completion = now;
+        #[cfg(debug_assertions)]
+        w.check_invariants().expect("invariants violated at completion");
+
+        // Freed capacity: give parked invocations another chance.
+        for s in 0..w.shards.len() {
+            if !w.shards[s].blocked.is_empty() && !w.shards[s].retry_pending {
+                w.shards[s].retry_pending = true;
+                w.queue.push(now, Event::RetryBlocked { shard: s });
+            }
+        }
+    }
+
+    /// The counterfactual response latency with user-defined resources
+    /// (t_user in Eq. 1): identical overheads, execution at nominal rate.
+    fn record_completion(w: &mut World, id: InvocationId, exec: SimDuration) {
+        let idx = id.idx();
+        let inv = &w.invs[idx];
+        let latency = inv.latency().expect("recording incomplete invocation");
+        let busy = inv.nominal.cpu_millis.min(inv.true_demand.cpu_peak_millis).max(1);
+        let peak_mem = inv.true_demand.mem_peak_mb;
+        let mem_factor = if inv.nominal.mem_mb >= peak_mem {
+            1.0
+        } else {
+            (inv.nominal.mem_mb as f64 / peak_mem as f64).max(0.3)
+        };
+        let rate_nominal = ((busy as f64 * mem_factor) as u64).max(1);
+        let base_exec_us = (inv.work_total + rate_nominal as u128 - 1) / rate_nominal as u128;
+        let overhead = latency.saturating_sub(exec);
+        let baseline = overhead + SimDuration(base_exec_us as u64);
+        let speedup = if baseline.as_micros() == 0 {
+            0.0
+        } else {
+            (baseline.as_secs_f64() - latency.as_secs_f64()) / baseline.as_secs_f64()
+        };
+        let rec = InvRecord {
+            inv: id,
+            func: inv.func,
+            func_name: w.funcs[inv.func.idx()].name.clone(),
+            node: inv.node.expect("record without node"),
+            arrival: inv.arrival,
+            latency,
+            exec,
+            baseline_latency: baseline,
+            speedup,
+            cold_start: inv.cold_start,
+            flags: inv.flags,
+            cpu_reassigned_core_sec: inv.cpu_reassigned as f64 / 1e9, // millicore·µs → core·s
+            mem_reassigned_mb_sec: inv.mem_reassigned as f64 / 1e6,   // MB·µs → MB·s
+            breakdown: inv.breakdown,
+            pred: inv.pred,
+            cpu_peak_obs: w.cpu_peak_obs[idx],
+            mem_peak_obs: inv.mem_usage_mb(),
+            restarts: inv.restarts,
+        };
+        w.records.push(rec);
+    }
+
+    fn sample_utilization(w: &mut World) {
+        let running: Vec<usize> = w
+            .invs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.state == InvState::Running)
+            .map(|(idx, _)| idx)
+            .collect();
+        for idx in &running {
+            w.update_progress(*idx);
+        }
+        let (mut cpu_used, mut mem_used) = (0u64, 0u64);
+        for idx in &running {
+            cpu_used += w.invs[*idx].cpu_usage_millis();
+            mem_used += w.invs[*idx].mem_usage_mb();
+        }
+        let alloc = w
+            .nodes
+            .iter()
+            .fold(ResourceVec::ZERO, |a, n| a + n.total_reserved());
+        let cap = w.total_capacity();
+        w.util.push(UtilSample {
+            at: w.clock,
+            cpu_used_millis: cpu_used,
+            mem_used_mb: mem_used,
+            cpu_alloc_millis: alloc.cpu_millis,
+            mem_alloc_mb: alloc.mem_mb,
+            cpu_capacity_millis: cap.cpu_millis,
+            mem_capacity_mb: cap.mem_mb,
+        });
+    }
+}
+
+/// Convenience: a minimal platform that schedules to the first node with
+/// room and never adjusts allocations. Useful for substrate tests.
+pub struct NullPlatform;
+
+impl Platform for NullPlatform {
+    fn name(&self) -> String {
+        "null".into()
+    }
+
+    fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        let need = world.inv(inv).nominal;
+        world
+            .node_ids()
+            .find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{ConstantDemand, FnDemand, InputMeta, TrueDemand};
+    use std::sync::Arc;
+
+    fn one_sec_demand(cores: u64, mem: u64) -> TrueDemand {
+        TrueDemand {
+            cpu_peak_millis: cores * 1000,
+            mem_peak_mb: mem,
+            base_duration: SimDuration::from_secs(1),
+        }
+    }
+
+    fn spec(name: &str, cores: u64, mem: u64, d: TrueDemand) -> FunctionSpec {
+        FunctionSpec::new(name, ResourceVec::from_cores_mb(cores, mem), Arc::new(ConstantDemand(d)))
+    }
+
+    fn single_node_sim(funcs: Vec<FunctionSpec>) -> Simulation {
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default())
+    }
+
+    #[test]
+    fn single_invocation_runs_to_completion() {
+        let funcs = vec![spec("f", 2, 1024, one_sec_demand(2, 256))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        assert_eq!(res.records.len(), 1);
+        let r = &res.records[0];
+        assert!(r.cold_start);
+        // ~1s execution + 500ms cold start + 1ms frontend + decision
+        let lat = r.latency.as_secs_f64();
+        assert!(lat > 1.49 && lat < 1.6, "latency {lat}");
+        assert!((r.speedup).abs() < 1e-9, "untouched invocation has zero speedup, got {}", r.speedup);
+    }
+
+    #[test]
+    fn under_provisioned_cpu_stretches_execution() {
+        // demand 4 cores for 1s (4 core-sec of work), user gives 1 core -> 4s exec
+        let funcs = vec![spec("f", 1, 1024, one_sec_demand(4, 256))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        let exec = res.records[0].exec.as_secs_f64();
+        assert!((exec - 4.0).abs() < 0.01, "exec {exec}");
+    }
+
+    #[test]
+    fn warm_start_skips_cold_penalty() {
+        let funcs = vec![spec("f", 1, 256, one_sec_demand(1, 128))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        t.push(SimTime::from_secs(5), FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        assert_eq!(res.cold_starts, 1);
+        assert_eq!(res.warm_hits, 1);
+        let by_arrival: Vec<_> = res.records.iter().collect();
+        let warm = by_arrival.iter().find(|r| !r.cold_start).unwrap();
+        assert!(warm.latency.as_secs_f64() < 1.1);
+    }
+
+    #[test]
+    fn queueing_when_node_full() {
+        // Node fits one 8-core invocation at a time; two arrive together.
+        let funcs = vec![spec("f", 8, 4096, one_sec_demand(8, 1024))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        assert_eq!(res.records.len(), 2);
+        let mut lats: Vec<f64> = res.records.iter().map(|r| r.latency.as_secs_f64()).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(lats[1] > lats[0] + 0.9, "second should wait for first: {lats:?}");
+    }
+
+    #[test]
+    fn completion_time_spans_first_to_last() {
+        let funcs = vec![spec("f", 1, 256, one_sec_demand(1, 128))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::from_secs(1), FunctionId(0), InputMeta::new(1, 0));
+        t.push(SimTime::from_secs(3), FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        let ct = res.completion_time.as_secs_f64();
+        // last arrival at 3s + ~1s exec = ~4s after first arrival at 1s -> ~3s
+        assert!(ct > 2.9 && ct < 3.7, "completion time {ct}");
+    }
+
+    #[test]
+    fn utilization_sampled() {
+        let funcs = vec![spec("f", 4, 2048, one_sec_demand(4, 1024))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        assert!(!res.util.is_empty());
+        let peak = res.util.iter().map(|u| u.cpu_util()).fold(0.0, f64::max);
+        assert!((peak - 0.5).abs() < 0.01, "4 of 8 cores busy at peak, got {peak}");
+    }
+
+    #[test]
+    fn input_dependent_demand_flows_through() {
+        let model = Arc::new(FnDemand(|i: &InputMeta| TrueDemand {
+            cpu_peak_millis: 1000,
+            mem_peak_mb: 128,
+            base_duration: SimDuration::from_millis(i.size),
+        }));
+        let f = FunctionSpec::new("scaled", ResourceVec::from_cores_mb(1, 256), model);
+        let sim = single_node_sim(vec![f]);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(2000, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        let exec = res.records[0].exec.as_secs_f64();
+        assert!((exec - 2.0).abs() < 0.01, "exec {exec}");
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let funcs = vec![spec("f", 1, 256, one_sec_demand(1, 128))];
+        let sim = single_node_sim(funcs);
+        let res = sim.run(&Trace::new(), &mut NullPlatform);
+        assert!(res.records.is_empty());
+        assert_eq!(res.completion_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spill_slowdown_for_user_underprovisioned_memory() {
+        // peak 1000 MB, user gives 500 MB -> factor 0.5 -> 2x duration; no OOM.
+        let d = TrueDemand {
+            cpu_peak_millis: 1000,
+            mem_peak_mb: 1000,
+            base_duration: SimDuration::from_secs(1),
+        };
+        let funcs = vec![spec("f", 1, 500, d)];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut NullPlatform);
+        let r = &res.records[0];
+        assert_eq!(r.restarts, 0, "user shortfall must not OOM");
+        let exec = r.exec.as_secs_f64();
+        assert!((exec - 2.0).abs() < 0.05, "exec {exec}");
+        // baseline equals observed -> zero speedup
+        assert!(r.speedup.abs() < 1e-9);
+    }
+
+    /// A platform that harvests memory below true usage to force an OOM.
+    struct OverHarvester;
+    impl Platform for OverHarvester {
+        fn name(&self) -> String {
+            "overharvest".into()
+        }
+        fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+            let need = world.inv(inv).nominal;
+            world.node_ids().find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
+        }
+        fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+            // grant far less memory than the function will touch
+            let nominal = ctx.inv(inv).nominal;
+            ctx.set_own_grant(inv, ResourceVec::new(nominal.cpu_millis, 64));
+        }
+    }
+
+    #[test]
+    fn over_harvesting_memory_ooms_and_restarts() {
+        // peak 900 MB <= nominal 1024 MB: a grant of 64MB (floor 128) OOMs.
+        let d = TrueDemand {
+            cpu_peak_millis: 2000,
+            mem_peak_mb: 900,
+            base_duration: SimDuration::from_secs(2),
+        };
+        let funcs = vec![spec("f", 2, 1024, d)];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut OverHarvester);
+        let r = &res.records[0];
+        assert_eq!(r.restarts, 1, "should OOM exactly once then succeed with nominal");
+        assert!(r.flags.oomed);
+        assert!(r.flags.harvested);
+        assert!(r.speedup < -0.15, "OOM restart must show as degradation, got {}", r.speedup);
+    }
+}

@@ -1,0 +1,169 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)`. The monotonically increasing
+//! sequence number breaks ties deterministically in insertion order, which
+//! makes every simulation run bit-reproducible for a given trace and seed.
+//!
+//! Completion events must be *rescheduled* whenever a running invocation's
+//! allocation changes (harvest, acceleration, preemptive release, timeliness
+//! revocation). Rather than deleting heap entries, each invocation carries a
+//! generation counter: stale `Finish` events whose generation no longer
+//! matches are ignored when popped. This is the standard lazy-deletion
+//! technique for reschedulable timers.
+
+use crate::ids::{InvocationId, NodeId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulated cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A function invocation arrives at the front end.
+    Arrival(InvocationId),
+    /// A sharded scheduler finished its decision service time for the
+    /// invocation at the head of its queue.
+    DecisionDone {
+        /// Scheduler shard index.
+        shard: usize,
+    },
+    /// A container (warm or freshly cold-started) begins executing.
+    StartExec(InvocationId),
+    /// A running invocation finishes. Carries the generation it was scheduled
+    /// under; stale generations are discarded.
+    Finish {
+        /// The finishing invocation.
+        inv: InvocationId,
+        /// Generation at scheduling time (lazy cancellation token).
+        generation: u64,
+    },
+    /// Periodic per-invocation resource-usage check (the safeguard's cgroup
+    /// monitor window, §5.2).
+    MonitorTick(InvocationId),
+    /// Periodic per-node health ping carrying the harvest pool status
+    /// piggyback (§6.4).
+    HealthPing(NodeId),
+    /// Periodic cluster-wide utilization sample (for Figs 7 and 11).
+    UtilizationSample,
+    /// Re-run blocked scheduler queues after capacity was released.
+    RetryBlocked {
+        /// Scheduler shard index.
+        shard: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(n: u32) -> InvocationId {
+        InvocationId(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), Event::Arrival(inv(3)));
+        q.push(SimTime::from_millis(10), Event::Arrival(inv(1)));
+        q.push(SimTime::from_millis(20), Event::Arrival(inv(2)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.push(t, Event::Arrival(inv(i)));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival(i) => i.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(1), Event::UtilizationSample);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(e, Event::UtilizationSample);
+        assert!(q.pop().is_none());
+    }
+}

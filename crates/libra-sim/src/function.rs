@@ -1,0 +1,79 @@
+//! Deployed functions.
+
+use crate::demand::DemandModel;
+use crate::resources::ResourceVec;
+use std::sync::Arc;
+
+/// A function deployed on the platform (Step 1 of Fig 3): a codebase plus a
+/// fixed user-defined resource allocation. The user allocation is the upper
+/// bound of resources an invocation is *entitled* to; Libra may grant less
+/// (harvest) or more (acceleration, from harvested idle resources).
+#[derive(Clone)]
+pub struct FunctionSpec {
+    /// Human-readable name (e.g. "DH", "VP").
+    pub name: String,
+    /// User-defined allocation, e.g. 2 cores / 1024 MB.
+    pub user_alloc: ResourceVec,
+    /// Minimum memory the platform must always leave with an invocation of
+    /// this function (OOM mitigation, §5.1 "Mitigating Out-of-Memory").
+    pub mem_floor_mb: u64,
+    /// Ground-truth behaviour (hidden from platforms; see [`DemandModel`]).
+    pub model: Arc<dyn DemandModel>,
+}
+
+impl FunctionSpec {
+    /// Create a spec with the default memory floor (1/8 of user memory,
+    /// at least 64 MB).
+    pub fn new(name: impl Into<String>, user_alloc: ResourceVec, model: Arc<dyn DemandModel>) -> Self {
+        let floor = (user_alloc.mem_mb / 8).max(64).min(user_alloc.mem_mb);
+        FunctionSpec { name: name.into(), user_alloc, mem_floor_mb: floor, model }
+    }
+
+    /// Override the OOM memory floor.
+    pub fn with_mem_floor(mut self, floor_mb: u64) -> Self {
+        self.mem_floor_mb = floor_mb.min(self.user_alloc.mem_mb);
+        self
+    }
+}
+
+impl std::fmt::Debug for FunctionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionSpec")
+            .field("name", &self.name)
+            .field("user_alloc", &self.user_alloc)
+            .field("mem_floor_mb", &self.mem_floor_mb)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{ConstantDemand, TrueDemand};
+    use crate::time::SimDuration;
+
+    fn dummy_model() -> Arc<dyn DemandModel> {
+        Arc::new(ConstantDemand(TrueDemand {
+            cpu_peak_millis: 1000,
+            mem_peak_mb: 128,
+            base_duration: SimDuration::from_secs(1),
+        }))
+    }
+
+    #[test]
+    fn default_floor_is_eighth_of_memory_at_least_64() {
+        let f = FunctionSpec::new("a", ResourceVec::from_cores_mb(2, 1024), dummy_model());
+        assert_eq!(f.mem_floor_mb, 128);
+        let g = FunctionSpec::new("b", ResourceVec::from_cores_mb(1, 256), dummy_model());
+        assert_eq!(g.mem_floor_mb, 64);
+    }
+
+    #[test]
+    fn floor_never_exceeds_allocation() {
+        let f = FunctionSpec::new("tiny", ResourceVec::from_cores_mb(1, 32), dummy_model());
+        assert_eq!(f.mem_floor_mb, 32);
+        let g = FunctionSpec::new("c", ResourceVec::from_cores_mb(1, 256), dummy_model())
+            .with_mem_floor(10_000);
+        assert_eq!(g.mem_floor_mb, 256);
+    }
+}

@@ -1,0 +1,387 @@
+//! Invocation lifecycle records.
+//!
+//! An [`Invocation`] is the engine's authoritative record of one running
+//! function instance: where it is in its lifecycle, what it is entitled to
+//! (`nominal`), what it actually holds (`own_grant` plus incoming loans), how
+//! much work it has completed, and the metric integrals the evaluation
+//! figures need.
+
+use crate::demand::{InputMeta, TrueDemand};
+use crate::ids::{FunctionId, InvocationId, NodeId};
+use crate::resources::ResourceVec;
+use crate::time::{SimDuration, SimTime};
+
+/// Lifecycle states of an invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum InvState {
+    /// Arrival event scheduled but not yet fired.
+    Pending,
+    /// Waiting in (or being serviced by) a scheduler shard queue.
+    AwaitingDecision,
+    /// No node had capacity; parked until resources are released.
+    Blocked,
+    /// Assigned to a node, container cold-starting.
+    ColdStarting,
+    /// Executing user code.
+    Running,
+    /// Finished; actuals recorded.
+    Completed,
+}
+
+/// Which estimator produced a prediction (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum PredictionPath {
+    /// Random-forest models (input size-related functions, §4.3.1).
+    Ml,
+    /// Histogram models (input size-unrelated functions, §4.3.2).
+    Histogram,
+    /// Moving window of recent maxima (the Libra-NP ablation, §8.3).
+    Window,
+    /// First-seen invocation or profiling window: served with user/max
+    /// resources, no estimate.
+    None,
+}
+
+/// A platform's estimate of an invocation's demands and duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct Prediction {
+    /// Predicted CPU usage peak (millicores).
+    pub cpu_millis: u64,
+    /// Predicted memory usage peak (MB).
+    pub mem_mb: u64,
+    /// Predicted execution duration.
+    pub duration: SimDuration,
+    /// Which model produced it.
+    pub path: PredictionPath,
+}
+
+impl Prediction {
+    /// Predicted peak as a resource vector.
+    pub fn peak(&self) -> ResourceVec {
+        ResourceVec::new(self.cpu_millis, self.mem_mb)
+    }
+}
+
+/// Ground-truth observations reported to the platform after completion
+/// (OpenWhisk's `observed_(cpu, mem, duration)` feedback loop, Fig 3).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct Actuals {
+    /// Observed CPU usage peak (millicores).
+    pub cpu_peak_millis: u64,
+    /// Observed memory usage peak (MB).
+    pub mem_peak_mb: u64,
+    /// Observed execution duration (excludes queueing and cold start).
+    pub exec_duration: SimDuration,
+    /// Input size the invocation carried.
+    pub input_size: u64,
+}
+
+/// An active loan of harvested resources: `source` lent `res` to `borrower`.
+/// Loans obey the timeliness law — they die with the source (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct Loan {
+    /// The over-provisioned invocation the resources were harvested from.
+    pub source: InvocationId,
+    /// The under-provisioned invocation being accelerated.
+    pub borrower: InvocationId,
+    /// Volume on loan.
+    pub res: ResourceVec,
+    /// When the loan was created.
+    pub created: SimTime,
+}
+
+/// Per-invocation latency breakdown (Fig 15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct StageBreakdown {
+    /// Front-end admission.
+    pub frontend: SimDuration,
+    /// Profiler inference.
+    pub profiler: SimDuration,
+    /// Scheduler queueing + decision.
+    pub scheduler: SimDuration,
+    /// Harvest-pool operations at start.
+    pub pool: SimDuration,
+    /// Container initialization (zero on warm start).
+    pub container_init: SimDuration,
+    /// Code execution.
+    pub exec: SimDuration,
+}
+
+impl StageBreakdown {
+    /// Sum of all stages.
+    pub fn total(&self) -> SimDuration {
+        self.frontend + self.profiler + self.scheduler + self.pool + self.container_init + self.exec
+    }
+}
+
+/// Outcome category flags for Fig 8's scatter classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct InvFlags {
+    /// Resources were harvested from this invocation at some point.
+    pub harvested: bool,
+    /// This invocation ran with borrowed (supplementary) resources at some point.
+    pub accelerated: bool,
+    /// The safeguard fired for this invocation.
+    pub safeguarded: bool,
+    /// The invocation ran out of memory and was restarted.
+    pub oomed: bool,
+}
+
+/// The engine's record of one invocation.
+#[derive(Clone, Debug)]
+pub struct Invocation {
+    /// Identity.
+    pub id: InvocationId,
+    /// The function invoked.
+    pub func: FunctionId,
+    /// Input metadata (size visible; content opaque).
+    pub input: InputMeta,
+    /// Ground truth (engine-private in spirit; platforms must not read it).
+    pub true_demand: TrueDemand,
+    /// Total work in millicore-µs ([`TrueDemand::work`]).
+    pub work_total: u128,
+
+    /// Arrival at the front end.
+    pub arrival: SimTime,
+    /// When the scheduling decision completed.
+    pub decided_at: Option<SimTime>,
+    /// When user code began executing.
+    pub exec_start: Option<SimTime>,
+    /// Completion time.
+    pub end: Option<SimTime>,
+
+    /// Node executing it.
+    pub node: Option<NodeId>,
+    /// Scheduler shard that handled it.
+    pub shard: Option<usize>,
+
+    /// User-defined entitlement (admission is checked against this).
+    pub nominal: ResourceVec,
+    /// What it currently holds of its own entitlement.
+    pub own_grant: ResourceVec,
+    /// Incoming loans (resources borrowed for acceleration).
+    pub borrowed_in: Vec<Loan>,
+    /// Total volume currently lent out to others.
+    pub lent_out: ResourceVec,
+
+    /// Work completed so far (millicore-µs).
+    pub progress: u128,
+    /// Last time `progress` was brought up to date.
+    pub last_update: SimTime,
+    /// Effective rate (millicores of useful work per µs × 1000) as of
+    /// `last_update`; see `engine::effective_rate`.
+    pub rate_millis: u64,
+    /// Generation counter for lazy-cancelled Finish events.
+    pub finish_gen: u64,
+
+    /// Lifecycle state.
+    pub state: InvState,
+    /// Whether the container was cold-started.
+    pub cold_start: bool,
+    /// Number of OOM restarts.
+    pub restarts: u32,
+
+    /// The platform's prediction, if any (recorded for metrics).
+    pub pred: Option<Prediction>,
+    /// Outcome category flags.
+    pub flags: InvFlags,
+    /// Latency breakdown.
+    pub breakdown: StageBreakdown,
+
+    /// ∫ (effective − nominal) CPU dt, in millicore-µs (signed):
+    /// positive = net accelerated, negative = net harvested (Fig 8 x-axis).
+    pub cpu_reassigned: i128,
+    /// ∫ (effective − nominal) memory dt, in MB-µs (signed).
+    pub mem_reassigned: i128,
+}
+
+impl Invocation {
+    /// Create a fresh record in `Pending` state.
+    pub fn new(
+        id: InvocationId,
+        func: FunctionId,
+        input: InputMeta,
+        true_demand: TrueDemand,
+        nominal: ResourceVec,
+        arrival: SimTime,
+    ) -> Self {
+        Invocation {
+            id,
+            func,
+            input,
+            true_demand,
+            work_total: true_demand.work(),
+            arrival,
+            decided_at: None,
+            exec_start: None,
+            end: None,
+            node: None,
+            shard: None,
+            nominal,
+            own_grant: nominal,
+            borrowed_in: Vec::new(),
+            lent_out: ResourceVec::ZERO,
+            progress: 0,
+            last_update: arrival,
+            rate_millis: 0,
+            finish_gen: 0,
+            state: InvState::Pending,
+            cold_start: false,
+            restarts: 0,
+            pred: None,
+            flags: InvFlags::default(),
+            breakdown: StageBreakdown::default(),
+            cpu_reassigned: 0,
+            mem_reassigned: 0,
+        }
+    }
+
+    /// Everything the invocation can currently use: its own grant plus all
+    /// incoming loans.
+    pub fn effective_alloc(&self) -> ResourceVec {
+        self.borrowed_in
+            .iter()
+            .fold(self.own_grant, |acc, l| acc + l.res)
+    }
+
+    /// What the invocation currently charges against its node's capacity:
+    /// its own grant plus everything it has lent out. Harvesting (grant <
+    /// nominal with the difference pooled, §5.1) lowers the charge — that is
+    /// how harvested resources admit additional invocations.
+    pub fn charge(&self) -> ResourceVec {
+        self.own_grant + self.lent_out
+    }
+
+    /// Total volume currently borrowed in.
+    pub fn borrowed_total(&self) -> ResourceVec {
+        self.borrowed_in
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, l| acc + l.res)
+    }
+
+    /// Fraction of total work completed, in `[0, 1]`.
+    pub fn progress_frac(&self) -> f64 {
+        if self.work_total == 0 {
+            1.0
+        } else {
+            (self.progress as f64 / self.work_total as f64).min(1.0)
+        }
+    }
+
+    /// Instantaneous memory footprint (MB): ramps linearly from 25 % to 100 %
+    /// of the peak over the execution, a coarse but monotone model of heap
+    /// growth that gives the safeguard a usage signal to watch (§5.2).
+    pub fn mem_usage_mb(&self) -> u64 {
+        let frac = 0.25 + 0.75 * self.progress_frac();
+        (self.true_demand.mem_peak_mb as f64 * frac).round() as u64
+    }
+
+    /// Instantaneous busy millicores: the code uses everything it can, up to
+    /// its true CPU peak.
+    pub fn cpu_usage_millis(&self) -> u64 {
+        self.effective_alloc().cpu_millis.min(self.true_demand.cpu_peak_millis)
+    }
+
+    /// Remaining work in millicore-µs.
+    pub fn remaining_work(&self) -> u128 {
+        self.work_total.saturating_sub(self.progress)
+    }
+
+    /// End-to-end response latency (arrival → completion), once completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.since(self.arrival))
+    }
+
+    /// True if the invocation is past the point of no return (running or done).
+    pub fn is_running(&self) -> bool {
+        self.state == InvState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand() -> TrueDemand {
+        TrueDemand {
+            cpu_peak_millis: 2000,
+            mem_peak_mb: 400,
+            base_duration: SimDuration::from_secs(10),
+        }
+    }
+
+    fn inv() -> Invocation {
+        Invocation::new(
+            InvocationId(0),
+            FunctionId(0),
+            InputMeta::new(100, 0),
+            demand(),
+            ResourceVec::from_cores_mb(4, 1024),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn effective_alloc_sums_loans() {
+        let mut i = inv();
+        assert_eq!(i.effective_alloc(), i.nominal);
+        i.borrowed_in.push(Loan {
+            source: InvocationId(9),
+            borrower: i.id,
+            res: ResourceVec::new(500, 128),
+            created: SimTime::ZERO,
+        });
+        assert_eq!(i.effective_alloc(), ResourceVec::new(4500, 1152));
+        assert_eq!(i.borrowed_total(), ResourceVec::new(500, 128));
+    }
+
+    #[test]
+    fn memory_ramps_from_quarter_to_peak() {
+        let mut i = inv();
+        assert_eq!(i.mem_usage_mb(), 100); // 25% of 400 at progress 0
+        i.progress = i.work_total;
+        assert_eq!(i.mem_usage_mb(), 400);
+        i.progress = i.work_total / 2;
+        let mid = i.mem_usage_mb();
+        assert!(mid > 100 && mid < 400, "mid-execution usage {mid} should be between");
+    }
+
+    #[test]
+    fn cpu_usage_capped_by_peak_and_alloc() {
+        let mut i = inv();
+        // alloc 4 cores, peak 2 cores -> busy 2 cores
+        assert_eq!(i.cpu_usage_millis(), 2000);
+        i.own_grant = ResourceVec::new(800, 1024);
+        assert_eq!(i.cpu_usage_millis(), 800);
+    }
+
+    #[test]
+    fn progress_fraction_and_remaining() {
+        let mut i = inv();
+        assert_eq!(i.progress_frac(), 0.0);
+        assert_eq!(i.remaining_work(), i.work_total);
+        i.progress = i.work_total;
+        assert_eq!(i.progress_frac(), 1.0);
+        assert_eq!(i.remaining_work(), 0);
+    }
+
+    #[test]
+    fn zero_work_counts_as_complete() {
+        let mut i = inv();
+        i.work_total = 0;
+        assert_eq!(i.progress_frac(), 1.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_stages() {
+        let b = StageBreakdown {
+            frontend: SimDuration::from_millis(1),
+            profiler: SimDuration::from_millis(2),
+            scheduler: SimDuration::from_millis(3),
+            pool: SimDuration::from_millis(4),
+            container_init: SimDuration::from_millis(5),
+            exec: SimDuration::from_millis(6),
+        };
+        assert_eq!(b.total(), SimDuration::from_millis(21));
+    }
+}

@@ -1,0 +1,307 @@
+//! Measurement collection.
+//!
+//! Everything the paper's evaluation section reports is derived from two
+//! streams recorded here: per-invocation completion records (latency,
+//! speedup, reassignment integrals, categories — Figs 6, 8, 13, 15) and
+//! periodic cluster utilization samples (Figs 7, 11).
+
+use crate::ids::{FunctionId, InvocationId, NodeId};
+use crate::invocation::{InvFlags, Prediction, StageBreakdown};
+use crate::time::{SimDuration, SimTime};
+
+/// Completion record for one invocation.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct InvRecord {
+    /// Which invocation.
+    pub inv: InvocationId,
+    /// Which function.
+    pub func: FunctionId,
+    /// Function name (for per-function reports).
+    pub func_name: String,
+    /// Node that executed it.
+    pub node: NodeId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// End-to-end response latency (arrival → completion).
+    pub latency: SimDuration,
+    /// Execution-only duration (first exec start → completion).
+    pub exec: SimDuration,
+    /// The response latency this invocation *would* have had with its
+    /// user-defined allocation and identical overheads (t_user in Eq. 1).
+    pub baseline_latency: SimDuration,
+    /// speedup := (t_user − t_platform) / t_user (Eq. 1).
+    pub speedup: f64,
+    /// Whether the container cold-started.
+    pub cold_start: bool,
+    /// Category flags (Fig 8).
+    pub flags: InvFlags,
+    /// ∫(effective − nominal) CPU dt in core-seconds (signed, Fig 8 x-axis).
+    pub cpu_reassigned_core_sec: f64,
+    /// ∫(effective − nominal) memory dt in MB-seconds (signed).
+    pub mem_reassigned_mb_sec: f64,
+    /// Latency breakdown by stage (Fig 15).
+    pub breakdown: StageBreakdown,
+    /// The platform's prediction, if it made one.
+    pub pred: Option<Prediction>,
+    /// Observed CPU peak (millicores).
+    pub cpu_peak_obs: u64,
+    /// Observed memory peak (MB).
+    pub mem_peak_obs: u64,
+    /// Number of OOM restarts suffered.
+    pub restarts: u32,
+}
+
+impl InvRecord {
+    /// Fig 8 category label.
+    pub fn category(&self) -> InvCategory {
+        if self.flags.safeguarded || self.flags.oomed {
+            InvCategory::Safeguard
+        } else if self.flags.accelerated {
+            InvCategory::Accelerate
+        } else if self.flags.harvested {
+            InvCategory::Harvest
+        } else {
+            InvCategory::Default
+        }
+    }
+}
+
+/// Fig 8 scatter categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum InvCategory {
+    /// Ran with the user-requested allocation, untouched.
+    Default,
+    /// Had idle resources harvested from it.
+    Harvest,
+    /// Ran with supplementary (borrowed) resources.
+    Accelerate,
+    /// Was protected by the safeguard (or OOM-restarted).
+    Safeguard,
+}
+
+/// One cluster-wide utilization sample.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct UtilSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Busy CPU millicores across all running invocations.
+    pub cpu_used_millis: u64,
+    /// Memory in use (MB) across all running invocations.
+    pub mem_used_mb: u64,
+    /// Nominally reserved CPU millicores.
+    pub cpu_alloc_millis: u64,
+    /// Nominally reserved memory (MB).
+    pub mem_alloc_mb: u64,
+    /// Total cluster CPU capacity (millicores).
+    pub cpu_capacity_millis: u64,
+    /// Total cluster memory capacity (MB).
+    pub mem_capacity_mb: u64,
+}
+
+impl UtilSample {
+    /// sys_util for CPU (Eq. 2): utilized / available.
+    pub fn cpu_util(&self) -> f64 {
+        self.cpu_used_millis as f64 / self.cpu_capacity_millis.max(1) as f64
+    }
+
+    /// sys_util for memory (Eq. 2).
+    pub fn mem_util(&self) -> f64 {
+        self.mem_used_mb as f64 / self.mem_capacity_mb.max(1) as f64
+    }
+}
+
+/// Full result of one simulated run.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct RunResult {
+    /// Platform under test.
+    pub platform: String,
+    /// Per-invocation completion records, in completion order.
+    pub records: Vec<InvRecord>,
+    /// Periodic utilization samples.
+    pub util: Vec<UtilSample>,
+    /// First arrival → last completion (workload completion time, §8.4).
+    pub completion_time: SimDuration,
+    /// Warm container hits.
+    pub warm_hits: u64,
+    /// Cold starts.
+    pub cold_starts: u64,
+    /// Mean scheduler decision queueing+service delay per invocation.
+    pub mean_sched_delay: SimDuration,
+}
+
+impl RunResult {
+    /// All response latencies, in seconds.
+    pub fn latencies_sec(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency.as_secs_f64()).collect()
+    }
+
+    /// All speedups (Eq. 1).
+    pub fn speedups(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.speedup).collect()
+    }
+
+    /// The p-th percentile response latency in seconds (p in [0,100]).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        percentile(&self.latencies_sec(), p)
+    }
+
+    /// Mean CPU utilization over the run (Eq. 2).
+    pub fn mean_cpu_util(&self) -> f64 {
+        mean(self.util.iter().map(UtilSample::cpu_util))
+    }
+
+    /// Mean memory utilization over the run (Eq. 2).
+    pub fn mean_mem_util(&self) -> f64 {
+        mean(self.util.iter().map(UtilSample::mem_util))
+    }
+
+    /// Peak CPU utilization over the run.
+    pub fn peak_cpu_util(&self) -> f64 {
+        self.util.iter().map(UtilSample::cpu_util).fold(0.0, f64::max)
+    }
+
+    /// Peak memory utilization over the run.
+    pub fn peak_mem_util(&self) -> f64 {
+        self.util.iter().map(UtilSample::mem_util).fold(0.0, f64::max)
+    }
+
+    /// Worst (most negative) speedup — the paper's "performance degradation
+    /// at worst".
+    pub fn worst_degradation(&self) -> f64 {
+        self.speedups().into_iter().fold(0.0, f64::min)
+    }
+
+    /// Fraction of invocations that triggered the safeguard.
+    pub fn safeguarded_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = self.records.iter().filter(|r| r.flags.safeguarded).count();
+        n as f64 / self.records.len() as f64
+    }
+}
+
+/// The p-th percentile (linear interpolation, p in [0,100]) of unsorted data.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Arithmetic mean of an iterator (0.0 when empty).
+pub fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for x in it {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Empirical CDF points `(value, cumulative fraction)` for plotting.
+pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf input"));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0), 4.0);
+        assert!((percentile(&data, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_handles_unsorted() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&data, 100.0), 4.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+        assert!((mean([1.0, 2.0, 3.0].into_iter()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_to_one() {
+        let c = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1.0, 1.0 / 3.0));
+        assert_eq!(c[2], (3.0, 1.0));
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn util_sample_ratios() {
+        let s = UtilSample {
+            at: SimTime::ZERO,
+            cpu_used_millis: 16_000,
+            mem_used_mb: 8_192,
+            cpu_alloc_millis: 32_000,
+            mem_alloc_mb: 16_384,
+            cpu_capacity_millis: 32_000,
+            mem_capacity_mb: 32_768,
+        };
+        assert!((s.cpu_util() - 0.5).abs() < 1e-12);
+        assert!((s.mem_util() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_priority() {
+        let mut r = InvRecord {
+            inv: InvocationId(0),
+            func: FunctionId(0),
+            func_name: "f".into(),
+            node: NodeId(0),
+            arrival: SimTime::ZERO,
+            latency: SimDuration::from_secs(1),
+            exec: SimDuration::from_secs(1),
+            baseline_latency: SimDuration::from_secs(1),
+            speedup: 0.0,
+            cold_start: false,
+            flags: InvFlags::default(),
+            cpu_reassigned_core_sec: 0.0,
+            mem_reassigned_mb_sec: 0.0,
+            breakdown: StageBreakdown::default(),
+            pred: None,
+            cpu_peak_obs: 0,
+            mem_peak_obs: 0,
+            restarts: 0,
+        };
+        assert_eq!(r.category(), InvCategory::Default);
+        r.flags.harvested = true;
+        assert_eq!(r.category(), InvCategory::Harvest);
+        r.flags.accelerated = true;
+        assert_eq!(r.category(), InvCategory::Accelerate);
+        r.flags.safeguarded = true;
+        assert_eq!(r.category(), InvCategory::Safeguard);
+    }
+}

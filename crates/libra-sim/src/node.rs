@@ -1,0 +1,175 @@
+//! Worker nodes (OpenWhisk invokers).
+//!
+//! A node owns a fixed capacity, sharded evenly across the decentralized
+//! schedulers (§6.4): each scheduler admits invocations only against its own
+//! slice, so schedulers never need to synchronize. Reservations are tracked
+//! *nominally* (at the user-defined allocation) — harvesting reassigns usage
+//! inside the reserved envelope and therefore never violates admission:
+//!
+//! > Σ granted ≤ Σ nominal ≤ capacity
+//!
+//! which is the safety invariant the integration tests assert.
+
+use crate::container::WarmPool;
+use crate::ids::{InvocationId, NodeId};
+use crate::resources::ResourceVec;
+use crate::time::{SimDuration, SimTime};
+
+/// One worker node.
+pub struct Node {
+    /// Identity.
+    pub id: NodeId,
+    /// Total capacity for user functions.
+    pub capacity: ResourceVec,
+    /// Per-shard nominal reservations (one slot per scheduler shard).
+    reserved: Vec<ResourceVec>,
+    /// Invocations currently assigned here (cold-starting or running).
+    pub resident: Vec<InvocationId>,
+    /// Idle warm containers.
+    pub warm: WarmPool,
+}
+
+impl Node {
+    /// Create a node with `capacity`, sharded across `shards` schedulers.
+    pub fn new(id: NodeId, capacity: ResourceVec, shards: usize, keepalive: SimDuration) -> Self {
+        assert!(shards > 0, "a node must be visible to at least one scheduler shard");
+        Node {
+            id,
+            capacity,
+            reserved: vec![ResourceVec::ZERO; shards],
+            resident: Vec::new(),
+            warm: WarmPool::new(keepalive),
+        }
+    }
+
+    /// Number of scheduler shards this node is sliced across.
+    pub fn shards(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// Capacity slice owned by one shard.
+    pub fn shard_capacity(&self) -> ResourceVec {
+        self.capacity.div(self.reserved.len() as u64)
+    }
+
+    /// Free (unreserved) capacity within `shard`'s slice.
+    pub fn free_in_shard(&self, shard: usize) -> ResourceVec {
+        self.shard_capacity().saturating_sub(&self.reserved[shard])
+    }
+
+    /// Try to reserve `res` nominally within `shard`'s slice. Idle warm
+    /// containers do not block admission — their pinned memory is evicted
+    /// on demand ([`Node::settle_pins`]), exactly like OpenWhisk's container
+    /// pool tearing down paused containers to make room.
+    pub fn try_reserve(&mut self, shard: usize, res: ResourceVec) -> bool {
+        if res.fits_within(&self.free_in_shard(shard)) {
+            self.reserved[shard] += res;
+            self.settle_pins(shard);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Add to `shard`'s reservation without a capacity check. Used when a
+    /// safeguard or OOM restores a harvested invocation to its user
+    /// allocation: the restore must succeed even if it transiently
+    /// oversubscribes the slice (the kernel absorbs it via proportional CPU
+    /// sharing; see `engine`).
+    pub fn force_reserve(&mut self, shard: usize, res: ResourceVec) {
+        self.reserved[shard] += res;
+        self.settle_pins(shard);
+    }
+
+    /// Evict warm containers of `shard` until its reservations plus pinned
+    /// warm memory fit the slice again.
+    fn settle_pins(&mut self, shard: usize) {
+        let slice_mem = self.shard_capacity().mem_mb;
+        let over = (self.reserved[shard].mem_mb + self.warm.pinned_for(shard)).saturating_sub(slice_mem);
+        if over > 0 {
+            let _ = self.warm.evict_for(shard, over, SimTime::ZERO);
+        }
+    }
+
+    /// Park a completed invocation's container as warm, pinning `mem_mb` in
+    /// `shard`'s slice — unless there is no room to keep it, in which case
+    /// the container is simply torn down.
+    pub fn park_warm(&mut self, func: crate::ids::FunctionId, shard: usize, mem_mb: u64, now: SimTime) {
+        let slice_mem = self.shard_capacity().mem_mb;
+        let room = slice_mem.saturating_sub(self.reserved[shard].mem_mb + self.warm.pinned_for(shard));
+        if mem_mb <= room {
+            self.warm.release(func, shard, mem_mb, now);
+        }
+    }
+
+    /// Release a reservation from `shard`'s slice.
+    pub fn release(&mut self, shard: usize, res: ResourceVec) {
+        self.reserved[shard] -= res;
+    }
+
+    /// Current reservation of one shard (for invariant checks).
+    pub fn reserved_in(&self, shard: usize) -> ResourceVec {
+        self.reserved[shard]
+    }
+
+    /// Total nominal reservation across all shards.
+    pub fn total_reserved(&self) -> ResourceVec {
+        self.reserved
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, r| acc + *r)
+    }
+
+    /// Number of invocations currently resident.
+    pub fn load(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(shards: usize) -> Node {
+        Node::new(
+            NodeId(0),
+            ResourceVec::from_cores_mb(32, 32_768),
+            shards,
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn shard_capacity_is_even_slice() {
+        let n = node(4);
+        assert_eq!(n.shard_capacity(), ResourceVec::from_cores_mb(8, 8192));
+        assert_eq!(n.free_in_shard(0), ResourceVec::from_cores_mb(8, 8192));
+    }
+
+    #[test]
+    fn reserve_respects_shard_slice_not_whole_node() {
+        let mut n = node(4);
+        // 10 cores fits the node but not a single 8-core shard slice.
+        assert!(!n.try_reserve(0, ResourceVec::from_cores_mb(10, 1024)));
+        assert!(n.try_reserve(0, ResourceVec::from_cores_mb(8, 8192)));
+        // shard 0 now full; shard 1 unaffected
+        assert!(!n.try_reserve(0, ResourceVec::from_cores_mb(1, 1)));
+        assert!(n.try_reserve(1, ResourceVec::from_cores_mb(8, 8192)));
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut n = node(2);
+        let r = ResourceVec::from_cores_mb(4, 2048);
+        assert!(n.try_reserve(0, r));
+        assert_eq!(n.total_reserved(), r);
+        n.release(0, r);
+        assert_eq!(n.total_reserved(), ResourceVec::ZERO);
+        assert_eq!(n.free_in_shard(0), n.shard_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheduler shard")]
+    fn zero_shards_panics() {
+        let _ = node(0);
+    }
+}

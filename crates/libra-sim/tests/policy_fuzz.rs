@@ -1,0 +1,198 @@
+//! Policy fuzzing: a platform that makes *random* (seeded) harvest, lend,
+//! release and trim decisions at every hook, run over randomized traces.
+//! Whatever the policy does, the engine's physics must hold: every
+//! invocation completes, reservations reconcile (`check_invariants` runs at
+//! every completion in debug builds), loans die with their sources, and
+//! nothing deadlocks or loses work.
+
+use libra_sim::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic xorshift-ish generator (no rand dependency needed here).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.0 = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The chaos platform: random decisions at every hook.
+struct ChaosPolicy {
+    rng: Rng,
+    running: Vec<InvocationId>,
+}
+
+impl ChaosPolicy {
+    fn new(seed: u64) -> Self {
+        ChaosPolicy { rng: Rng(seed), running: Vec::new() }
+    }
+}
+
+impl Platform for ChaosPolicy {
+    fn name(&self) -> String {
+        "chaos".into()
+    }
+
+    fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        let need = world.inv(inv).nominal;
+        let n = world.num_nodes() as u64;
+        let start = self.rng.below(n) as usize;
+        (0..world.num_nodes())
+            .map(|k| NodeId(((start + k) % world.num_nodes()) as u32))
+            .find(|&node| need.fits_within(&world.free_in_shard(node, shard)))
+    }
+
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.running.push(inv);
+        // Randomly harvest 0-100% of the CPU and any amount of memory at or
+        // above the current footprint (even a chaotic policy reads cgroups
+        // before shrinking memory — granting below observed usage is an
+        // instant OOM, and doing it after every restart would live-lock).
+        let nominal = ctx.inv(inv).nominal;
+        let used_mem = ctx.usage(inv).mem_used_mb;
+        let keep_cpu = self.rng.below(nominal.cpu_millis + 1);
+        let keep_mem = used_mem + self.rng.below(nominal.mem_mb.saturating_sub(used_mem) + 1);
+        if self.rng.below(2) == 0 {
+            ctx.set_own_grant(inv, ResourceVec::new(keep_cpu, keep_mem));
+        }
+        // Randomly try to borrow from a random running invocation — on
+        // whatever node; the engine must refuse illegal combinations.
+        if self.rng.below(2) == 0 && !self.running.is_empty() {
+            let src = self.running[self.rng.below(self.running.len() as u64) as usize];
+            let vol = ResourceVec::new(self.rng.below(4000), self.rng.below(512));
+            let _ = ctx.lend(src, inv, vol);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        match self.rng.below(12) {
+            0 => {
+                let _ = ctx.preemptive_release(inv);
+            }
+            1 => {
+                // random partial return of a random loan
+                if let Some(loan) = ctx.inv(inv).borrowed_in.first().copied() {
+                    let give = ResourceVec::new(
+                        self.rng.below(loan.res.cpu_millis + 1),
+                        self.rng.below(loan.res.mem_mb + 1),
+                    );
+                    let _ = ctx.return_loan(inv, loan.source, give);
+                }
+            }
+            2 => {
+                // random top-up attempt from a random peer
+                if !self.running.is_empty() {
+                    let src = self.running[self.rng.below(self.running.len() as u64) as usize];
+                    let vol = ResourceVec::new(self.rng.below(2000), 0);
+                    let _ = ctx.lend(src, inv, vol);
+                }
+            }
+            3 => {
+                // random re-harvest of own grant (memory never below usage)
+                let nominal = ctx.inv(inv).nominal;
+                let used_mem = ctx.usage(inv).mem_used_mb;
+                let g = ResourceVec::new(
+                    self.rng.below(nominal.cpu_millis + 1),
+                    used_mem + self.rng.below(nominal.mem_mb.saturating_sub(used_mem) + 1),
+                );
+                if ctx.inv(inv).is_running() {
+                    ctx.set_own_grant(inv, g);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_complete(&mut self, _ctx: &mut SimCtx<'_>, inv: InvocationId, _a: &Actuals) {
+        self.running.retain(|&i| i != inv);
+    }
+}
+
+fn chaos_suite(seed: u64) -> Vec<FunctionSpec> {
+    let mut rng = Rng(seed ^ 0xF00D);
+    (0..6)
+        .map(|i| {
+            // Cap at 4 cores / 4 GB so every function fits a 2-way shard
+            // slice of the 8-core nodes below.
+            let alloc_cores = 1 + rng.below(4);
+            let alloc_mem = 256 + rng.below(1536);
+            let cpu = 200 + rng.below(alloc_cores * 1500);
+            let mem = 64 + rng.below(alloc_mem);
+            let secs = 1 + rng.below(8);
+            FunctionSpec::new(
+                format!("f{i}"),
+                ResourceVec::new(alloc_cores * 1000, alloc_mem),
+                Arc::new(ConstantDemand(TrueDemand {
+                    cpu_peak_millis: cpu,
+                    mem_peak_mb: mem,
+                    base_duration: SimDuration::from_secs(secs),
+                })),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_policies_cannot_break_the_physics() {
+    for seed in 0..30u64 {
+        let funcs = chaos_suite(seed);
+        let sim = Simulation::new(
+            funcs,
+            vec![ResourceVec::from_cores_mb(8, 8192); 2],
+            SimConfig { shards: 1 + (seed % 2) as usize, ..SimConfig::default() },
+        );
+        let mut rng = Rng(seed);
+        let mut trace = Trace::new();
+        let n = 10 + rng.below(30) as usize;
+        let mut t = 0u64;
+        for _ in 0..n {
+            t += rng.below(3_000_000);
+            trace.push(SimTime(t), FunctionId(rng.below(6) as u32), InputMeta::new(1 + rng.below(1000), rng.next()));
+        }
+        let mut policy = ChaosPolicy::new(seed * 31 + 7);
+        let res = sim.run(&trace, &mut policy);
+        assert_eq!(res.records.len(), n, "seed {seed}: lost invocations");
+        // Work conservation: borrowed never exceeds harvested.
+        let borrowed: f64 = res.records.iter().map(|r| r.cpu_reassigned_core_sec.max(0.0)).sum();
+        let harvested: f64 = res.records.iter().map(|r| (-r.cpu_reassigned_core_sec).max(0.0)).sum();
+        assert!(
+            borrowed <= harvested + 1e-6,
+            "seed {seed}: borrowed {borrowed:.2} > harvested {harvested:.2}"
+        );
+        // Latency sanity: everything finite and positive.
+        assert!(res.records.iter().all(|r| r.latency.as_micros() > 0));
+    }
+}
+
+#[test]
+fn chaos_is_deterministic() {
+    let run = || {
+        let sim = Simulation::new(
+            chaos_suite(5),
+            vec![ResourceVec::from_cores_mb(8, 8192); 2],
+            SimConfig::default(),
+        );
+        let mut rng = Rng(5);
+        let mut trace = Trace::new();
+        let mut t = 0u64;
+        for _ in 0..25 {
+            t += rng.below(2_000_000);
+            trace.push(SimTime(t), FunctionId(rng.below(6) as u32), InputMeta::new(1 + rng.below(500), rng.next()));
+        }
+        sim.run(&trace, &mut ChaosPolicy::new(77))
+    };
+    let (a, b) = (run(), run());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.latency, y.latency);
+        assert_eq!(x.cpu_reassigned_core_sec, y.cpu_reassigned_core_sec);
+    }
+}

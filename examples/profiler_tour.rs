@@ -1,0 +1,64 @@
+//! A tour of Libra's profiler (§4): the workload duplicator, the input
+//! size-relatedness test, and both estimator paths.
+//!
+//! ```sh
+//! cargo run --release --example profiler_tour
+//! ```
+
+use libra::core::profiler::{ModelChoice, Profiler, ProfilerConfig};
+use libra::sim::demand::InputMeta;
+use libra::workloads::apps::AppKind;
+use libra::workloads::sebs_suite;
+
+fn main() {
+    let suite = sebs_suite();
+    let mut profiler = Profiler::new(suite.len(), ProfilerConfig::default(), ModelChoice::Auto);
+
+    println!("Training on each function's first-seen invocation (the workload");
+    println!("duplicator scales the input ±10x and pilot-runs each point)...\n");
+    println!(
+        "{:<6} {:>13} {:>9} {:>9} {:>8} {:>15}",
+        "func", "size-related?", "cpu acc", "mem acc", "dur R²", "model path"
+    );
+    for kind in libra::workloads::ALL_APPS {
+        let f = kind.id().idx();
+        let (lo, hi) = kind.size_range();
+        let first = InputMeta::new(((lo as f64 * hi as f64).sqrt()) as u64, 99);
+        profiler.train(f, &suite[f], first);
+        let s = profiler.scores(f).expect("trained");
+        println!(
+            "{:<6} {:>13} {:>9.2} {:>9.2} {:>8.2} {:>15}",
+            kind.name(),
+            format!("{}", profiler.is_size_related(f).expect("trained")),
+            s.cpu_acc,
+            s.mem_acc,
+            s.dur_r2,
+            if profiler.is_size_related(f) == Some(true) { "random forest" } else { "histograms" },
+        );
+    }
+
+    println!("\nPredictions for DH (input size-related — the forests track size):");
+    let dh = AppKind::Dh.id().idx();
+    for size in [100u64, 1_000, 4_000, 10_000] {
+        let p = profiler.predict(dh, InputMeta::new(size, 1)).expect("trained");
+        println!(
+            "  {size:>6} pages -> {:.0} cores, {:>5} MB, {:>6.1} s",
+            p.cpu_millis as f64 / 1000.0,
+            p.mem_mb,
+            p.duration.as_secs_f64()
+        );
+    }
+
+    println!("\nPredictions for VP (content-dominated — conservative percentiles,");
+    println!("identical regardless of input size):");
+    let vp = AppKind::Vp.id().idx();
+    for size in [1u64, 100] {
+        let p = profiler.predict(vp, InputMeta::new(size, 1)).expect("trained");
+        println!(
+            "  {size:>6} MB    -> {:.0} cores (p99), {:>5} MB (p99), {:>6.1} s (p5)",
+            p.cpu_millis as f64 / 1000.0,
+            p.mem_mb,
+            p.duration.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # Libra — harvesting idle resources safely and timely in serverless
+//! clusters
+//!
+//! A comprehensive Rust reproduction of *"Libra: Harvesting Idle Resources
+//! Safely and Timely in Serverless Clusters"* (HPDC '23). This facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`sim`] — the deterministic serverless-cluster simulator substrate,
+//! * [`ml`] — from-scratch profiler models (random forests, histograms, …),
+//! * [`workloads`] — the Table 1 applications, datasets, and Azure-like traces,
+//! * [`core`] — Libra itself: profiler, harvest resource pool, safeguard,
+//!   demand coverage, decentralized sharding scheduler,
+//! * [`baselines`] — OpenWhisk default, the Freyr stand-in, RR/JSQ/MWS.
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour and DESIGN.md for the
+//! system inventory.
+
+pub use libra_baselines as baselines;
+pub use libra_core as core;
+pub use libra_live as live;
+pub use libra_ml as ml;
+pub use libra_sim as sim;
+pub use libra_workloads as workloads;

@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on Libra's core data structures and
+//! invariants: the harvest resource pool, demand coverage, the streaming
+//! histogram, and resource arithmetic.
+
+use libra::core::coverage::coverage_1d;
+use libra::core::pool::HarvestResourcePool;
+use libra::ml::StreamingHistogram;
+use libra::sim::ids::InvocationId;
+use libra::sim::resources::ResourceVec;
+use libra::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum PoolOp {
+    Put { src: u32, cpu: u64, mem: u64, expiry: u64 },
+    Get { cpu: u64, mem: u64 },
+    GiveBack { src: u32, cpu: u64, mem: u64 },
+    Remove { src: u32 },
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0u32..16, 0u64..4000, 0u64..2048, 1u64..600)
+            .prop_map(|(src, cpu, mem, expiry)| PoolOp::Put { src, cpu, mem, expiry }),
+        (0u64..6000, 0u64..4096).prop_map(|(cpu, mem)| PoolOp::Get { cpu, mem }),
+        (0u32..16, 0u64..2000, 0u64..1024)
+            .prop_map(|(src, cpu, mem)| PoolOp::GiveBack { src, cpu, mem }),
+        (0u32..16).prop_map(|src| PoolOp::Remove { src }),
+    ]
+}
+
+proptest! {
+    /// Pool conservation: whatever ops run, (a) `get` never returns more
+    /// than asked, (b) borrowed volume equals what left the pool, (c) the
+    /// idle ledger is monotone non-decreasing, (d) total idle is exactly
+    /// puts − gets + give-backs − removals.
+    #[test]
+    fn pool_conserves_volume(ops in prop::collection::vec(pool_op(), 1..120)) {
+        let mut pool = HarvestResourcePool::new();
+        let mut t = 0u64;
+        let mut last_ledger = (0.0f64, 0.0f64);
+        let mut balance = ResourceVec::ZERO; // expected total idle
+        for op in ops {
+            t += 7;
+            let now = SimTime(t);
+            match op {
+                PoolOp::Put { src, cpu, mem, expiry } => {
+                    let vol = ResourceVec::new(cpu, mem);
+                    pool.put(InvocationId(src), vol, SimTime::from_secs(expiry), now);
+                    balance += vol;
+                }
+                PoolOp::Get { cpu, mem } => {
+                    let want = ResourceVec::new(cpu, mem);
+                    let got = pool.get(want, now);
+                    let total = got.iter().fold(ResourceVec::ZERO, |a, (_, v)| a + *v);
+                    prop_assert!(total.fits_within(&want), "got {total:?} > want {want:?}");
+                    balance -= total;
+                }
+                PoolOp::GiveBack { src, cpu, mem } => {
+                    let vol = ResourceVec::new(cpu, mem);
+                    let before = pool.total_idle();
+                    pool.give_back(InvocationId(src), vol, now);
+                    let after = pool.total_idle();
+                    // give_back only lands if the source is still tracked
+                    let landed = after - before;
+                    balance += landed;
+                }
+                PoolOp::Remove { src } => {
+                    let dropped = pool.remove(InvocationId(src), now);
+                    balance -= dropped;
+                }
+            }
+            prop_assert_eq!(pool.total_idle(), balance, "idle drifted from op balance");
+            let ledger = pool.idle_ledger();
+            prop_assert!(ledger.0 >= last_ledger.0 - 1e-9, "cpu ledger went backwards");
+            prop_assert!(ledger.1 >= last_ledger.1 - 1e-9, "mem ledger went backwards");
+            last_ledger = ledger;
+        }
+    }
+
+    /// Coverage is a ratio in [0, 1], monotone in added pool volume.
+    #[test]
+    fn coverage_bounded_and_monotone(
+        entries in prop::collection::vec((1u64..5000, 1u64..500), 0..12),
+        units in 1u64..5000,
+        start in 0u64..100,
+        dur in 1u64..200,
+    ) {
+        let es: Vec<(u64, SimTime)> =
+            entries.iter().map(|&(v, e)| (v, SimTime::from_secs(e))).collect();
+        let c = coverage_1d(&es, units, SimTime::from_secs(start), SimDuration::from_secs(dur));
+        prop_assert!((0.0..=1.0).contains(&c), "coverage {c} out of range");
+
+        // Adding an always-valid entry can only help.
+        let mut more = es.clone();
+        more.push((units, SimTime::from_secs(start + dur + 10)));
+        let c2 = coverage_1d(&more, units, SimTime::from_secs(start), SimDuration::from_secs(dur));
+        prop_assert!(c2 + 1e-9 >= c, "adding volume reduced coverage: {c} -> {c2}");
+        prop_assert!((c2 - 1.0).abs() < 1e-9, "a full always-valid entry must saturate coverage, got {c2}");
+    }
+
+    /// Histogram percentiles stay within [min, max] and are monotone in q.
+    #[test]
+    fn histogram_percentiles_sane(samples in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut h = StreamingHistogram::new(64, 1.0);
+        for &s in &samples {
+            h.insert(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let p = h.percentile(q).expect("non-empty");
+            prop_assert!(p >= lo - 1e-6 && p <= hi + 1e-6, "p{q}={p} outside [{lo}, {hi}]");
+            prop_assert!(p >= last - 1e-9, "percentiles not monotone at q={q}");
+            last = p;
+        }
+    }
+
+    /// ResourceVec arithmetic: saturating subtraction never underflows and
+    /// `fits_within` agrees with component-wise ordering.
+    #[test]
+    fn resource_vec_laws(a in (0u64..1_000_000, 0u64..1_000_000), b in (0u64..1_000_000, 0u64..1_000_000)) {
+        let (x, y) = (ResourceVec::new(a.0, a.1), ResourceVec::new(b.0, b.1));
+        let d = x.saturating_sub(&y);
+        prop_assert!(d.cpu_millis <= x.cpu_millis && d.mem_mb <= x.mem_mb);
+        prop_assert_eq!(x.min(&y) + (x.max(&y) - x.min(&y)), x.max(&y));
+        prop_assert_eq!(x.fits_within(&y), x.cpu_millis <= y.cpu_millis && x.mem_mb <= y.mem_mb);
+        // (x min y) fits within both
+        prop_assert!(x.min(&y).fits_within(&x) && x.min(&y).fits_within(&y));
+    }
+}
+
+/// Engine-level property: random small traces on a small cluster always
+/// complete, conserve records, and never violate the reservation
+/// invariants (checked by the engine's debug assertions during the run).
+#[test]
+fn random_traces_always_complete() {
+    use libra::core::{LibraConfig, LibraPlatform};
+    use libra::sim::engine::{SimConfig, Simulation};
+    use libra::workloads::trace::TraceGen;
+    use libra::workloads::{sebs_suite, testbeds, ALL_APPS};
+
+    for seed in 0..8 {
+        let gen = TraceGen::standard(&ALL_APPS, seed);
+        let n = 20 + (seed as usize * 13) % 60;
+        let trace = gen.poisson(n, 60.0 + seed as f64 * 40.0);
+        let sim = Simulation::new(sebs_suite(), testbeds::multi_node(), SimConfig { shards: 2, ..SimConfig::default() });
+        let mut p = LibraPlatform::new(LibraConfig::libra());
+        let r = sim.run(&trace, &mut p);
+        assert_eq!(r.records.len(), n, "seed {seed}");
+    }
+}
