@@ -47,8 +47,7 @@ impl Estimator {
         if self.window.len() == FREYR_WINDOW {
             self.window.pop_front();
         }
-        self.window
-            .push_back((a.cpu_peak_millis, a.mem_peak_mb, a.exec_duration.as_secs_f64()));
+        self.window.push_back((a.cpu_peak_millis, a.mem_peak_mb, a.exec_duration.as_secs_f64()));
     }
 
     /// ε-greedy-style exploration noise, deterministic per step.
@@ -140,9 +139,7 @@ impl Platform for Freyr {
                     .wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 let u = (z >> 11) as f64 / (1u64 << 53) as f64;
                 let size = ((s as f64) * (0.1f64).powf(1.0 - 2.0 * u)).round().max(1.0) as u64;
-                let d = spec
-                    .model
-                    .demand(&libra_sim::demand::InputMeta::new(size, z));
+                let d = spec.model.demand(&libra_sim::demand::InputMeta::new(size, z));
                 self.estimators[f].window.push_back((
                     d.cpu_peak_millis,
                     d.mem_peak_mb,

@@ -102,20 +102,14 @@ impl NodeSelector for MinWorkerSet {
     ) -> Option<NodeId> {
         let rec = world.inv(inv);
         let need = rec.nominal;
-        let fits =
-            |n: &NodeId| need.fits_within(&world.free_in_shard(*n, shard));
+        let fits = |n: &NodeId| need.fits_within(&world.free_in_shard(*n, shard));
         // The worker set: nodes with warm containers for this function.
         let in_set = world
             .node_ids()
             .filter(|&n| world.warm_count(n, rec.func) > 0)
             .filter(fits)
             .min_by_key(|&n| (pressure(world, n), n));
-        in_set.or_else(|| {
-            world
-                .node_ids()
-                .filter(fits)
-                .min_by_key(|&n| (pressure(world, n), n))
-        })
+        in_set.or_else(|| world.node_ids().filter(fits).min_by_key(|&n| (pressure(world, n), n)))
     }
 }
 

@@ -30,7 +30,12 @@ fn bench_pool(c: &mut Criterion) {
             let mut t = 0u64;
             b.iter(|| {
                 t += 1;
-                p.put(InvocationId((t % n as u64) as u32), ResourceVec::new(100, 16), SimTime::from_secs(1000), SimTime(t));
+                p.put(
+                    InvocationId((t % n as u64) as u32),
+                    ResourceVec::new(100, 16),
+                    SimTime::from_secs(1000),
+                    SimTime(t),
+                );
             })
         });
         group.bench_with_input(BenchmarkId::new("get", n), &n, |b, &n| {

@@ -20,14 +20,19 @@ fn req(i: u64, accelerable: bool) -> ScheduleRequest {
 fn bench_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_decision");
     for &nodes in &[10usize, 50, 200] {
-        let sched = ShardedScheduler::spawn(4, nodes, ResourceVec::from_cores_mb(24, 24 * 1024), 0.9);
+        let sched =
+            ShardedScheduler::spawn(4, nodes, ResourceVec::from_cores_mb(24, 24 * 1024), 0.9);
         let mut i = 0u64;
         group.bench_with_input(BenchmarkId::new("hash_path", nodes), &nodes, |b, _| {
             b.iter(|| {
                 i += 1;
                 let d = sched.schedule(req(i, false));
                 if let Some(node) = d.node {
-                    sched.release((i as usize).wrapping_sub(1) % 4, node, ResourceVec::from_cores_mb(2, 512));
+                    sched.release(
+                        (i as usize).wrapping_sub(1) % 4,
+                        node,
+                        ResourceVec::from_cores_mb(2, 512),
+                    );
                 }
                 d
             })
@@ -38,7 +43,11 @@ fn bench_decision(c: &mut Criterion) {
                 j += 1;
                 let d = sched.schedule(req(j, true));
                 if let Some(node) = d.node {
-                    sched.release((j as usize).wrapping_sub(1) % 4, node, ResourceVec::from_cores_mb(2, 512));
+                    sched.release(
+                        (j as usize).wrapping_sub(1) % 4,
+                        node,
+                        ResourceVec::from_cores_mb(2, 512),
+                    );
                 }
                 d
             })

@@ -1,0 +1,5 @@
+//! Fault-injection resilience sweep (libra-chaos).
+
+fn main() {
+    let _ = libra_bench::experiments::chaos::run();
+}

@@ -2,5 +2,5 @@
 //! `libra_bench::experiments::fig01`.
 
 fn main() {
-    let _ = libra_bench::experiments::fig01::run();
+    libra_bench::experiments::fig01::run();
 }

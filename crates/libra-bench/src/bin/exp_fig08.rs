@@ -2,5 +2,5 @@
 //! `libra_bench::experiments::fig08`.
 
 fn main() {
-    let _ = libra_bench::experiments::fig08::run();
+    libra_bench::experiments::fig08::run();
 }

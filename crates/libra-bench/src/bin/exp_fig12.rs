@@ -2,5 +2,5 @@
 //! `libra_bench::experiments::fig12`.
 
 fn main() {
-    let _ = libra_bench::experiments::fig12::run();
+    libra_bench::experiments::fig12::run();
 }

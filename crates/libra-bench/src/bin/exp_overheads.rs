@@ -2,5 +2,5 @@
 //! `libra_bench::experiments::overheads`.
 
 fn main() {
-    let _ = libra_bench::experiments::overheads::run();
+    libra_bench::experiments::overheads::run();
 }

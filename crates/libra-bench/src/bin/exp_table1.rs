@@ -2,5 +2,5 @@
 //! `libra_bench::experiments::table1`.
 
 fn main() {
-    let _ = libra_bench::experiments::table1::run();
+    libra_bench::experiments::table1::run();
 }

@@ -4,19 +4,20 @@
 
 fn main() {
     use libra_bench::experiments as e;
-    let _ = e::table1::run();
-    let _ = e::fig01::run();
+    e::table1::run();
+    e::fig01::run();
     let _ = e::fig06::run();
     let _ = e::fig07::run();
-    let _ = e::fig08::run();
+    e::fig08::run();
     let _ = e::fig09_10_11::run();
-    let _ = e::fig12::run();
+    e::fig12::run();
     let _ = e::table2::run();
     let _ = e::fig13::run();
     let _ = e::fig14::run();
     let _ = e::fig15::run();
     let _ = e::fig16::run();
-    let _ = e::overheads::run();
+    e::overheads::run();
     e::ablations::run();
+    let _ = e::chaos::run();
     println!("\nAll experiments complete. CSV artifacts are under results/.");
 }

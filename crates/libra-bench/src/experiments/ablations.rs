@@ -34,18 +34,19 @@ fn single_run(cfg: LibraConfig, seed: u64) -> PlatformRun {
 }
 
 fn extra(run: &PlatformRun, key: &str) -> f64 {
-    run.report
-        .extra
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| *v)
-        .unwrap_or(0.0)
+    run.report.extra.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or(0.0)
 }
 
 /// Ablation 1: pool hand-out order.
 pub fn pool_order() {
     header("Ablation: pool hand-out order (Fig 4's longest-lived-first vs FIFO/worst)");
-    row(&["order".into(), "P99 (s)".into(), "mean speedup".into(), "loans expired".into(), "re-harvested".into()]);
+    row(&[
+        "order".into(),
+        "P99 (s)".into(),
+        "mean speedup".into(),
+        "loans expired".into(),
+        "re-harvested".into(),
+    ]);
     for (name, order) in [
         ("longest-lived", GetOrder::LongestLived),
         ("fifo", GetOrder::Fifo),
@@ -54,7 +55,8 @@ pub fn pool_order() {
         let (mut p99, mut sp, mut expired, mut reh) = (0.0, 0.0, 0.0, 0.0);
         let reps = repetitions();
         for rep in 0..reps {
-            let run = single_run(LibraConfig { pool_order: order, ..LibraConfig::libra() }, 42 + rep);
+            let run =
+                single_run(LibraConfig { pool_order: order, ..LibraConfig::libra() }, 42 + rep);
             p99 += run.result.latency_percentile(99.0);
             sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
             expired += extra(&run, "loans_expired");
@@ -90,7 +92,12 @@ pub fn continuous_acceleration() {
             sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
         }
         let n = reps as f64;
-        row(&[name.into(), format!("{:.1}", p99 / n), format!("{:.0}", acc / n), format!("{:.3}", sp / n)]);
+        row(&[
+            name.into(),
+            format!("{:.1}", p99 / n),
+            format!("{:.0}", acc / n),
+            format!("{:.3}", sp / n),
+        ]);
     }
     println!("Expected: one-shot acceleration strands long invocations whose");
     println!("donors churn — continuous top-ups capture far more of the harvest.");
@@ -104,13 +111,19 @@ pub fn headroom() {
         let (mut p99, mut sg, mut util) = (0.0, 0.0, 0.0);
         let reps = repetitions();
         for rep in 0..reps {
-            let run = single_run(LibraConfig { harvest_headroom: h, ..LibraConfig::libra() }, 42 + rep);
+            let run =
+                single_run(LibraConfig { harvest_headroom: h, ..LibraConfig::libra() }, 42 + rep);
             p99 += run.result.latency_percentile(99.0);
             sg += run.report.safeguard_triggers as f64;
             util += run.result.mean_cpu_util();
         }
         let n = reps as f64;
-        row(&[format!("{h:.1}"), format!("{:.1}", p99 / n), format!("{:.0}", sg / n), format!("{:.3}", util / n)]);
+        row(&[
+            format!("{h:.1}"),
+            format!("{:.1}", p99 / n),
+            format!("{:.0}", sg / n),
+            format!("{:.3}", util / n),
+        ]);
     }
     println!("Expected: more headroom = fewer safeguard trips but less harvest");
     println!("volume; the aggressive 1.0 posture relies on the safeguard.");
@@ -140,7 +153,12 @@ pub fn coverage_vs_volume() {
             sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
         }
         let n = reps as f64;
-        row(&[name.into(), format!("{:.1}", p99 / n), format!("{:.0}", expired / n), format!("{:.3}", sp / n)]);
+        row(&[
+            name.into(),
+            format!("{:.1}", p99 / n),
+            format!("{:.0}", expired / n),
+            format!("{:.3}", sp / n),
+        ]);
     }
     println!("Expected: coverage-aware placement sends accelerable invocations");
     println!("where the harvest *lasts*, losing fewer loans to expiry.");

@@ -38,7 +38,11 @@ fn cases() -> Vec<(&'static str, InputMeta, InputMeta)> {
     vec![
         ("Case 1 (4K/video-1)", InputMeta::new(4_000, 1), InputMeta::new(50, heavy[0])),
         ("Case 2 (100/video-2)", InputMeta::new(100, 2), InputMeta::new(50, heavy[1])),
-        ("Case 3 (10K/video-3)", InputMeta::new(10_000, 3), InputMeta::new(50, exact.expect("exact-fit video"))),
+        (
+            "Case 3 (10K/video-3)",
+            InputMeta::new(10_000, 3),
+            InputMeta::new(50, exact.expect("exact-fit video")),
+        ),
     ]
 }
 
@@ -59,7 +63,8 @@ pub fn run() {
             trace.push(SimTime::ZERO, AppKind::Vp.id(), vp_in);
             trace.push(SimTime::from_secs(120), AppKind::Dh.id(), dh_in);
             trace.push(SimTime::from_secs(120), AppKind::Vp.id(), vp_in);
-            let run = run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+            let run =
+                run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
             let measured: Vec<_> = run
                 .result
                 .records

@@ -20,7 +20,13 @@ pub fn run() -> Vec<(String, f64)> {
         let trace = gen.single_set();
         last_runs.clear();
         for (i, kind) in PlatformKind::MAIN_SIX.iter().enumerate() {
-            let run = run_kind(*kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+            let run = run_kind(
+                *kind,
+                sebs_suite(),
+                testbeds::single_node(),
+                SimConfig::default(),
+                &trace,
+            );
             p99[i].push(run.result.latency_percentile(99.0));
             worst[i].push(run.result.worst_degradation());
             last_runs.push(run);
@@ -40,7 +46,10 @@ pub fn run() -> Vec<(String, f64)> {
             )
         })
         .collect();
-    println!("\n{}", crate::plot::line_chart("latency CDF (x = seconds, y = fraction)", &cdf_series, 64, 14));
+    println!(
+        "\n{}",
+        crate::plot::line_chart("latency CDF (x = seconds, y = fraction)", &cdf_series, 64, 14)
+    );
 
     header("Fig 6(b): speedup CDF (quantiles)");
     for run in &last_runs {
@@ -62,7 +71,11 @@ pub fn run() -> Vec<(String, f64)> {
     compare("P99 reduction vs Freyr", "39%", format!("{:.0}%", 100.0 * (1.0 - libra / p99m[1])));
     compare("P99 reduction vs Libra-NS", "15%", format!("{:.0}%", 100.0 * (1.0 - libra / p99m[3])));
     compare("P99 reduction vs Libra-NP", "30%", format!("{:.0}%", 100.0 * (1.0 - libra / p99m[4])));
-    compare("P99 reduction vs Libra-NSP", "34%", format!("{:.0}%", 100.0 * (1.0 - libra / p99m[5])));
+    compare(
+        "P99 reduction vs Libra-NSP",
+        "34%",
+        format!("{:.0}%", 100.0 * (1.0 - libra / p99m[5])),
+    );
     compare("Libra worst degradation", "-2%", format!("{:.0}%", 100.0 * worstm[2]));
     compare("Libra-NP worst degradation", "-6%", format!("{:.0}%", 100.0 * worstm[4]));
     compare("Libra-NS worst degradation", "-42%", format!("{:.0}%", 100.0 * worstm[3]));

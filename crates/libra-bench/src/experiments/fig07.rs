@@ -13,7 +13,8 @@ pub fn run() -> Vec<(String, f64, f64, f64)> {
     header("Fig 7: utilization timelines (single-node, `single` trace)");
     let reps = repetitions();
     let n = PlatformKind::MAIN_SIX.len();
-    let (mut cpu, mut mem, mut compl) = (vec![Vec::new(); n], vec![Vec::new(); n], vec![Vec::new(); n]);
+    let (mut cpu, mut mem, mut compl) =
+        (vec![Vec::new(); n], vec![Vec::new(); n], vec![Vec::new(); n]);
     let mut last_runs = Vec::new();
 
     for rep in 0..reps {
@@ -21,7 +22,13 @@ pub fn run() -> Vec<(String, f64, f64, f64)> {
         let trace = gen.single_set();
         last_runs.clear();
         for (i, kind) in PlatformKind::MAIN_SIX.iter().enumerate() {
-            let run = run_kind(*kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+            let run = run_kind(
+                *kind,
+                sebs_suite(),
+                testbeds::single_node(),
+                SimConfig::default(),
+                &trace,
+            );
             cpu[i].push(run.result.mean_cpu_util());
             mem[i].push(run.result.mean_mem_util());
             compl[i].push(run.result.completion_time.as_secs_f64());
@@ -41,11 +48,36 @@ pub fn run() -> Vec<(String, f64, f64, f64)> {
     let (dc, fc, lc) = (out[0].1, out[1].1, out[2].1);
     let (dm, fm, lm) = (out[0].2, out[1].2, out[2].2);
     let (dt, ft, lt) = (out[0].3, out[1].3, out[2].3);
-    compare("CPU util vs Default / Freyr", "3.82x / 2.93x", format!("{:.2}x / {:.2}x", lc / dc, lc / fc));
-    compare("Mem util vs Default / Freyr", "2.09x / 2.48x", format!("{:.2}x / {:.2}x", lm / dm, lm / fm));
-    compare("Completion faster vs Default / Freyr", "51% / 43%", format!("{:.0}% / {:.0}%", 100.0 * (1.0 - lt / dt), 100.0 * (1.0 - lt / ft)));
-    compare("CPU util vs NS / NP / NSP", "1.21x / 1.84x / 2.05x", format!("{:.2}x / {:.2}x / {:.2}x", lc / out[3].1, lc / out[4].1, lc / out[5].1));
-    compare("Completion faster vs NS / NP / NSP", "17% / 30% / 42%", format!("{:.0}% / {:.0}% / {:.0}%", 100.0 * (1.0 - lt / out[3].3), 100.0 * (1.0 - lt / out[4].3), 100.0 * (1.0 - lt / out[5].3)));
+    compare(
+        "CPU util vs Default / Freyr",
+        "3.82x / 2.93x",
+        format!("{:.2}x / {:.2}x", lc / dc, lc / fc),
+    );
+    compare(
+        "Mem util vs Default / Freyr",
+        "2.09x / 2.48x",
+        format!("{:.2}x / {:.2}x", lm / dm, lm / fm),
+    );
+    compare(
+        "Completion faster vs Default / Freyr",
+        "51% / 43%",
+        format!("{:.0}% / {:.0}%", 100.0 * (1.0 - lt / dt), 100.0 * (1.0 - lt / ft)),
+    );
+    compare(
+        "CPU util vs NS / NP / NSP",
+        "1.21x / 1.84x / 2.05x",
+        format!("{:.2}x / {:.2}x / {:.2}x", lc / out[3].1, lc / out[4].1, lc / out[5].1),
+    );
+    compare(
+        "Completion faster vs NS / NP / NSP",
+        "17% / 30% / 42%",
+        format!(
+            "{:.0}% / {:.0}% / {:.0}%",
+            100.0 * (1.0 - lt / out[3].3),
+            100.0 * (1.0 - lt / out[4].3),
+            100.0 * (1.0 - lt / out[5].3)
+        ),
+    );
 
     // Terminal timeline for the three headline platforms.
     let series: Vec<(String, Vec<(f64, f64)>)> = last_runs
@@ -85,7 +117,15 @@ pub fn run() -> Vec<(String, f64, f64, f64)> {
             .collect();
         write_csv(
             &format!("fig07_util_timeline_{tag}"),
-            &["t_s", "cpu_used_cores", "cpu_alloc_cores", "cpu_util", "mem_used_mb", "mem_alloc_mb", "mem_util"],
+            &[
+                "t_s",
+                "cpu_used_cores",
+                "cpu_alloc_cores",
+                "cpu_util",
+                "mem_used_mb",
+                "mem_alloc_mb",
+                "mem_util",
+            ],
             &rows,
         );
     }

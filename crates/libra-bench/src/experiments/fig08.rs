@@ -16,16 +16,25 @@ pub fn run() {
     let trace = gen.single_set();
 
     for kind in PlatformKind::MAIN_SIX {
-        let run = run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+        let run =
+            run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
         println!("\n-- {}", run.name);
-        for cat in [InvCategory::Default, InvCategory::Harvest, InvCategory::Accelerate, InvCategory::Safeguard] {
-            let members: Vec<_> = run.result.records.iter().filter(|r| r.category() == cat).collect();
+        for cat in [
+            InvCategory::Default,
+            InvCategory::Harvest,
+            InvCategory::Accelerate,
+            InvCategory::Safeguard,
+        ] {
+            let members: Vec<_> =
+                run.result.records.iter().filter(|r| r.category() == cat).collect();
             if members.is_empty() {
                 println!("   {cat:<12?} (none)");
                 continue;
             }
-            let cpu_min = members.iter().map(|r| r.cpu_reassigned_core_sec).fold(f64::INFINITY, f64::min);
-            let cpu_max = members.iter().map(|r| r.cpu_reassigned_core_sec).fold(f64::NEG_INFINITY, f64::max);
+            let cpu_min =
+                members.iter().map(|r| r.cpu_reassigned_core_sec).fold(f64::INFINITY, f64::min);
+            let cpu_max =
+                members.iter().map(|r| r.cpu_reassigned_core_sec).fold(f64::NEG_INFINITY, f64::max);
             let sp_min = members.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
             let sp_max = members.iter().map(|r| r.speedup).fold(f64::NEG_INFINITY, f64::max);
             println!(

@@ -61,14 +61,21 @@ pub fn sweep() -> Vec<SweepPoint> {
     // Multi-node experiments use 2 scheduler shards (decentralized).
     let config = SimConfig { shards: 2, ..SimConfig::default() };
     let mut out = Vec::new();
-    let rpms: Vec<u32> = TraceGen::heavy(&ALL_APPS, 0).multi_sets().iter().map(|(r, _)| *r).collect();
+    let rpms: Vec<u32> =
+        TraceGen::heavy(&ALL_APPS, 0).multi_sets().iter().map(|(r, _)| *r).collect();
     for (ri, rpm) in rpms.iter().enumerate() {
         for algo in ALGOS {
             let mut acc: Vec<SweepPoint> = Vec::new();
             for rep in 0..reps {
                 let sets = TraceGen::heavy(&ALL_APPS, 42 + rep).multi_sets();
                 let trace = &sets[ri].1;
-                let run = run_on(sebs_suite(), testbeds::multi_node(), config.clone(), trace, build(algo));
+                let run = run_on(
+                    sebs_suite(),
+                    testbeds::multi_node(),
+                    config.clone(),
+                    trace,
+                    build(algo),
+                );
                 acc.push(SweepPoint {
                     rpm: *rpm,
                     algo,
@@ -130,45 +137,45 @@ pub fn run() -> Vec<SweepPoint> {
     let points = sweep();
 
     table(&points, |p| p.p99, "Fig 9: P99 response latency (s) per RPM", "f");
-    let libra_best = points
-        .iter()
-        .filter(|p| p.algo == "Libra")
-        .all(|p| {
-            points
-                .iter()
-                .filter(|q| q.rpm == p.rpm && q.algo != "Libra")
-                .all(|q| p.p99 <= q.p99 * 1.05)
-        });
-    compare("Libra lowest P99 across traces", "yes (Fig 9)", if libra_best { "yes".into() } else { "mostly".into() });
+    let libra_best = points.iter().filter(|p| p.algo == "Libra").all(|p| {
+        points.iter().filter(|q| q.rpm == p.rpm && q.algo != "Libra").all(|q| p.p99 <= q.p99 * 1.05)
+    });
+    compare(
+        "Libra lowest P99 across traces",
+        "yes (Fig 9)",
+        if libra_best { "yes".into() } else { "mostly".into() },
+    );
 
     let p99_series: Vec<(String, Vec<(f64, f64)>)> = ALGOS
         .iter()
         .map(|algo| {
             (
                 algo.to_string(),
-                points
-                    .iter()
-                    .filter(|p| p.algo == *algo)
-                    .map(|p| (p.rpm as f64, p.p99))
-                    .collect(),
+                points.iter().filter(|p| p.algo == *algo).map(|p| (p.rpm as f64, p.p99)).collect(),
             )
         })
         .collect();
     println!("\n{}", crate::plot::line_chart("P99 latency (s) vs RPM", &p99_series, 64, 12));
 
     table(&points, |p| p.completion, "Fig 10(a): workload completion time (s)", "f");
-    table(&points, |p| p.idle_cpu, "Fig 10(b): idle CPU ledger (core·s, lower = better use of harvest)", "int");
+    table(
+        &points,
+        |p| p.idle_cpu,
+        "Fig 10(b): idle CPU ledger (core·s, lower = better use of harvest)",
+        "int",
+    );
     table(&points, |p| p.idle_mem / 1024.0, "Fig 10(c): idle memory ledger (GB·s)", "f");
-    let libra_low_idle = points
-        .iter()
-        .filter(|p| p.algo == "Libra" && p.rpm >= 60)
-        .all(|p| {
-            points
-                .iter()
-                .filter(|q| q.rpm == p.rpm && q.algo != "Libra")
-                .all(|q| p.idle_cpu <= q.idle_cpu * 1.10)
-        });
-    compare("Libra lowest idle ledger (≥60 RPM)", "yes (Fig 10b/c)", if libra_low_idle { "yes".into() } else { "mostly".into() });
+    let libra_low_idle = points.iter().filter(|p| p.algo == "Libra" && p.rpm >= 60).all(|p| {
+        points
+            .iter()
+            .filter(|q| q.rpm == p.rpm && q.algo != "Libra")
+            .all(|q| p.idle_cpu <= q.idle_cpu * 1.10)
+    });
+    compare(
+        "Libra lowest idle ledger (≥60 RPM)",
+        "yes (Fig 10b/c)",
+        if libra_low_idle { "yes".into() } else { "mostly".into() },
+    );
 
     table(&points, |p| 100.0 * p.cpu_util.0, "Fig 11(a): average CPU utilization (%)", "f");
     table(&points, |p| 100.0 * p.cpu_util.1, "Fig 11(b): peak CPU utilization (%)", "f");
@@ -195,7 +202,18 @@ pub fn run() -> Vec<SweepPoint> {
         .collect();
     write_csv(
         "fig09_10_11_scheduling_sweep",
-        &["rpm", "algo", "p99_s", "completion_s", "idle_cpu_core_s", "idle_mem_mb_s", "cpu_util_avg", "cpu_util_peak", "mem_util_avg", "mem_util_peak"],
+        &[
+            "rpm",
+            "algo",
+            "p99_s",
+            "completion_s",
+            "idle_cpu_core_s",
+            "idle_mem_mb_s",
+            "cpu_util_avg",
+            "cpu_util_peak",
+            "mem_util_avg",
+            "mem_util_peak",
+        ],
         &rows,
     );
     points

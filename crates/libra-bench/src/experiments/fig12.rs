@@ -38,11 +38,7 @@ fn scaling_suite() -> Vec<FunctionSpec> {
 /// sharding parallelizes (Fig 12a) — while the selection *algorithm* stays
 /// sub-millisecond (Fig 12c, measured natively below).
 fn scaling_config(shards: usize) -> SimConfig {
-    SimConfig {
-        shards,
-        decision_base: SimDuration::from_millis(100),
-        ..SimConfig::default()
-    }
+    SimConfig { shards, decision_base: SimDuration::from_millis(100), ..SimConfig::default() }
 }
 
 /// Strong scaling: completion time of 1,000 concurrent invocations vs
@@ -56,13 +52,23 @@ pub fn strong_scaling() -> Vec<(usize, f64)> {
     for shards in 1..=4 {
         let gen = TraceGen::standard(&ALL_APPS, 7);
         let trace = gen.concurrent_burst(n_inv);
-        let run = run_kind(PlatformKind::Libra, scaling_suite(), testbeds::jetstream(50), scaling_config(shards), &trace);
+        let run = run_kind(
+            PlatformKind::Libra,
+            scaling_suite(),
+            testbeds::jetstream(50),
+            scaling_config(shards),
+            &trace,
+        );
         let t = run.result.completion_time.as_secs_f64();
         row(&[format!("{shards}"), format!("{t:.1}")]);
         out.push((shards, t));
     }
     let decreasing = out.windows(2).all(|w| w[1].1 <= w[0].1 * 1.02);
-    compare("completion decreases with schedulers", "yes (Fig 12a)", if decreasing { "yes".into() } else { "mostly".into() });
+    compare(
+        "completion decreases with schedulers",
+        "yes (Fig 12a)",
+        if decreasing { "yes".into() } else { "mostly".into() },
+    );
     let bars: Vec<(String, f64)> = out.iter().map(|&(s, t)| (format!("{s} sched"), t)).collect();
     println!("\n{}", crate::plot::bar_chart("strong scaling: completion (s)", &bars, 48));
     out
@@ -78,14 +84,24 @@ pub fn weak_scaling() -> Vec<(usize, f64)> {
         let n_inv = ((20.0 * nodes as f64 * scale) as usize).max(20);
         let gen = TraceGen::standard(&ALL_APPS, 7);
         let trace = gen.concurrent_burst(n_inv);
-        let run = run_kind(PlatformKind::Libra, scaling_suite(), testbeds::jetstream(nodes), scaling_config(4), &trace);
+        let run = run_kind(
+            PlatformKind::Libra,
+            scaling_suite(),
+            testbeds::jetstream(nodes),
+            scaling_config(4),
+            &trace,
+        );
         let t = run.result.completion_time.as_secs_f64();
         row(&[format!("{nodes}"), format!("{n_inv}"), format!("{t:.1}")]);
         out.push((nodes, t));
     }
     let first = out.first().map(|p| p.1).unwrap_or(1.0);
     let last = out.last().map(|p| p.1).unwrap_or(1.0);
-    compare("completion roughly flat 10→50 nodes", "no significant rise (Fig 12b)", format!("{:.1}s -> {:.1}s ({:+.0}%)", first, last, 100.0 * (last / first - 1.0)));
+    compare(
+        "completion roughly flat 10→50 nodes",
+        "no significant rise (Fig 12b)",
+        format!("{:.1}s -> {:.1}s ({:+.0}%)", first, last, 100.0 * (last / first - 1.0)),
+    );
     out
 }
 
@@ -102,7 +118,11 @@ pub fn sched_overhead() -> Vec<(usize, f64)> {
         for i in 0..n {
             let d = sched.schedule(ScheduleRequest {
                 nominal: ResourceVec::from_cores_mb(2, 512),
-                extra: if i % 3 == 0 { ResourceVec::from_cores_mb(2, 256) } else { ResourceVec::ZERO },
+                extra: if i % 3 == 0 {
+                    ResourceVec::from_cores_mb(2, 256)
+                } else {
+                    ResourceVec::ZERO
+                },
                 func: (i % 10) as u32,
                 duration: SimDuration::from_secs(5),
                 now: SimTime::ZERO,
@@ -119,7 +139,11 @@ pub fn sched_overhead() -> Vec<(usize, f64)> {
         out.push((n, mean));
     }
     let under_1ms = out.iter().all(|p| p.1 < 1.0);
-    compare("overhead consistently < 1 ms", "yes (Fig 12c)", if under_1ms { "yes".into() } else { "no".into() });
+    compare(
+        "overhead consistently < 1 ms",
+        "yes (Fig 12c)",
+        if under_1ms { "yes".into() } else { "no".into() },
+    );
     out
 }
 
@@ -128,7 +152,19 @@ pub fn run() {
     let a = strong_scaling();
     let b = weak_scaling();
     let c = sched_overhead();
-    write_csv("fig12a_strong_scaling", &["schedulers", "completion_s"], &a.iter().map(|&(s, t)| vec![s as f64, t]).collect::<Vec<_>>());
-    write_csv("fig12b_weak_scaling", &["nodes", "completion_s"], &b.iter().map(|&(n, t)| vec![n as f64, t]).collect::<Vec<_>>());
-    write_csv("fig12c_sched_overhead", &["invocations", "mean_ms"], &c.iter().map(|&(n, t)| vec![n as f64, t]).collect::<Vec<_>>());
+    write_csv(
+        "fig12a_strong_scaling",
+        &["schedulers", "completion_s"],
+        &a.iter().map(|&(s, t)| vec![s as f64, t]).collect::<Vec<_>>(),
+    );
+    write_csv(
+        "fig12b_weak_scaling",
+        &["nodes", "completion_s"],
+        &b.iter().map(|&(n, t)| vec![n as f64, t]).collect::<Vec<_>>(),
+    );
+    write_csv(
+        "fig12c_sched_overhead",
+        &["invocations", "mean_ms"],
+        &c.iter().map(|&(n, t)| vec![n as f64, t]).collect::<Vec<_>>(),
+    );
 }

@@ -22,29 +22,52 @@ pub fn run() -> Vec<(String, String, f64, f64)> {
     let gen = TraceGen::standard(&ALL_APPS, 42);
     let trace = gen.single_set();
     for kind in [PlatformKind::LibraHist, PlatformKind::LibraMl, PlatformKind::Libra] {
-        let run = run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+        let run =
+            run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
         cdf_summary(kind.name(), &run.result.speedups(), "");
-        out.push(("hybrid".into(), kind.name().into(), run.result.latency_percentile(99.0), p99_speedup(&run)));
+        out.push((
+            "hybrid".into(),
+            kind.name().into(),
+            run.result.latency_percentile(99.0),
+            p99_speedup(&run),
+        ));
     }
     println!("Expected: full Libra at least matches either single-model variant.");
 
-    for (panel, (suite, kinds)) in [
-        ("size-related", size_related_suite()),
-        ("size-unrelated", size_unrelated_suite()),
-    ] {
-        header(&format!("Fig 13({}): {panel} workload", if panel == "size-related" { "b" } else { "c" }));
+    for (panel, (suite, kinds)) in
+        [("size-related", size_related_suite()), ("size-unrelated", size_unrelated_suite())]
+    {
+        header(&format!(
+            "Fig 13({}): {panel} workload",
+            if panel == "size-related" { "b" } else { "c" }
+        ));
         let gen = TraceGen::standard(&kinds, 42);
         let trace = gen.single_set();
         let mut p99s = Vec::new();
         for kind in [PlatformKind::Default, PlatformKind::Freyr, PlatformKind::Libra] {
-            let run = run_kind(kind, suite.clone(), testbeds::single_node(), SimConfig::default(), &trace);
+            let run = run_kind(
+                kind,
+                suite.clone(),
+                testbeds::single_node(),
+                SimConfig::default(),
+                &trace,
+            );
             cdf_summary(kind.name(), &run.result.speedups(), "");
             p99s.push(run.result.latency_percentile(99.0));
-            out.push((panel.into(), kind.name().into(), run.result.latency_percentile(99.0), p99_speedup(&run)));
+            out.push((
+                panel.into(),
+                kind.name().into(),
+                run.result.latency_percentile(99.0),
+                p99_speedup(&run),
+            ));
         }
         compare(
             &format!("{panel}: Libra P99 vs Default / Freyr"),
-            if panel == "size-related" { "-94% speedup gain / -58%" } else { "+13% / +12% improvement" },
+            if panel == "size-related" {
+                "-94% speedup gain / -58%"
+            } else {
+                "+13% / +12% improvement"
+            },
             format!(
                 "{:.0}% / {:.0}% lower P99 latency",
                 100.0 * (1.0 - p99s[2] / p99s[0]),

@@ -20,7 +20,11 @@ pub fn run() -> Vec<(f64, f64, f64)> {
         let thr = i as f64 / 10.0;
         let cfg = LibraConfig { safeguard_threshold: thr, ..LibraConfig::libra() };
         let mut platform = LibraPlatform::new(cfg);
-        let sim = libra_sim::engine::Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
+        let sim = libra_sim::engine::Simulation::new(
+            sebs_suite(),
+            testbeds::single_node(),
+            SimConfig::default(),
+        );
         let res = sim.run(&trace, &mut platform);
         let ratio = res.safeguarded_ratio();
         let p99 = res.latency_percentile(99.0);
@@ -29,11 +33,18 @@ pub fn run() -> Vec<(f64, f64, f64)> {
     }
     println!();
     let monotone_drop = out.windows(2).filter(|w| w[1].1 <= w[0].1 + 0.02).count();
-    compare("safeguarded ratio falls with threshold", "yes (Fig 14a)", format!("{monotone_drop}/10 steps non-increasing"));
+    compare(
+        "safeguarded ratio falls with threshold",
+        "yes (Fig 14a)",
+        format!("{monotone_drop}/10 steps non-increasing"),
+    );
     let best = out.iter().cloned().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
     compare("best threshold", "≈0.8 (Fig 14b)", format!("{:.1} (P99 {:.1}s)", best.0, best.2));
     let series = vec![
-        ("safeguarded %".to_string(), out.iter().map(|&(t, r, _)| (t, 100.0 * r)).collect::<Vec<_>>()),
+        (
+            "safeguarded %".to_string(),
+            out.iter().map(|&(t, r, _)| (t, 100.0 * r)).collect::<Vec<_>>(),
+        ),
         ("P99 (s)".to_string(), out.iter().map(|&(t, _, p)| (t, p)).collect()),
     ];
     println!("\n{}", crate::plot::line_chart("safeguard threshold sweep", &series, 56, 12));

@@ -56,7 +56,8 @@ pub fn run() -> Vec<(String, [f64; 6])> {
         out.push((kind.name().to_string(), stages));
     }
     println!();
-    let libra_overhead: f64 = out.iter().map(|(_, s)| s[0] + s[1] + s[3]).sum::<f64>() / out.len() as f64;
+    let libra_overhead: f64 =
+        out.iter().map(|(_, s)| s[0] + s[1] + s[3]).sum::<f64>() / out.len() as f64;
     let exec_mean: f64 = out.iter().map(|(_, s)| s[5]).sum::<f64>() / out.len() as f64;
     compare(
         "Libra components negligible vs exec",

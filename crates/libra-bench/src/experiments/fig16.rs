@@ -21,7 +21,11 @@ pub fn run() -> Vec<(f64, f64, f64, f64)> {
         let alpha = i as f64 / 10.0;
         let cfg = LibraConfig { alpha, ..LibraConfig::libra() };
         let mut platform = LibraPlatform::new(cfg);
-        let sim = libra_sim::engine::Simulation::new(sebs_suite(), testbeds::multi_node(), config.clone());
+        let sim = libra_sim::engine::Simulation::new(
+            sebs_suite(),
+            testbeds::multi_node(),
+            config.clone(),
+        );
         let res = sim.run(trace, &mut platform);
         let rep = platform.report();
         let p99 = res.latency_percentile(99.0);
@@ -36,7 +40,11 @@ pub fn run() -> Vec<(f64, f64, f64, f64)> {
     println!();
     let lo_alpha_cpu = out[1].1;
     let hi_alpha_cpu = out[9].1;
-    compare("CPU idle falls as alpha rises", "yes (Fig 16a)", format!("{lo_alpha_cpu:.0} -> {hi_alpha_cpu:.0} core·s"));
+    compare(
+        "CPU idle falls as alpha rises",
+        "yes (Fig 16a)",
+        format!("{lo_alpha_cpu:.0} -> {hi_alpha_cpu:.0} core·s"),
+    );
     let best = out.iter().cloned().min_by(|a, b| a.3.partial_cmp(&b.3).unwrap()).unwrap();
     compare("best alpha", "0.9 (Fig 16b)", format!("{:.1} (P99 {:.1}s)", best.0, best.3));
     write_csv(

@@ -6,6 +6,7 @@
 //! `exp_*` binaries run one experiment each.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig01;
 pub mod fig06;
 pub mod fig07;

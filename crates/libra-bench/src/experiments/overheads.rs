@@ -29,7 +29,11 @@ pub fn run() {
         let _ = p.predict(AppKind::Dh.id().idx(), InputMeta::new(100 + i, 1));
     }
     let pred = t0.elapsed() / n_pred as u32;
-    compare("offline training per function", "< 120 ms", format!("{:.1} ms", offline.as_secs_f64() * 1e3));
+    compare(
+        "offline training per function",
+        "< 120 ms",
+        format!("{:.1} ms", offline.as_secs_f64() * 1e3),
+    );
     compare("prediction overhead", "< 2 ms", format!("{:.3} ms", pred.as_secs_f64() * 1e3));
 
     // Online update timing (histogram insert path).
@@ -57,7 +61,12 @@ pub fn run() {
     let t0 = Instant::now();
     let n = 100_000u32;
     for i in 0..n {
-        pool.put(InvocationId(i % 64), ResourceVec::new(500, 128), SimTime::from_secs(100), SimTime(i as u64));
+        pool.put(
+            InvocationId(i % 64),
+            ResourceVec::new(500, 128),
+            SimTime::from_secs(100),
+            SimTime(i as u64),
+        );
         if i % 2 == 0 {
             let _ = pool.get(ResourceVec::new(300, 64), SimTime(i as u64));
         }
@@ -68,7 +77,11 @@ pub fn run() {
         }
     }
     let per_op = t0.elapsed() / n;
-    compare("pool put+get cost", "negligible (§8.10)", format!("{:.2} µs/op", per_op.as_secs_f64() * 1e6));
+    compare(
+        "pool put+get cost",
+        "negligible (§8.10)",
+        format!("{:.2} µs/op", per_op.as_secs_f64() * 1e6),
+    );
 
     header("§8.10: component bookkeeping volume (multi-node workload)");
     let gen = TraceGen::standard(&ALL_APPS, 42);

@@ -32,10 +32,9 @@ fn features(size: u64) -> Vec<f64> {
     vec![s, s.ln()]
 }
 
-fn split(
-    x: &[Vec<f64>],
-    y: &[f64],
-) -> ((Vec<Vec<f64>>, Vec<f64>), (Vec<Vec<f64>>, Vec<f64>)) {
+type XySplit = ((Vec<Vec<f64>>, Vec<f64>), (Vec<Vec<f64>>, Vec<f64>));
+
+fn split(x: &[Vec<f64>], y: &[f64]) -> XySplit {
     let d = Dataset::from_rows(x.to_vec(), y.to_vec());
     let (tr, te) = d.train_test_split(0.7, 0xdead);
     ((tr.x, tr.y), (te.x, te.y))
@@ -66,7 +65,12 @@ fn eval_family(model: &str, x: &[Vec<f64>], cpu: &[f64], mem: &[f64], dur: &[f64
                 tex.iter().map(|r| m.predict_class(r)).collect()
             }
             "RF" => {
-                let m = RandomForest::fit(&trx, &trl, Task::Classification { n_classes }, ForestParams::default());
+                let m = RandomForest::fit(
+                    &trx,
+                    &trl,
+                    Task::Classification { n_classes },
+                    ForestParams::default(),
+                );
                 tex.iter().map(|r| m.predict_class(r)).collect()
             }
             _ => unreachable!(),
@@ -127,8 +131,10 @@ pub fn run() -> Vec<(String, String, Scores)> {
         let dup = WorkloadDuplicator { points: 100, noise: 0.02, seed: 77 ^ f as u64 };
         let obs = dup.run(&suite[f], first);
         let x: Vec<Vec<f64>> = obs.iter().map(|o| features(o.size)).collect();
-        let cpu: Vec<f64> = obs.iter().map(|o| o.cpu_peak_millis.div_ceil(MILLIS_PER_CORE) as f64).collect();
-        let mem: Vec<f64> = obs.iter().map(|o| o.mem_peak_mb.div_ceil(MEM_CLASS_MB) as f64).collect();
+        let cpu: Vec<f64> =
+            obs.iter().map(|o| o.cpu_peak_millis.div_ceil(MILLIS_PER_CORE) as f64).collect();
+        let mem: Vec<f64> =
+            obs.iter().map(|o| o.mem_peak_mb.div_ceil(MEM_CLASS_MB) as f64).collect();
         let dur: Vec<f64> = obs.iter().map(|o| o.duration.as_secs_f64()).collect();
 
         let mut cols = vec![kind.name().to_string()];
@@ -159,8 +165,16 @@ pub fn run() -> Vec<(String, String, Scores)> {
     let best_cpu = sums.iter().all(|s| rf.0 >= s.0 - 1e-9);
     let best_r2 = sums.iter().all(|s| rf.2 >= s.2 - 1e-9);
     println!();
-    compare("RF best average cpu accuracy (related)", "yes (Table 2)", if best_cpu { "yes".into() } else { "no".into() });
-    compare("RF best average duration R² (related)", "yes (Table 2)", if best_r2 { "yes".into() } else { "no".into() });
+    compare(
+        "RF best average cpu accuracy (related)",
+        "yes (Table 2)",
+        if best_cpu { "yes".into() } else { "no".into() },
+    );
+    compare(
+        "RF best average duration R² (related)",
+        "yes (Table 2)",
+        if best_r2 { "yes".into() } else { "no".into() },
+    );
     compare(
         "related vs unrelated gap visible",
         "acc ~0.95 vs ~0.59 (RF)",

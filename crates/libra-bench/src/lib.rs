@@ -144,11 +144,7 @@ pub fn header(title: &str) {
 
 /// Print a row of aligned columns.
 pub fn row(cols: &[String]) {
-    let line = cols
-        .iter()
-        .map(|c| format!("{c:>14}"))
-        .collect::<Vec<_>>()
-        .join(" ");
+    let line = cols.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ");
     println!("{line}");
 }
 
@@ -159,10 +155,8 @@ pub fn cdf_summary(label: &str, data: &[f64], unit: &str) {
         return;
     }
     let qs = [10.0, 25.0, 50.0, 75.0, 90.0, 99.0];
-    let cells: Vec<String> = qs
-        .iter()
-        .map(|&q| format!("p{q:>2.0}={:.2}{unit}", percentile(data, q)))
-        .collect();
+    let cells: Vec<String> =
+        qs.iter().map(|&q| format!("p{q:>2.0}={:.2}{unit}", percentile(data, q))).collect();
     println!("{label:>12}: {}", cells.join("  "));
 }
 

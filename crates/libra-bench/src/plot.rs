@@ -6,7 +6,12 @@
 /// Render a multi-series line chart. Each series is `(label, points)` with
 /// points sorted by x. Series are drawn with distinct glyphs; overlapping
 /// cells show the later series.
-pub fn line_chart(title: &str, series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+pub fn line_chart(
+    title: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
     if all.is_empty() {
@@ -31,7 +36,8 @@ pub fn line_chart(title: &str, series: &[(String, Vec<(f64, f64)>)], width: usiz
     for (si, (_, points)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
         // Interpolate between consecutive points so lines look continuous.
-        for w in points.windows(2).chain(std::iter::once(&points[points.len().saturating_sub(1)..])) {
+        for w in points.windows(2).chain(std::iter::once(&points[points.len().saturating_sub(1)..]))
+        {
             if w.is_empty() {
                 continue;
             }

@@ -67,7 +67,10 @@ pub fn read_trace(r: impl Read) -> Result<Trace, CsvError> {
         }
         if i == 0 {
             if line != TRACE_HEADER {
-                return Err(CsvError::Parse(1, format!("expected header `{TRACE_HEADER}`, got `{line}`")));
+                return Err(CsvError::Parse(
+                    1,
+                    format!("expected header `{TRACE_HEADER}`, got `{line}`"),
+                ));
             }
             continue;
         }

@@ -61,10 +61,9 @@ fn make_trace(opts: &Opts) -> Result<Trace, String> {
         TraceKind::Single => gen.single_set(),
         TraceKind::Multi(rpm) => {
             let sets = gen.multi_sets();
-            sets.into_iter()
-                .find(|(r, _)| *r == rpm)
-                .map(|(_, t)| t)
-                .ok_or(format!("no multi set at {rpm} RPM (valid: 10,20,30,40,50,60,120,180,240,300)"))?
+            sets.into_iter().find(|(r, _)| *r == rpm).map(|(_, t)| t).ok_or(format!(
+                "no multi set at {rpm} RPM (valid: 10,20,30,40,50,60,120,180,240,300)"
+            ))?
         }
         TraceKind::Poisson { n, rpm } => gen.poisson(n, rpm),
     })
@@ -167,7 +166,11 @@ fn summarize(r: &RunResult) {
     println!("platform    : {}", r.platform);
     println!("invocations : {}", r.records.len());
     println!("completion  : {:.1} s", r.completion_time.as_secs_f64());
-    println!("p50 / p99   : {:.1} / {:.1} s", r.latency_percentile(50.0), r.latency_percentile(99.0));
+    println!(
+        "p50 / p99   : {:.1} / {:.1} s",
+        r.latency_percentile(50.0),
+        r.latency_percentile(99.0)
+    );
     println!("cpu util    : {:.1} %", 100.0 * r.mean_cpu_util());
     println!("worst spdup : {:+.2}", r.worst_degradation());
     let h = r.records.iter().filter(|x| x.flags.harvested).count();

@@ -87,9 +87,8 @@ impl Opts {
         let mut o = Opts::default();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = || -> Result<&String, String> {
-                it.next().ok_or(format!("{flag} needs a value"))
-            };
+            let mut value =
+                || -> Result<&String, String> { it.next().ok_or(format!("{flag} needs a value")) };
             match flag.as_str() {
                 "--platform" => o.platform = value()?.clone(),
                 "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -113,7 +112,9 @@ impl Opts {
                     let parts: Vec<&str> = v.split(':').collect();
                     o.kind = match parts.as_slice() {
                         ["single"] => TraceKind::Single,
-                        ["multi", rpm] => TraceKind::Multi(rpm.parse().map_err(|e| format!("--kind multi: {e}"))?),
+                        ["multi", rpm] => {
+                            TraceKind::Multi(rpm.parse().map_err(|e| format!("--kind multi: {e}"))?)
+                        }
                         ["poisson", n, rpm] => TraceKind::Poisson {
                             n: n.parse().map_err(|e| format!("--kind poisson n: {e}"))?,
                             rpm: rpm.parse().map_err(|e| format!("--kind poisson rpm: {e}"))?,

@@ -93,7 +93,12 @@ fn evaluate(
 /// Greedy assignment: requests in order, each taking the max-coverage node
 /// with room (ties to the lower node id) — Libra's production algorithm
 /// applied to a batch.
-pub fn greedy_assign(reqs: &[BatchRequest], nodes: &[BatchNode], now: SimTime, alpha: f64) -> Assignment {
+pub fn greedy_assign(
+    reqs: &[BatchRequest],
+    nodes: &[BatchNode],
+    now: SimTime,
+    alpha: f64,
+) -> Assignment {
     let mut free: Vec<ResourceVec> = nodes.iter().map(|n| n.free).collect();
     let mut snaps: Vec<PoolSnapshot> = nodes.iter().map(|n| n.snapshot.clone()).collect();
     let mut out = Vec::with_capacity(reqs.len());
@@ -105,7 +110,7 @@ pub fn greedy_assign(reqs: &[BatchRequest], nodes: &[BatchNode], now: SimTime, a
                 continue;
             }
             let c = demand_coverage(&snaps[n], req.extra, now, req.duration, alpha);
-            if best.map_or(true, |(bc, _)| c > bc + 1e-12) {
+            if best.is_none_or(|(bc, _)| c > bc + 1e-12) {
                 best = Some((c, n));
             }
         }
@@ -126,7 +131,12 @@ pub fn greedy_assign(reqs: &[BatchRequest], nodes: &[BatchNode], now: SimTime, a
 /// request placed; `None` allowed only when nothing fits). Exponential —
 /// `nodes^reqs` — so callers should keep `reqs.len() ≤ ~8` and
 /// `nodes.len() ≤ ~4`; that is precisely why the paper ships the greedy.
-pub fn optimal_assign(reqs: &[BatchRequest], nodes: &[BatchNode], now: SimTime, alpha: f64) -> Assignment {
+pub fn optimal_assign(
+    reqs: &[BatchRequest],
+    nodes: &[BatchNode],
+    now: SimTime,
+    alpha: f64,
+) -> Assignment {
     assert!(
         nodes.len().pow(reqs.len() as u32) <= 1_000_000,
         "batch too large for exhaustive search ({} nodes ^ {} requests)",
@@ -171,7 +181,11 @@ mod tests {
             free: ResourceVec::from_cores_mb(free_cores, 8192),
             snapshot: entries
                 .iter()
-                .map(|&(cpu, exp)| PoolEntryStatus { cpu_idle_millis: cpu, mem_idle_mb: 256, expiry: t(exp) })
+                .map(|&(cpu, exp)| PoolEntryStatus {
+                    cpu_idle_millis: cpu,
+                    mem_idle_mb: 256,
+                    expiry: t(exp),
+                })
                 .collect(),
         }
     }

@@ -23,18 +23,20 @@ use libra_sim::time::{SimDuration, SimTime};
 /// Coverage of a one-dimensional demand (`units` over `[start, start+dur]`)
 /// by pool entries `(volume, expiry)`. Returns a value in `[0, 1]`.
 /// A zero demand (or zero window) is trivially fully covered.
-pub fn coverage_1d(entries: &[(u64, SimTime)], units: u64, start: SimTime, dur: SimDuration) -> f64 {
+pub fn coverage_1d(
+    entries: &[(u64, SimTime)],
+    units: u64,
+    start: SimTime,
+    dur: SimDuration,
+) -> f64 {
     if units == 0 || dur.as_micros() == 0 {
         return 1.0;
     }
     let end = start + dur;
     // Piecewise-constant availability: breakpoints at entry expiries inside
     // the window.
-    let mut cuts: Vec<SimTime> = entries
-        .iter()
-        .map(|&(_, e)| e)
-        .filter(|&e| e > start && e < end)
-        .collect();
+    let mut cuts: Vec<SimTime> =
+        entries.iter().map(|&(_, e)| e).filter(|&e| e > start && e < end).collect();
     cuts.push(end);
     cuts.sort();
     cuts.dedup();
@@ -70,11 +72,8 @@ pub fn demand_coverage(
         .filter(|e| e.cpu_idle_millis > 0)
         .map(|e| (e.cpu_idle_millis, e.expiry))
         .collect();
-    let mem_entries: Vec<(u64, SimTime)> = snapshot
-        .iter()
-        .filter(|e| e.mem_idle_mb > 0)
-        .map(|e| (e.mem_idle_mb, e.expiry))
-        .collect();
+    let mem_entries: Vec<(u64, SimTime)> =
+        snapshot.iter().filter(|e| e.mem_idle_mb > 0).map(|e| (e.mem_idle_mb, e.expiry)).collect();
     let dc = coverage_1d(&cpu_entries, extra.cpu_millis, now, dur);
     let dm = coverage_1d(&mem_entries, extra.mem_mb, now, dur);
     alpha * dc + (1.0 - alpha) * dm
@@ -107,8 +106,8 @@ mod tests {
         // (2·half + 1·half) / (2·full) = 0.75.
         let entries = [(1u64, t(8)), (1u64, t(5))];
         let c = coverage_1d(&entries, 2, t(3), d(4)); // window [3, 7]
-        // first 2 s: both valid -> min(2,2)=2; last 2 s: one valid -> 1.
-        // covered = 2·2 + 1·2 = 6; demand area = 2·4 = 8.
+                                                      // first 2 s: both valid -> min(2,2)=2; last 2 s: one valid -> 1.
+                                                      // covered = 2·2 + 1·2 = 6; demand area = 2·4 = 8.
         assert!((c - 0.75).abs() < 1e-9, "coverage {c}");
     }
 

@@ -134,7 +134,12 @@ impl Window {
         let cpu = self.entries.iter().map(|e| e.0).max().unwrap_or(0).max(100);
         let mem = self.entries.iter().map(|e| e.1).max().unwrap_or(0).max(32);
         let dur = self.entries.iter().map(|e| e.2).max().unwrap_or(SimDuration::ZERO);
-        Some(Prediction { cpu_millis: cpu, mem_mb: mem, duration: dur, path: PredictionPath::Window })
+        Some(Prediction {
+            cpu_millis: cpu,
+            mem_mb: mem,
+            duration: dur,
+            path: PredictionPath::Window,
+        })
     }
 }
 
@@ -151,6 +156,10 @@ pub struct LibraPlatform<S: NodeSelector = CoverageSelector> {
     loans_expired: u64,
     /// Loans whose volume returned to the pool (re-harvesting, §5.1).
     loans_reharvested: u64,
+    /// Loans destroyed by injected crashes/aborts (nothing returned).
+    loans_crashed: u64,
+    /// Node-crash orphan sweeps performed on harvest pools.
+    crash_sweeps: u64,
     initialized: bool,
 }
 
@@ -175,6 +184,8 @@ impl<S: NodeSelector> LibraPlatform<S> {
             safeguard: Safeguard::new(0, 0.8, 3),
             loans_expired: 0,
             loans_reharvested: 0,
+            loans_crashed: 0,
+            crash_sweeps: 0,
             initialized: false,
         }
     }
@@ -246,12 +257,14 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
 
     fn init(&mut self, world: &World) {
         let n_funcs = world.functions().len();
-        self.profiler = self.cfg.profiler.then(|| {
-            Profiler::new(n_funcs, self.cfg.profiler_cfg.clone(), self.cfg.model_choice)
-        });
+        self.profiler = self
+            .cfg
+            .profiler
+            .then(|| Profiler::new(n_funcs, self.cfg.profiler_cfg.clone(), self.cfg.model_choice));
         self.windows = vec![Window::new(self.cfg.np_window); n_funcs];
         self.pools = (0..world.num_nodes()).map(|_| HarvestResourcePool::new()).collect();
-        self.safeguard = Safeguard::new(n_funcs, self.cfg.safeguard_threshold, self.cfg.mem_blacklist_after);
+        self.safeguard =
+            Safeguard::new(n_funcs, self.cfg.safeguard_threshold, self.cfg.mem_blacklist_after);
         self.initialized = true;
     }
 
@@ -335,7 +348,8 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
                     if excess == 0 {
                         break;
                     }
-                    let give = libra_sim::resources::ResourceVec::new(loan.res.cpu_millis.min(excess), 0);
+                    let give =
+                        libra_sim::resources::ResourceVec::new(loan.res.cpu_millis.min(excess), 0);
                     if give.is_zero() {
                         continue;
                     }
@@ -368,7 +382,7 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
         let cpu_cap = (usage.cpu_busy_millis + usage.cpu_busy_millis / 3)
             .saturating_sub(ctx.inv(inv).effective_alloc().cpu_millis);
         let want = libra_sim::resources::ResourceVec::new(
-            shortfall.cpu_millis.min(cpu_cap.max(0)),
+            shortfall.cpu_millis.min(cpu_cap),
             shortfall.mem_mb,
         );
         if want.is_zero() {
@@ -419,6 +433,12 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
                 // The source's pool entry is removed in on_complete/on_oom;
                 // nothing to return.
             }
+            LoanEnd::Crashed => {
+                // One end of the loan died with a crash/abort; the engine
+                // already unwound the ledger and on_abort/on_node_crash
+                // sweep the pool entries. Just count the damage.
+                self.loans_crashed += 1;
+            }
         }
     }
 
@@ -435,6 +455,32 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
         // The piggyback (§6.4): schedulers learn pool status from pings.
         let snap = self.pools[node.idx()].snapshot(world.now());
         self.view.snapshots.insert(node, snap);
+        self.view.note_ping(node, world.now());
+    }
+
+    fn on_node_crash(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {
+        // Orphan sweep: every entry in a dead node's pool belonged to an
+        // invocation that died with it. Remove entries one by one so the
+        // idle ledger and op counts survive the crash.
+        let now = ctx.now();
+        let pool = self.node_pool(node);
+        for id in pool.sources() {
+            pool.remove(id, now);
+        }
+        self.crash_sweeps += 1;
+        // Drop the scheduler's view of the node: its snapshot describes a
+        // pool that no longer exists, and treating it as "never pinged"
+        // (rather than stale) lets a recovered node start from a clean slate.
+        self.view.snapshots.remove(&node);
+        self.view.pings.remove(&node);
+    }
+
+    fn on_abort(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        // The attempt's harvestable idle resources die with it.
+        if let Some(node) = ctx.inv(inv).node {
+            let now = ctx.now();
+            self.node_pool(node).remove(inv, now);
+        }
     }
 
     fn report(&self) -> PlatformReport {
@@ -456,6 +502,8 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
             extra: vec![
                 ("loans_expired".into(), self.loans_expired as f64),
                 ("loans_reharvested".into(), self.loans_reharvested as f64),
+                ("loans_crashed".into(), self.loans_crashed as f64),
+                ("crash_sweeps".into(), self.crash_sweeps as f64),
             ],
         }
     }

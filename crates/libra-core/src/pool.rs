@@ -178,6 +178,13 @@ impl HarvestResourcePool {
             .unwrap_or(ResourceVec::ZERO)
     }
 
+    /// Source invocations with entries, in id order (deterministic sweeps).
+    pub fn sources(&self) -> Vec<InvocationId> {
+        let mut ids: Vec<InvocationId> = self.entries.keys().copied().collect();
+        ids.sort_by_key(|i| i.0);
+        ids
+    }
+
     /// Whether `source` still has an entry.
     pub fn contains(&self, source: InvocationId) -> bool {
         self.entries.contains_key(&source)
@@ -185,9 +192,9 @@ impl HarvestResourcePool {
 
     /// Total idle volume currently pooled.
     pub fn total_idle(&self) -> ResourceVec {
-        self.entries.values().fold(ResourceVec::ZERO, |a, e| {
-            a + ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb)
-        })
+        self.entries
+            .values()
+            .fold(ResourceVec::ZERO, |a, e| a + ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb))
     }
 
     /// Point-in-time status for the health-ping piggyback, expired entries

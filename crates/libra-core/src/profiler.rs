@@ -327,7 +327,12 @@ impl Profiler {
 
         let mut data = Dataset3::default();
         for o in &obs {
-            data.push(o.size, cpu_class(o.cpu_peak_millis), mem_class(o.mem_peak_mb), o.duration.as_secs_f64());
+            data.push(
+                o.size,
+                cpu_class(o.cpu_peak_millis),
+                mem_class(o.mem_peak_mb),
+                o.duration.as_secs_f64(),
+            );
         }
         let (ml, scores) = Self::fit_forests(&data, self.cfg.train_frac, self.cfg.seed ^ f as u64);
         self.scores[f] = Some(scores);
@@ -372,7 +377,12 @@ impl Profiler {
 
         let (trx, trc) = pick(&tr_idx, &data.cpu);
         let (tex, tec) = pick(&te_idx, &data.cpu);
-        let cpu_rf = RandomForest::fit(&trx, &trc, Task::Classification { n_classes: n_cpu_classes }, params);
+        let cpu_rf = RandomForest::fit(
+            &trx,
+            &trc,
+            Task::Classification { n_classes: n_cpu_classes },
+            params,
+        );
         let cpu_acc = accuracy(
             &tex.iter().map(|r| cpu_rf.predict_class(r)).collect::<Vec<_>>(),
             &tec.iter().map(|&v| v as usize).collect::<Vec<_>>(),
@@ -380,7 +390,12 @@ impl Profiler {
 
         let (_, trm) = pick(&tr_idx, &data.mem);
         let (_, tem) = pick(&te_idx, &data.mem);
-        let mem_rf = RandomForest::fit(&trx, &trm, Task::Classification { n_classes: n_mem_classes }, params);
+        let mem_rf = RandomForest::fit(
+            &trx,
+            &trm,
+            Task::Classification { n_classes: n_mem_classes },
+            params,
+        );
         let mem_acc = accuracy(
             &tex.iter().map(|r| mem_rf.predict_class(r)).collect::<Vec<_>>(),
             &tem.iter().map(|&v| v as usize).collect::<Vec<_>>(),
@@ -392,8 +407,18 @@ impl Profiler {
         let dur_r2 = r2_score(&tex.iter().map(|r| dur_rf.predict(r)).collect::<Vec<_>>(), &ted);
 
         // Refit on the full dataset for serving.
-        let all_cpu = RandomForest::fit(&data.x, &data.cpu, Task::Classification { n_classes: n_cpu_classes }, params);
-        let all_mem = RandomForest::fit(&data.x, &data.mem, Task::Classification { n_classes: n_mem_classes }, params);
+        let all_cpu = RandomForest::fit(
+            &data.x,
+            &data.cpu,
+            Task::Classification { n_classes: n_cpu_classes },
+            params,
+        );
+        let all_mem = RandomForest::fit(
+            &data.x,
+            &data.mem,
+            Task::Classification { n_classes: n_mem_classes },
+            params,
+        );
         let all_dur = RandomForest::fit(&data.x, &data.dur, Task::Regression, params);
 
         let data3 = Dataset3 {
@@ -442,7 +467,12 @@ impl Profiler {
                 let cpu = (cpu_class((cpu_raw * ratio) as u64) as u64) * MILLIS_PER_CORE;
                 let mem = (mem_class((mem_raw * ratio) as u64) as u64) * MEM_CLASS_MB;
                 let dur = SimDuration::from_secs_f64((m.dur.predict(&x) * ratio).max(0.001));
-                Some(Prediction { cpu_millis: cpu, mem_mb: mem, duration: dur, path: PredictionPath::Ml })
+                Some(Prediction {
+                    cpu_millis: cpu,
+                    mem_mb: mem,
+                    duration: dur,
+                    path: PredictionPath::Ml,
+                })
             }
             FuncState::Hist(h) => {
                 let cpu_raw = h.cpu.percentile(self.cfg.peak_percentile)?;
@@ -466,7 +496,11 @@ impl Profiler {
         match &mut self.states[f] {
             FuncState::Untrained => {}
             FuncState::Hist(h) => {
-                h.observe(actuals.cpu_peak_millis, actuals.mem_peak_mb, actuals.exec_duration.as_secs_f64());
+                h.observe(
+                    actuals.cpu_peak_millis,
+                    actuals.mem_peak_mb,
+                    actuals.exec_duration.as_secs_f64(),
+                );
             }
             FuncState::Ml(m) => {
                 m.data.push(
@@ -482,9 +516,20 @@ impl Profiler {
                     m.since_refit = 0;
                     let t0 = std::time::Instant::now();
                     let params = ForestParams { n_trees: 24, seed: 1, ..Default::default() };
-                    let n_mem_classes = m.data.mem.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
-                    m.cpu = RandomForest::fit(&m.data.x, &m.data.cpu, Task::Classification { n_classes: MAX_CPU_CLASS + 1 }, params);
-                    m.mem = RandomForest::fit(&m.data.x, &m.data.mem, Task::Classification { n_classes: n_mem_classes }, params);
+                    let n_mem_classes =
+                        m.data.mem.iter().map(|&v| v as usize).max().unwrap_or(1) + 2;
+                    m.cpu = RandomForest::fit(
+                        &m.data.x,
+                        &m.data.cpu,
+                        Task::Classification { n_classes: MAX_CPU_CLASS + 1 },
+                        params,
+                    );
+                    m.mem = RandomForest::fit(
+                        &m.data.x,
+                        &m.data.mem,
+                        Task::Classification { n_classes: n_mem_classes },
+                        params,
+                    );
                     m.dur = RandomForest::fit(&m.data.x, &m.data.dur, Task::Regression, params);
                     self.train_micros.push((0, t0.elapsed().as_micros()));
                 }

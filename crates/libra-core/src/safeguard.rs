@@ -83,7 +83,13 @@ mod tests {
     use super::*;
     use libra_sim::resources::ResourceVec;
 
-    fn usage(cpu_busy: u64, cpu_alloc: u64, mem_used: u64, mem_alloc: u64, throttled: bool) -> UsageSample {
+    fn usage(
+        cpu_busy: u64,
+        cpu_alloc: u64,
+        mem_used: u64,
+        mem_alloc: u64,
+        throttled: bool,
+    ) -> UsageSample {
         UsageSample {
             cpu_busy_millis: cpu_busy,
             mem_used_mb: mem_used,

@@ -18,19 +18,46 @@ use crate::pool::PoolSnapshot;
 use libra_sim::engine::World;
 use libra_sim::ids::{InvocationId, NodeId};
 use libra_sim::resources::ResourceVec;
+use libra_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+
+/// A pool snapshot older than this (i.e. this many missed health pings at
+/// the default 500 ms interval) is stale: the node may be partitioned or
+/// dead, and its advertised idle resources cannot be trusted.
+pub const STALE_VIEW_AFTER: SimDuration = SimDuration(2_000_000);
 
 /// The scheduler-side view of cluster pool state, refreshed by health pings.
 #[derive(Debug, Default)]
 pub struct SchedView {
     /// Last-known pool snapshot per node.
     pub snapshots: HashMap<NodeId, PoolSnapshot>,
+    /// When each node's last health ping arrived.
+    pub pings: HashMap<NodeId, SimTime>,
 }
 
 impl SchedView {
     /// An empty view.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record a health ping from `node` at `now`.
+    pub fn note_ping(&mut self, node: NodeId, now: SimTime) {
+        self.pings.insert(node, now);
+    }
+
+    /// True when the node has pinged before but not recently — missed pings
+    /// mean its snapshot describes a pool that may no longer exist. A node
+    /// that has never pinged is *not* stale: at startup there is simply no
+    /// snapshot yet, which the coverage loop already treats as empty.
+    pub fn is_stale(&self, node: NodeId, now: SimTime) -> bool {
+        self.pings.get(&node).is_some_and(|&last| now.since(last) > STALE_VIEW_AFTER)
+    }
+
+    /// True when every known node's view is stale — the scheduler has lost
+    /// contact with the pool layer entirely and must stop trusting it.
+    pub fn all_stale(&self, now: SimTime) -> bool {
+        !self.pings.is_empty() && self.pings.keys().all(|&n| self.is_stale(n, now))
     }
 }
 
@@ -149,13 +176,25 @@ impl NodeSelector for CoverageSelector {
                 let rec = world.inv(inv);
                 let dur = rec.pred.expect("accelerable implies prediction").duration;
                 let now = world.now();
+                // Lost contact with every pool: stop chasing coverage and
+                // fall back to the non-accelerable placement path, which
+                // needs no pool knowledge at all.
+                if view.all_stale(now) {
+                    return hash_probe(world, shard, inv);
+                }
                 let mut best: Option<(f64, NodeId)> = None;
                 for node in world.node_ids() {
                     if !rec.nominal.fits_within(&world.free_in_shard(node, shard)) {
                         continue;
                     }
                     let empty = PoolSnapshot::new();
-                    let snap = view.snapshots.get(&node).unwrap_or(&empty);
+                    // A stale snapshot describes a pool that may be gone
+                    // (crashed node, dropped pings): treat it as empty.
+                    let snap = if view.is_stale(node, now) {
+                        &empty
+                    } else {
+                        view.snapshots.get(&node).unwrap_or(&empty)
+                    };
                     let c = demand_coverage(snap, extra, now, dur, alpha);
                     let better = match best {
                         None => true,
@@ -205,7 +244,7 @@ impl NodeSelector for VolumeSelector {
                         .get(&node)
                         .map(|s| s.iter().map(|e| e.cpu_idle_millis).sum())
                         .unwrap_or(0);
-                    if best.map_or(true, |(bv, _)| vol > bv) {
+                    if best.is_none_or(|(bv, _)| vol > bv) {
                         best = Some((vol, node));
                     }
                 }
@@ -251,7 +290,12 @@ mod tests {
         fn predict(&mut self, _w: &World, _i: InvocationId) -> Option<Prediction> {
             self.pred
         }
-        fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        fn select_node(
+            &mut self,
+            world: &World,
+            shard: usize,
+            inv: InvocationId,
+        ) -> Option<NodeId> {
             let mut sel = CoverageSelector;
             let view = SchedView::new();
             let n = sel.select(world, shard, inv, &view, 0.9);
@@ -300,7 +344,12 @@ mod tests {
                     path: PredictionPath::Ml,
                 })
             }
-            fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+            fn select_node(
+                &mut self,
+                world: &World,
+                shard: usize,
+                inv: InvocationId,
+            ) -> Option<NodeId> {
                 self.seen = Some(classify(world, inv));
                 hash_probe(world, shard, inv)
             }
@@ -318,7 +367,7 @@ mod tests {
         // Four 2-core invocations of fn 0 fill its home node's 8-core slice;
         // the fifth must land elsewhere.
         for i in 0..5 {
-            t.push(SimTime(i), FunctionId(0), InputMeta::new(1, i as u64));
+            t.push(SimTime(i), FunctionId(0), InputMeta::new(1, i));
         }
         struct H {
             nodes: Vec<NodeId>,
@@ -327,7 +376,12 @@ mod tests {
             fn name(&self) -> String {
                 "h".into()
             }
-            fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+            fn select_node(
+                &mut self,
+                world: &World,
+                shard: usize,
+                inv: InvocationId,
+            ) -> Option<NodeId> {
                 let n = hash_probe(world, shard, inv);
                 if let Some(node) = n {
                     self.nodes.push(node);

@@ -18,6 +18,8 @@ use crate::pool::PoolSnapshot;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -49,13 +51,23 @@ pub struct Decision {
 enum Job {
     Schedule(ScheduleRequest, Sender<Decision>),
     /// Release a previous reservation (invocation completed).
-    Release { node: u32, res: ResourceVec },
+    Release {
+        node: u32,
+        res: ResourceVec,
+    },
     /// Try to re-commit previously released (harvested) capacity on a
     /// specific node — e.g. when pooled idle volume is lent out. Replies
     /// whether the slice still had room.
-    Charge { node: u32, res: ResourceVec, reply: Sender<bool> },
+    Charge {
+        node: u32,
+        res: ResourceVec,
+        reply: Sender<bool>,
+    },
     /// Refresh a node's pool snapshot (the health-ping piggyback).
-    Snapshot { node: u32, snap: PoolSnapshot },
+    Snapshot {
+        node: u32,
+        snap: PoolSnapshot,
+    },
     Stop,
 }
 
@@ -82,8 +94,14 @@ impl ShardState {
                 if !req.nominal.fits_within(&self.free[i]) {
                     continue;
                 }
-                let c = demand_coverage(&self.snapshots[i], req.extra, req.now, req.duration, self.alpha);
-                if best.map_or(true, |(bc, _)| c > bc + 1e-12) {
+                let c = demand_coverage(
+                    &self.snapshots[i],
+                    req.extra,
+                    req.now,
+                    req.duration,
+                    self.alpha,
+                );
+                if best.is_none_or(|(bc, _)| c > bc + 1e-12) {
                     best = Some((c, i));
                 }
             }
@@ -98,10 +116,25 @@ fn hash(f: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One shard: its inbox, its slice state (shared with the worker thread so
+/// a respawn resumes from the same ledger), and the worker's join handle.
+struct ShardSlot {
+    tx: Mutex<Sender<Job>>,
+    state: Arc<Mutex<ShardState>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
 /// Handle to a running fleet of scheduler shards.
+///
+/// Shards can be [`kill`](ShardedScheduler::kill)ed and
+/// [`respawn`](ShardedScheduler::respawn)ed at runtime (fault injection).
+/// Every client-facing call degrades instead of panicking when its shard is
+/// down: `schedule_on` answers `node: None` (the caller retries, exactly
+/// like an unplaceable request), `try_charge` answers `false` (the loan is
+/// skipped), and `release` applies directly to the shared slice ledger so
+/// freed capacity is never lost.
 pub struct ShardedScheduler {
-    txs: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    slots: Vec<ShardSlot>,
     next: std::sync::atomic::AtomicUsize,
 }
 
@@ -111,103 +144,154 @@ impl ShardedScheduler {
     pub fn spawn(shards: usize, nodes: usize, capacity: ResourceVec, alpha: f64) -> Self {
         assert!(shards > 0 && nodes > 0);
         let slice = capacity.div(shards as u64);
-        let mut txs = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        let mut slots = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = unbounded::<Job>();
-            let mut state = ShardState {
+            let state = Arc::new(Mutex::new(ShardState {
                 free: vec![slice; nodes],
                 snapshots: vec![PoolSnapshot::new(); nodes],
                 alpha,
-            };
-            let handle = std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    match job {
-                        Job::Schedule(req, reply) => {
-                            let t0 = std::time::Instant::now();
-                            let node = state.decide(&req);
-                            if let Some(i) = node {
-                                state.free[i as usize] -= req.nominal;
-                            }
-                            let latency = t0.elapsed();
-                            let _ = reply.send(Decision { node, latency });
-                        }
-                        Job::Release { node, res } => {
-                            state.free[node as usize] += res;
-                        }
-                        Job::Charge { node, res, reply } => {
-                            let ok = res.fits_within(&state.free[node as usize]);
-                            if ok {
-                                state.free[node as usize] -= res;
-                            }
-                            let _ = reply.send(ok);
-                        }
-                        Job::Snapshot { node, snap } => {
-                            state.snapshots[node as usize] = snap;
-                        }
-                        Job::Stop => break,
-                    }
-                }
-            });
-            txs.push(tx);
-            handles.push(handle);
+            }));
+            let (tx, handle) = Self::spawn_thread(Arc::clone(&state));
+            slots.push(ShardSlot { tx: Mutex::new(tx), state, handle: Mutex::new(Some(handle)) });
         }
-        ShardedScheduler { txs, handles, next: std::sync::atomic::AtomicUsize::new(0) }
+        ShardedScheduler { slots, next: std::sync::atomic::AtomicUsize::new(0) }
+    }
+
+    fn spawn_thread(state: Arc<Mutex<ShardState>>) -> (Sender<Job>, JoinHandle<()>) {
+        let (tx, rx) = unbounded::<Job>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Schedule(req, reply) => {
+                        let t0 = std::time::Instant::now();
+                        let mut state = state.lock();
+                        let node = state.decide(&req);
+                        if let Some(i) = node {
+                            state.free[i as usize] -= req.nominal;
+                        }
+                        drop(state);
+                        let latency = t0.elapsed();
+                        let _ = reply.send(Decision { node, latency });
+                    }
+                    Job::Release { node, res } => {
+                        state.lock().free[node as usize] += res;
+                    }
+                    Job::Charge { node, res, reply } => {
+                        let mut state = state.lock();
+                        let ok = res.fits_within(&state.free[node as usize]);
+                        if ok {
+                            state.free[node as usize] -= res;
+                        }
+                        drop(state);
+                        let _ = reply.send(ok);
+                    }
+                    Job::Snapshot { node, snap } => {
+                        state.lock().snapshots[node as usize] = snap;
+                    }
+                    Job::Stop => break,
+                }
+            }
+        });
+        (tx, handle)
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.txs.len()
+        self.slots.len()
+    }
+
+    /// Whether `shard`'s worker thread is currently running.
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.slots[shard].handle.lock().is_some()
+    }
+
+    /// Kill `shard`: its inbox is replaced with a disconnected sender, the
+    /// worker drains already-queued jobs and exits, and every later send
+    /// fails fast. The slice ledger survives in shared state for
+    /// [`respawn`](ShardedScheduler::respawn). Idempotent.
+    pub fn kill(&self, shard: usize) {
+        let dead = {
+            let (tx, _rx) = unbounded::<Job>();
+            tx // receiver dropped here: all sends on this inbox fail
+        };
+        let old = std::mem::replace(&mut *self.slots[shard].tx.lock(), dead);
+        drop(old); // last live sender gone → worker's recv loop ends
+        if let Some(h) = self.slots[shard].handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Restart a killed shard over its preserved slice ledger. No-op if the
+    /// shard is alive.
+    pub fn respawn(&self, shard: usize) {
+        let slot = &self.slots[shard];
+        let mut handle = slot.handle.lock();
+        if handle.is_some() {
+            return;
+        }
+        let (tx, h) = Self::spawn_thread(Arc::clone(&slot.state));
+        *slot.tx.lock() = tx;
+        *handle = Some(h);
     }
 
     /// Schedule a request on the next shard (front-end round robin), blocking
     /// for the decision.
     pub fn schedule(&self, req: ScheduleRequest) -> Decision {
-        let s = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.txs.len();
+        let s = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.slots.len();
         self.schedule_on(s, req)
     }
 
-    /// Schedule on a specific shard.
+    /// Schedule on a specific shard. A dead shard answers `node: None`, the
+    /// same signal as "no capacity" — callers retry either way.
     pub fn schedule_on(&self, shard: usize, req: ScheduleRequest) -> Decision {
+        let unavailable = Decision { node: None, latency: Duration::ZERO };
         let (tx, rx) = bounded(1);
-        self.txs[shard]
-            .send(Job::Schedule(req, tx))
-            .expect("shard thread gone");
-        rx.recv().expect("shard dropped reply")
+        if self.slots[shard].tx.lock().send(Job::Schedule(req, tx)).is_err() {
+            return unavailable;
+        }
+        rx.recv().unwrap_or(unavailable)
     }
 
-    /// Release a reservation previously granted by `shard`.
+    /// Release a reservation previously granted by `shard`. If the shard is
+    /// down, the release is applied directly to the shared slice ledger —
+    /// freed capacity must never be lost to a crash.
     pub fn release(&self, shard: usize, node: u32, res: ResourceVec) {
-        let _ = self.txs[shard].send(Job::Release { node, res });
+        if self.slots[shard].tx.lock().send(Job::Release { node, res }).is_err() {
+            self.slots[shard].state.lock().free[node as usize] += res;
+        }
     }
 
     /// Try to re-commit `res` on `node` within `shard`'s slice (used when
     /// pooled idle capacity is lent out — lending re-commits it). Blocks for
-    /// the answer; `false` means admissions already consumed the room.
+    /// the answer; `false` means admissions already consumed the room (or
+    /// the shard is down — the conservative answer).
     pub fn try_charge(&self, shard: usize, node: u32, res: ResourceVec) -> bool {
         let (tx, rx) = bounded(1);
-        if self.txs[shard].send(Job::Charge { node, res, reply: tx }).is_err() {
+        if self.slots[shard].tx.lock().send(Job::Charge { node, res, reply: tx }).is_err() {
             return false;
         }
         rx.recv().unwrap_or(false)
     }
 
     /// Push a fresh pool snapshot for `node` to every shard (the broadcast
-    /// health ping).
+    /// health ping). Dead shards miss the update — their view goes stale,
+    /// like a real partitioned scheduler.
     pub fn push_snapshot(&self, node: u32, snap: &PoolSnapshot) {
-        for tx in &self.txs {
-            let _ = tx.send(Job::Snapshot { node, snap: snap.clone() });
+        for slot in &self.slots {
+            let _ = slot.tx.lock().send(Job::Snapshot { node, snap: snap.clone() });
         }
     }
 }
 
 impl Drop for ShardedScheduler {
     fn drop(&mut self) {
-        for tx in &self.txs {
-            let _ = tx.send(Job::Stop);
+        for slot in &self.slots {
+            let _ = slot.tx.lock().send(Job::Stop);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for slot in &self.slots {
+            if let Some(h) = slot.handle.lock().take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -277,6 +361,43 @@ mod tests {
         // on the same shard sees it.
         let d = sched.schedule_on(0, req(3, 2_000));
         assert_eq!(d.node, Some(2), "accelerable request must chase the harvested pool");
+    }
+
+    #[test]
+    fn killed_shard_answers_none_and_respawn_preserves_slice_state() {
+        // One shard, one node, 4-core slice: one 2-core request fits.
+        let sched = ShardedScheduler::spawn(1, 1, ResourceVec::from_cores_mb(4, 4096), 0.9);
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_some());
+        assert!(sched.is_alive(0));
+
+        sched.kill(0);
+        assert!(!sched.is_alive(0));
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_none(), "dead shard must answer None");
+        assert!(!sched.try_charge(0, 0, ResourceVec::from_cores_mb(1, 128)));
+        sched.kill(0); // idempotent
+
+        sched.respawn(0);
+        assert!(sched.is_alive(0));
+        // The pre-kill reservation survived: one more 2-core request fits,
+        // the next exhausts the slice.
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_some());
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_none(), "slice state was preserved");
+    }
+
+    #[test]
+    fn release_to_a_dead_shard_is_not_lost() {
+        let sched = ShardedScheduler::spawn(1, 1, ResourceVec::from_cores_mb(4, 4096), 0.9);
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_some());
+        assert!(sched.schedule_on(0, req(0, 0)).node.is_some());
+        sched.kill(0);
+        // The completion path releases while the shard is down; the capacity
+        // must land in the shared ledger, not vanish with the dead inbox.
+        sched.release(0, 0, ResourceVec::from_cores_mb(2, 512));
+        sched.respawn(0);
+        assert!(
+            sched.schedule_on(0, req(0, 0)).node.is_some(),
+            "capacity released during downtime must be schedulable after respawn"
+        );
     }
 
     #[test]

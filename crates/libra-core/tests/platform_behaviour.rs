@@ -11,7 +11,11 @@ use libra_workloads::apps::AppKind;
 use libra_workloads::trace::TraceGen;
 use libra_workloads::{sebs_suite, testbeds, ALL_APPS};
 
-fn run(cfg: LibraConfig, n: usize, seed: u64) -> (libra_sim::metrics::RunResult, libra_sim::platform::PlatformReport) {
+fn run(
+    cfg: LibraConfig,
+    n: usize,
+    seed: u64,
+) -> (libra_sim::metrics::RunResult, libra_sim::platform::PlatformReport) {
     let gen = TraceGen::standard(&ALL_APPS, seed);
     let trace = gen.poisson(n, 200.0);
     let sim = Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
@@ -41,7 +45,11 @@ fn np_variant_never_uses_ml_or_histogram_predictions() {
 #[test]
 fn full_libra_uses_both_model_paths() {
     let (res, _) = run(LibraConfig::libra(), 120, 42);
-    let ml = res.records.iter().filter(|r| matches!(r.pred.map(|p| p.path), Some(PredictionPath::Ml))).count();
+    let ml = res
+        .records
+        .iter()
+        .filter(|r| matches!(r.pred.map(|p| p.path), Some(PredictionPath::Ml)))
+        .count();
     let hist = res
         .records
         .iter()
@@ -124,7 +132,8 @@ fn hist_and_ml_only_variants_complete_and_differ() {
         80,
         42,
     );
-    let (ml, _) = run(LibraConfig { model_choice: ModelChoice::MlOnly, ..LibraConfig::libra() }, 80, 42);
+    let (ml, _) =
+        run(LibraConfig { model_choice: ModelChoice::MlOnly, ..LibraConfig::libra() }, 80, 42);
     assert_eq!(hist.records.len(), 80);
     assert_eq!(ml.records.len(), 80);
     assert!(hist

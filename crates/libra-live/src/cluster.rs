@@ -39,6 +39,25 @@ pub struct LiveConfig {
     /// Workload-milliseconds that elapse per real millisecond (> 1 runs the
     /// workload faster than nominal).
     pub time_scale: f64,
+    /// Optional chaos driver: kill and respawn scheduler shards while the
+    /// workload runs. `None` (the default) injects nothing.
+    pub chaos: Option<LiveChaos>,
+}
+
+/// Live fault injection: a driver thread repeatedly kills a (seeded-random)
+/// scheduler shard, holds it down, then respawns it. Admission, charging and
+/// release paths must all survive the dead inbox (see
+/// [`ShardedScheduler::kill`]).
+#[derive(Clone, Debug)]
+pub struct LiveChaos {
+    /// Seed for the shard-picking stream.
+    pub seed: u64,
+    /// How many kill/respawn cycles to run.
+    pub kills: u32,
+    /// Delay before each kill.
+    pub gap: Duration,
+    /// How long the shard stays dead.
+    pub downtime: Duration,
 }
 
 impl Default for LiveConfig {
@@ -50,6 +69,7 @@ impl Default for LiveConfig {
             harvesting: true,
             quantum: Duration::from_millis(2),
             time_scale: 4.0,
+            chaos: None,
         }
     }
 }
@@ -112,6 +132,8 @@ pub struct LiveResult {
     pub loans_expired: u64,
     /// Maximum Σ(own + lent) observed on any node (capacity invariant probe).
     pub peak_committed_cpu: u64,
+    /// Scheduler-shard kill/respawn cycles performed by the chaos driver.
+    pub shard_kills: u32,
 }
 
 impl LiveResult {
@@ -127,11 +149,15 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
     let nodes: Vec<Arc<NodeShared>> = (0..config.nodes)
         .map(|_| {
             Arc::new(NodeShared {
-                inner: Mutex::new(NodeInner { invs: HashMap::new(), pool: HarvestResourcePool::new() }),
+                inner: Mutex::new(NodeInner {
+                    invs: HashMap::new(),
+                    pool: HarvestResourcePool::new(),
+                }),
             })
         })
         .collect();
-    let sched = Arc::new(ShardedScheduler::spawn(config.shards, config.nodes, config.capacity, 0.9));
+    let sched =
+        Arc::new(ShardedScheduler::spawn(config.shards, config.nodes, config.capacity, 0.9));
     let loans_expired = Arc::new(AtomicU64::new(0));
     let peak_committed = Arc::new(AtomicU64::new(0));
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<LiveRecord>();
@@ -140,7 +166,27 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
     let scale = config.time_scale;
     let to_work_ms = move |d: Duration| d.as_secs_f64() * 1e3 * scale;
 
+    let shard_kills = Arc::new(AtomicU64::new(0));
     crossbeam::scope(|s| {
+        // Chaos driver: a bounded number of kill/respawn cycles, so the
+        // scope always joins.
+        if let Some(chaos) = config.chaos.clone() {
+            let sched = Arc::clone(&sched);
+            let shard_kills = Arc::clone(&shard_kills);
+            let shards = config.shards as u64;
+            s.spawn(move |_| {
+                let mut rng = chaos.seed;
+                for _ in 0..chaos.kills {
+                    std::thread::sleep(chaos.gap);
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let victim = ((rng >> 33) % shards) as usize;
+                    sched.kill(victim);
+                    shard_kills.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(chaos.downtime);
+                    sched.respawn(victim);
+                }
+            });
+        }
         for (idx, req) in workload.iter().enumerate() {
             let req = *req;
             let nodes = nodes.clone();
@@ -206,7 +252,9 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                     );
                     if harvested {
                         let idle = req.alloc.cpu_millis - req.demand_cpu_millis;
-                        let expiry = SimTime::from_millis((est_done_ms + req.base_duration_ms() as f64) as u64);
+                        let expiry = SimTime::from_millis(
+                            (est_done_ms + req.base_duration_ms() as f64) as u64,
+                        );
                         g.pool.put(
                             InvocationId(inv_id),
                             ResourceVec::new(idle, 0),
@@ -252,7 +300,11 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                             }
                             let srcst = g.invs.get_mut(&src.0).expect("checked above");
                             srcst.lent_cpu += vol.cpu_millis;
-                            g.invs.get_mut(&inv_id).expect("me").borrowed.push((src.0, vol.cpu_millis));
+                            g.invs
+                                .get_mut(&inv_id)
+                                .expect("me")
+                                .borrowed
+                                .push((src.0, vol.cpu_millis));
                             accelerated = true;
                         }
                     }
@@ -280,7 +332,11 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                             if let Some(srcst) = g.invs.get_mut(&src) {
                                 srcst.lent_cpu -= vol;
                                 let src_shard = srcst.shard;
-                                g.pool.give_back(InvocationId(src), ResourceVec::new(vol, 0), now_ms);
+                                g.pool.give_back(
+                                    InvocationId(src),
+                                    ResourceVec::new(vol, 0),
+                                    now_ms,
+                                );
                                 // Back to uncommitted idle: release the
                                 // charge taken at lend time.
                                 sched.release(src_shard, node_id as u32, ResourceVec::new(vol, 0));
@@ -291,8 +347,13 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                         drop(g);
 
                         // Release the remaining admission charge.
-                        let still_charged = if harvested { me.own_cpu + me.lent_cpu } else { req.alloc.cpu_millis };
-                        sched.release(shard, node_id as u32, ResourceVec::new(still_charged, req.alloc.mem_mb));
+                        let still_charged =
+                            if harvested { me.own_cpu + me.lent_cpu } else { req.alloc.cpu_millis };
+                        sched.release(
+                            shard,
+                            node_id as u32,
+                            ResourceVec::new(still_charged, req.alloc.mem_mb),
+                        );
 
                         let latency_ms = to_work_ms(submitted.elapsed());
                         let _ = done_tx.send(LiveRecord {
@@ -318,6 +379,7 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
         makespan_ms: to_work_ms(t0.elapsed()),
         loans_expired: loans_expired.load(Ordering::Relaxed),
         peak_committed_cpu: peak_committed.load(Ordering::Relaxed),
+        shard_kills: shard_kills.load(Ordering::Relaxed) as u32,
     }
 }
 
@@ -334,6 +396,7 @@ mod tests {
             harvesting,
             quantum: Duration::from_millis(1),
             time_scale: 8.0,
+            chaos: None,
         }
     }
 
@@ -370,6 +433,26 @@ mod tests {
             "live Libra p90 {:.0}ms vs fixed {:.0}ms",
             libra.latency_percentile(90.0),
             fixed.latency_percentile(90.0)
+        );
+    }
+
+    #[test]
+    fn survives_scheduler_shard_kills() {
+        let w = mixed_workload(40, 13);
+        let mut c = cfg(true);
+        c.chaos = Some(LiveChaos {
+            seed: 99,
+            kills: 4,
+            gap: Duration::from_millis(15),
+            downtime: Duration::from_millis(30),
+        });
+        let r = run_live(&w, &c);
+        assert_eq!(r.shard_kills, 4);
+        assert_eq!(r.records.len(), 40, "every request must complete despite dead shards");
+        assert!(
+            r.peak_committed_cpu <= 16_000,
+            "capacity invariant must hold through kill/respawn, got {}",
+            r.peak_committed_cpu
         );
     }
 

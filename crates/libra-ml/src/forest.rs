@@ -154,7 +154,12 @@ mod tests {
     #[test]
     fn classifies_step_function() {
         let (x, y) = step_data(200);
-        let f = RandomForest::fit(&x, &y, Task::Classification { n_classes: 4 }, ForestParams::default());
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            Task::Classification { n_classes: 4 },
+            ForestParams::default(),
+        );
         let preds: Vec<usize> = x.iter().map(|r| f.predict_class(r)).collect();
         let truth: Vec<usize> = y.iter().map(|&v| v as usize).collect();
         assert!(accuracy(&preds, &truth) > 0.95);

@@ -68,6 +68,7 @@ impl Default for LinearRegression {
 
 /// Gaussian elimination with partial pivoting. Panics on a singular system
 /// (prevented in practice by the ridge term).
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads naturally with indices
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
@@ -112,7 +113,12 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Create an unfitted model with default hyperparameters.
     pub fn new() -> Self {
-        LogisticRegression { classes: Vec::new(), scaler: Scaler::identity(0), lr: 0.5, epochs: 200 }
+        LogisticRegression {
+            classes: Vec::new(),
+            scaler: Scaler::identity(0),
+            lr: 0.5,
+            epochs: 200,
+        }
     }
 
     /// Fit on labels `0..n_classes`.

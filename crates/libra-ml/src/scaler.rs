@@ -53,10 +53,7 @@ impl Scaler {
 
     /// Transform one row.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        row.iter()
-            .zip(self.mean.iter().zip(&self.std))
-            .map(|(v, (m, s))| (v - m) / s)
-            .collect()
+        row.iter().zip(self.mean.iter().zip(&self.std)).map(|(v, (m, s))| (v - m) / s).collect()
     }
 }
 

@@ -26,7 +26,13 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Create an unfitted SVM with default hyperparameters.
     pub fn new() -> Self {
-        LinearSvm { classes: Vec::new(), scaler: Scaler::identity(0), lambda: 1e-3, epochs: 60, seed: 0x5b1 }
+        LinearSvm {
+            classes: Vec::new(),
+            scaler: Scaler::identity(0),
+            lambda: 1e-3,
+            epochs: 60,
+            seed: 0x5b1,
+        }
     }
 
     /// Fit on labels `0..n_classes`.

@@ -57,7 +57,13 @@ impl DecisionTree {
     /// Fit a tree on `(x, y)`; classification labels must be `0..n_classes`
     /// encoded as `f64`. `rng` drives feature subsampling (pass any
     /// deterministic RNG for reproducible forests).
-    pub fn fit(x: &[Vec<f64>], y: &[f64], task: Task, params: TreeParams, rng: &mut impl Rng) -> Self {
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        task: Task,
+        params: TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert_eq!(x.len(), y.len(), "feature/target length mismatch");
         assert!(!x.is_empty(), "cannot fit a tree on an empty dataset");
         let mut tree = DecisionTree { nodes: Vec::new(), task };
@@ -155,13 +161,12 @@ impl DecisionTree {
                     continue;
                 }
                 let thr = (vals[w].0 + vals[w - 1].0) / 2.0;
-                let (l, r): (Vec<usize>, Vec<usize>) =
-                    idx.iter().partition(|&&i| x[i][f] <= thr);
+                let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][f] <= thr);
                 if l.is_empty() || r.is_empty() {
                     continue;
                 }
                 let gain = parent - self.impurity(y, &l) - self.impurity(y, &r);
-                if best.map_or(true, |(g, _, _)| gain > g) {
+                if best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, thr));
                 }
             }
@@ -196,7 +201,13 @@ mod tests {
     fn memorizes_simple_classification() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
-        let t = DecisionTree::fit(&x, &y, Task::Classification { n_classes: 2 }, TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            Task::Classification { n_classes: 2 },
+            TreeParams::default(),
+            &mut rng(),
+        );
         for i in 0..20 {
             assert_eq!(t.predict(&[i as f64]), if i < 10 { 0.0 } else { 1.0 });
         }
@@ -244,7 +255,13 @@ mod tests {
     fn multiclass_three_way() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..30).map(|i| (i / 10) as f64).collect();
-        let t = DecisionTree::fit(&x, &y, Task::Classification { n_classes: 3 }, TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            Task::Classification { n_classes: 3 },
+            TreeParams::default(),
+            &mut rng(),
+        );
         assert_eq!(t.predict(&[5.0]), 0.0);
         assert_eq!(t.predict(&[15.0]), 1.0);
         assert_eq!(t.predict(&[25.0]), 2.0);

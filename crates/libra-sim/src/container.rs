@@ -49,10 +49,8 @@ impl WarmPool {
     /// [`WarmPool::evict_expired`]).
     pub fn acquire(&mut self, func: FunctionId, now: SimTime) -> Option<(usize, u64)> {
         let keepalive = self.keepalive;
-        let pos = self
-            .idle
-            .iter()
-            .position(|e| e.func == func && now.since(e.idle_since) <= keepalive);
+        let pos =
+            self.idle.iter().position(|e| e.func == func && now.since(e.idle_since) <= keepalive);
         match pos {
             Some(i) => {
                 let e = self.idle.swap_remove(i);
@@ -76,10 +74,8 @@ impl WarmPool {
     /// pins to credit back.
     pub fn evict_expired(&mut self, now: SimTime) -> Vec<(usize, u64)> {
         let keepalive = self.keepalive;
-        let (expired, live): (Vec<WarmEntry>, Vec<WarmEntry>) = self
-            .idle
-            .drain(..)
-            .partition(|e| now.since(e.idle_since) > keepalive);
+        let (expired, live): (Vec<WarmEntry>, Vec<WarmEntry>) =
+            self.idle.drain(..).partition(|e| now.since(e.idle_since) > keepalive);
         self.idle = live;
         expired.into_iter().map(|e| (e.shard, e.mem_mb)).collect()
     }

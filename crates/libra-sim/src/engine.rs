@@ -23,6 +23,7 @@
 //! Policies ([`Platform`]) only make decisions; they cannot bend physics.
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::function::FunctionSpec;
 use crate::ids::{FunctionId, InvocationId, NodeId};
 use crate::invocation::{Actuals, InvState, Invocation, Loan};
@@ -56,6 +57,11 @@ pub struct SimConfig {
     /// Hard ceiling on simulated time; exceeding it aborts with diagnostics
     /// (guards against workloads that can never be placed).
     pub max_sim_time: SimDuration,
+    /// How many times a crash/abort victim is requeued before it is
+    /// terminally `Aborted` (fault injection only).
+    pub crash_max_retries: u32,
+    /// Base re-admission backoff after a crash/abort; doubles per requeue.
+    pub crash_backoff: SimDuration,
 }
 
 impl Default for SimConfig {
@@ -70,6 +76,8 @@ impl Default for SimConfig {
             decision_base: SimDuration(300),
             decision_per_node_ns: 2_000,
             max_sim_time: SimDuration::from_secs(48 * 3600),
+            crash_max_retries: 3,
+            crash_backoff: SimDuration::from_secs(1),
         }
     }
 }
@@ -109,11 +117,19 @@ struct Shard {
     busy: Option<(InvocationId, SimTime)>,
     blocked: Vec<InvocationId>,
     retry_pending: bool,
+    /// Injected fault: while stalled the shard makes no new decisions.
+    stalled: bool,
 }
 
 impl Shard {
     fn new() -> Self {
-        Shard { queue: VecDeque::new(), busy: None, blocked: Vec::new(), retry_pending: false }
+        Shard {
+            queue: VecDeque::new(),
+            busy: None,
+            blocked: Vec::new(),
+            retry_pending: false,
+            stalled: false,
+        }
     }
 }
 
@@ -138,6 +154,15 @@ pub struct World {
     decision_delay_sum_us: u64,
     decisions: u64,
     overheads: PlatformOverheads,
+    // Fault-injection state. All of it stays at its zero value in clean runs,
+    // so the fault-free path is byte-identical to a build without a plan.
+    fault_plan: FaultPlan,
+    aborted: usize,
+    requeue_total: u64,
+    faults_fired: u64,
+    drop_pings: Vec<u32>,
+    delay_ping: Vec<Option<SimDuration>>,
+    tick_jitter: Option<SimDuration>,
 }
 
 impl World {
@@ -258,10 +283,13 @@ impl World {
         if inv.state == InvState::Running {
             let dt = now.since(inv.last_update).as_micros();
             if dt > 0 {
-                inv.progress = (inv.progress + inv.rate_millis as u128 * dt as u128).min(inv.work_total);
+                inv.progress =
+                    (inv.progress + inv.rate_millis as u128 * dt as u128).min(inv.work_total);
                 let eff = inv.effective_alloc();
-                inv.cpu_reassigned += (eff.cpu_millis as i128 - inv.nominal.cpu_millis as i128) * dt as i128;
-                inv.mem_reassigned += (eff.mem_mb as i128 - inv.nominal.mem_mb as i128) * dt as i128;
+                inv.cpu_reassigned +=
+                    (eff.cpu_millis as i128 - inv.nominal.cpu_millis as i128) * dt as i128;
+                inv.mem_reassigned +=
+                    (eff.mem_mb as i128 - inv.nominal.mem_mb as i128) * dt as i128;
             }
         }
         inv.last_update = now;
@@ -282,7 +310,7 @@ impl World {
         }
         inv.finish_gen += 1;
         let remaining = inv.remaining_work();
-        let eta_us = (remaining + rate as u128 - 1) / rate as u128;
+        let eta_us = remaining.div_ceil(rate as u128);
         let at = SimTime(self.clock.0 + eta_us as u64);
         let (id, generation) = (inv.id, inv.finish_gen);
         self.queue.push(at, Event::Finish { inv: id, generation });
@@ -330,8 +358,7 @@ impl World {
     /// Bring progress up to date for every running invocation on a node
     /// (using the rates in force until now).
     fn settle_node(&mut self, node_idx: usize) {
-        let ids: Vec<usize> =
-            self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
+        let ids: Vec<usize> = self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
         for idx in ids {
             if self.invs[idx].state == InvState::Running {
                 self.update_progress(idx);
@@ -342,8 +369,7 @@ impl World {
     /// Recompute rates and reschedule finishes for every running invocation
     /// on a node.
     fn reschedule_node(&mut self, node_idx: usize) {
-        let ids: Vec<usize> =
-            self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
+        let ids: Vec<usize> = self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
         for idx in ids {
             if self.invs[idx].state == InvState::Running {
                 self.reschedule_finish(idx);
@@ -354,7 +380,12 @@ impl World {
     /// Run an allocation mutation with correct progress accounting: touched
     /// invocations are settled first; if CPU ends up (or was) oversubscribed,
     /// every resident's rate is recomputed, otherwise only the touched ones.
-    fn with_alloc_change(&mut self, node_idx: usize, touched: &[usize], f: impl FnOnce(&mut World)) {
+    fn with_alloc_change(
+        &mut self,
+        node_idx: usize,
+        touched: &[usize],
+        f: impl FnOnce(&mut World),
+    ) {
         let pre = self.node_cpu_scale(node_idx);
         for &i in touched {
             self.update_progress(i);
@@ -431,7 +462,9 @@ impl World {
             if lent_by_source[inv.id.idx()] != inv.lent_out {
                 return Err(format!(
                     "{:?} lent_out {:?} disagrees with borrowers' records {:?}",
-                    inv.id, inv.lent_out, lent_by_source[inv.id.idx()]
+                    inv.id,
+                    inv.lent_out,
+                    lent_by_source[inv.id.idx()]
                 ));
             }
             let committed = inv.own_grant + inv.lent_out;
@@ -532,7 +565,8 @@ impl<'a> SimCtx<'a> {
         if self.w.invs[si].node != self.w.invs[bi].node || self.w.invs[si].node.is_none() {
             return false;
         }
-        if self.w.invs[si].state != InvState::Running || self.w.invs[bi].state != InvState::Running {
+        if self.w.invs[si].state != InvState::Running || self.w.invs[bi].state != InvState::Running
+        {
             return false;
         }
         if !res.fits_within(&self.w.harvestable(source)) {
@@ -561,7 +595,12 @@ impl<'a> SimCtx<'a> {
     /// volume is clamped to the outstanding loan; returns the volume actually
     /// given back (zero if no such loan exists). The policy is responsible
     /// for re-pooling it (re-harvesting, §5.1).
-    pub fn return_loan(&mut self, borrower: InvocationId, source: InvocationId, res: ResourceVec) -> ResourceVec {
+    pub fn return_loan(
+        &mut self,
+        borrower: InvocationId,
+        source: InvocationId,
+        res: ResourceVec,
+    ) -> ResourceVec {
         let bi = borrower.idx();
         let Some(node) = self.w.invs[bi].node.map(|n| n.idx()) else {
             return ResourceVec::ZERO;
@@ -672,6 +711,13 @@ impl Simulation {
                 decision_delay_sum_us: 0,
                 decisions: 0,
                 overheads: PlatformOverheads::default(),
+                fault_plan: FaultPlan::empty(),
+                aborted: 0,
+                requeue_total: 0,
+                faults_fired: 0,
+                drop_pings: Vec::new(),
+                delay_ping: Vec::new(),
+                tick_jitter: None,
                 config,
             },
         }
@@ -683,16 +729,31 @@ impl Simulation {
     }
 
     /// Run `trace` under `platform` to completion and return all metrics.
-    pub fn run(mut self, trace: &Trace, platform: &mut dyn Platform) -> RunResult {
+    ///
+    /// Equivalent to [`Simulation::run_with_faults`] with an empty
+    /// [`FaultPlan`] — the fault-free path *is* this path, so a zero-fault
+    /// plan is provably inert.
+    pub fn run(self, trace: &Trace, platform: &mut dyn Platform) -> RunResult {
+        self.run_with_faults(trace, platform, &FaultPlan::empty())
+    }
+
+    /// Run `trace` under `platform`, replaying `faults` at their scheduled
+    /// instants, and return all metrics (including abort/requeue counters).
+    pub fn run_with_faults(
+        mut self,
+        trace: &Trace,
+        platform: &mut dyn Platform,
+        faults: &FaultPlan,
+    ) -> RunResult {
         let w = &mut self.world;
         w.overheads = platform.overheads();
+        w.fault_plan = faults.clone();
+        w.drop_pings = vec![0; w.nodes.len()];
+        w.delay_ping = vec![None; w.nodes.len()];
         // Seed invocations and arrival events.
         let trace = trace.clone().sorted();
-        let max_slice = w
-            .nodes
-            .iter()
-            .map(Node::shard_capacity)
-            .fold(ResourceVec::ZERO, |a, c| a.max(&c));
+        let max_slice =
+            w.nodes.iter().map(Node::shard_capacity).fold(ResourceVec::ZERO, |a, c| a.max(&c));
         for e in &trace.entries {
             let id = InvocationId(w.invs.len() as u32);
             let spec = &w.funcs[e.func.idx()];
@@ -716,15 +777,22 @@ impl Simulation {
         // Periodic events.
         w.queue.push(SimTime::ZERO, Event::UtilizationSample);
         for n in 0..w.nodes.len() {
-            w.queue.push(SimTime::ZERO + w.config.ping_interval, Event::HealthPing(NodeId(n as u32)));
+            w.queue
+                .push(SimTime::ZERO + w.config.ping_interval, Event::HealthPing(NodeId(n as u32)));
+        }
+        // Injected faults (none in the common case).
+        for (i, f) in w.fault_plan.events().iter().enumerate() {
+            w.queue.push(f.at, Event::Fault(i));
         }
         platform.init(w);
 
-        while w.completed < total {
-            let (at, ev) = w
-                .queue
-                .pop()
-                .unwrap_or_else(|| panic!("event queue drained with {}/{total} invocations complete", w.completed));
+        while w.completed + w.aborted < total {
+            let (at, ev) = w.queue.pop().unwrap_or_else(|| {
+                panic!(
+                    "event queue drained with {} completed + {} aborted of {total} invocations",
+                    w.completed, w.aborted
+                )
+            });
             debug_assert!(at >= w.clock, "time went backwards");
             assert!(
                 at.since(SimTime::ZERO) <= w.config.max_sim_time,
@@ -737,6 +805,7 @@ impl Simulation {
         }
         #[cfg(debug_assertions)]
         w.check_invariants().expect("invariants violated at end of run");
+        let pool_violations = u64::from(w.check_invariants().is_err());
 
         let (mut warm, mut cold) = (0, 0);
         for n in &w.nodes {
@@ -753,6 +822,10 @@ impl Simulation {
             warm_hits: warm,
             cold_starts: cold,
             mean_sched_delay: SimDuration(w.decision_delay_sum_us / w.decisions.max(1)),
+            aborted: w.aborted as u64,
+            crash_requeues: w.requeue_total,
+            faults_injected: w.faults_fired,
+            pool_violations,
         }
     }
 
@@ -760,23 +833,37 @@ impl Simulation {
         match ev {
             Event::Arrival(id) => Self::on_arrival(w, platform, id),
             Event::DecisionDone { shard } => Self::on_decision_done(w, platform, shard),
-            Event::StartExec(id) => Self::on_start_exec(w, platform, id),
+            Event::StartExec { inv, attempt } => Self::on_start_exec(w, platform, inv, attempt),
             Event::Finish { inv, generation } => Self::on_finish(w, platform, inv, generation),
-            Event::MonitorTick(id) => Self::on_monitor_tick(w, platform, id),
+            Event::MonitorTick { inv, attempt } => Self::on_monitor_tick(w, platform, inv, attempt),
             Event::HealthPing(node) => {
+                let now = w.clock;
+                let idx = node.idx();
+                if let Some(by) = w.delay_ping[idx].take() {
+                    // Injected fault: the whole ping (sweep included) is late.
+                    w.queue.push(now + by, Event::HealthPing(node));
+                    return;
+                }
                 // Reap warm containers past their keep-alive (their pinned
                 // memory is freed with them).
-                let now = w.clock;
-                let _ = w.nodes[node.idx()].warm.evict_expired(now);
-                platform.on_ping(w, node);
-                if w.completed < total {
+                let _ = w.nodes[idx].warm.evict_expired(now);
+                let dropped = w.drop_pings[idx] > 0;
+                if dropped {
+                    w.drop_pings[idx] -= 1;
+                }
+                // A crashed node sends no pings; the platform's view of it
+                // goes stale until recovery.
+                if !dropped && w.nodes[idx].is_alive() {
+                    platform.on_ping(w, node);
+                }
+                if w.completed + w.aborted < total {
                     let at = w.clock + w.config.ping_interval;
                     w.queue.push(at, Event::HealthPing(node));
                 }
             }
             Event::UtilizationSample => {
                 Self::sample_utilization(w);
-                if w.completed < total {
+                if w.completed + w.aborted < total {
                     let at = w.clock + w.config.sample_interval;
                     w.queue.push(at, Event::UtilizationSample);
                 }
@@ -791,6 +878,8 @@ impl Simulation {
                 }
                 Self::kick_shard(w, shard);
             }
+            Event::Fault(i) => Self::on_fault(w, platform, i),
+            Event::Requeue(id) => Self::on_requeue(w, id),
         }
     }
 
@@ -816,7 +905,7 @@ impl Simulation {
     }
 
     fn kick_shard(w: &mut World, shard: usize) {
-        if w.shards[shard].busy.is_some() {
+        if w.shards[shard].stalled || w.shards[shard].busy.is_some() {
             return;
         }
         let Some((id, ready)) = w.shards[shard].queue.pop_front() else {
@@ -835,15 +924,17 @@ impl Simulation {
         let now = w.clock;
         let idx = id.idx();
         match platform.select_node(w, shard, id) {
-            Some(node) if {
-                let nominal = w.invs[idx].nominal;
-                w.nodes[node.idx()].try_reserve(shard, nominal)
-            } =>
+            Some(node)
+                if {
+                    let nominal = w.invs[idx].nominal;
+                    w.nodes[node.idx()].try_reserve(shard, nominal)
+                } =>
             {
                 let inv = &mut w.invs[idx];
                 inv.decided_at = Some(now);
                 inv.node = Some(node);
-                inv.breakdown.scheduler = now.since(inv.arrival + inv.breakdown.frontend + inv.breakdown.profiler);
+                inv.breakdown.scheduler =
+                    now.since(inv.arrival + inv.breakdown.frontend + inv.breakdown.profiler);
                 inv.breakdown.pool = w.overheads.pool;
                 let func = inv.func;
                 w.nodes[node.idx()].resident.push(id);
@@ -855,7 +946,8 @@ impl Simulation {
                     start_at += w.config.cold_start;
                 }
                 w.invs[idx].state = InvState::ColdStarting;
-                w.queue.push(start_at, Event::StartExec(id));
+                let attempt = w.invs[idx].requeues;
+                w.queue.push(start_at, Event::StartExec { inv: id, attempt });
             }
             _ => {
                 w.invs[idx].state = InvState::Blocked;
@@ -865,9 +957,12 @@ impl Simulation {
         Self::kick_shard(w, shard);
     }
 
-    fn on_start_exec(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+    fn on_start_exec(w: &mut World, platform: &mut dyn Platform, id: InvocationId, attempt: u32) {
         let now = w.clock;
         let idx = id.idx();
+        if w.invs[idx].requeues != attempt || w.invs[idx].state != InvState::ColdStarting {
+            return; // stale start from a crashed attempt
+        }
         let first_start = w.invs[idx].exec_start.is_none();
         if first_start {
             w.invs[idx].exec_start = Some(now);
@@ -884,17 +979,20 @@ impl Simulation {
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.monitor_interval;
-        w.queue.push(at, Event::MonitorTick(id));
+        w.queue.push(at, Event::MonitorTick { inv: id, attempt });
     }
 
-    fn on_monitor_tick(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+    fn on_monitor_tick(w: &mut World, platform: &mut dyn Platform, id: InvocationId, attempt: u32) {
         let idx = id.idx();
+        if w.invs[idx].requeues != attempt {
+            return; // monitor loop of a crashed attempt
+        }
         match w.invs[idx].state {
             InvState::Running => {}
             InvState::ColdStarting => {
                 // restarting after OOM: keep the tick chain alive
                 let at = w.clock + w.config.monitor_interval;
-                w.queue.push(at, Event::MonitorTick(id));
+                w.queue.push(at, Event::MonitorTick { inv: id, attempt });
                 return;
             }
             _ => return,
@@ -913,8 +1011,10 @@ impl Simulation {
         {
             Self::on_oom(w, platform, id);
         }
-        let at = w.clock + w.config.monitor_interval;
-        w.queue.push(at, Event::MonitorTick(id));
+        // One-shot injected jitter stretches exactly one monitor interval.
+        let jitter = w.tick_jitter.take().unwrap_or(SimDuration::ZERO);
+        let at = w.clock + w.config.monitor_interval + jitter;
+        w.queue.push(at, Event::MonitorTick { inv: id, attempt });
     }
 
     fn on_oom(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
@@ -952,9 +1052,178 @@ impl Simulation {
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.cold_start;
-        w.queue.push(at, Event::StartExec(id));
+        let attempt = w.invs[idx].requeues;
+        w.queue.push(at, Event::StartExec { inv: id, attempt });
         let mut ctx = SimCtx { w };
         platform.on_oom(&mut ctx, id);
+    }
+
+    /// Replay one fault from the plan.
+    fn on_fault(w: &mut World, platform: &mut dyn Platform, i: usize) {
+        let kind = w.fault_plan.events()[i].kind;
+        w.faults_fired += 1;
+        let now = w.clock;
+        match kind {
+            FaultKind::NodeCrash(n) => {
+                if n.idx() >= w.nodes.len() || !w.nodes[n.idx()].is_alive() {
+                    return;
+                }
+                // Mark dead first so the node advertises zero capacity for
+                // the whole sweep, then kill every resident attempt. Loans
+                // are intra-node, so both ends of every affected loan die
+                // here; the sweep still runs the full revocation protocol so
+                // the ledger (and the platform's books) stay exact.
+                w.nodes[n.idx()].fail();
+                let victims = w.nodes[n.idx()].resident.clone();
+                for id in victims {
+                    Self::kill_attempt(w, platform, id);
+                }
+                let mut ctx = SimCtx { w };
+                platform.on_node_crash(&mut ctx, n);
+            }
+            FaultKind::NodeRecover(n) => {
+                if n.idx() >= w.nodes.len() || w.nodes[n.idx()].is_alive() {
+                    return;
+                }
+                w.nodes[n.idx()].recover();
+                // Capacity is visible again: give parked invocations a chance.
+                for s in 0..w.shards.len() {
+                    if !w.shards[s].blocked.is_empty() && !w.shards[s].retry_pending {
+                        w.shards[s].retry_pending = true;
+                        w.queue.push(now, Event::RetryBlocked { shard: s });
+                    }
+                }
+            }
+            FaultKind::AbortInvocation(id) => {
+                let placed = w
+                    .invs
+                    .get(id.idx())
+                    .is_some_and(|i| matches!(i.state, InvState::ColdStarting | InvState::Running));
+                if placed {
+                    Self::kill_attempt(w, platform, id);
+                }
+            }
+            FaultKind::ShardStall(sh) => {
+                if sh < w.shards.len() {
+                    w.shards[sh].stalled = true;
+                }
+            }
+            FaultKind::ShardResume(sh) => {
+                if sh < w.shards.len() && w.shards[sh].stalled {
+                    w.shards[sh].stalled = false;
+                    Self::kick_shard(w, sh);
+                }
+            }
+            FaultKind::PingDrop(n) => {
+                if n.idx() < w.nodes.len() {
+                    w.drop_pings[n.idx()] += 1;
+                }
+            }
+            FaultKind::PingDelay { node, by } => {
+                if node.idx() < w.nodes.len() {
+                    w.delay_ping[node.idx()] = Some(by);
+                }
+            }
+            FaultKind::TickJitter(by) => {
+                w.tick_jitter = Some(by);
+            }
+        }
+    }
+
+    /// Kill one placed invocation's current attempt: revoke every loan
+    /// touching it (the crash analogue of the timeliness law), release its
+    /// reservation, then requeue it with exponential backoff — or terminally
+    /// abort it once the retry budget is spent.
+    fn kill_attempt(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+        let idx = id.idx();
+        debug_assert!(matches!(w.invs[idx].state, InvState::ColdStarting | InvState::Running));
+        let now = w.clock;
+        if w.invs[idx].state == InvState::Running {
+            // The attempt's work is lost, but the usage integrals stay honest.
+            w.update_progress(idx);
+        }
+        // Outgoing loans: borrowers lose the resources this instant.
+        let broken = {
+            let mut ctx = SimCtx { w };
+            ctx.revoke_loans_from(id)
+        };
+        for loan in &broken {
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
+        }
+        // Incoming loans: the volumes return to their sources' books.
+        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        for loan in &returned {
+            let old = w.invs[loan.source.idx()].charge();
+            w.invs[loan.source.idx()].lent_out -= loan.res;
+            w.charge_updated(loan.source.idx(), old);
+            let mut ctx = SimCtx { w };
+            platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
+        }
+        // Platform cleanup while the invocation still knows its node.
+        {
+            let mut ctx = SimCtx { w };
+            platform.on_abort(&mut ctx, id);
+        }
+        let node = w.invs[idx].node.expect("killed attempt without node");
+        let shard = w.invs[idx].shard.expect("killed attempt without shard");
+        let charge = w.invs[idx].charge();
+        w.nodes[node.idx()].release(shard, charge);
+        w.nodes[node.idx()].resident.retain(|&r| r != id);
+
+        let max_retries = w.config.crash_max_retries;
+        let inv = &mut w.invs[idx];
+        inv.flags.crashed = true;
+        inv.finish_gen += 1; // cancels in-flight Finish events
+        inv.requeues += 1; // cancels in-flight StartExec/MonitorTick events
+        inv.node = None;
+        inv.progress = 0;
+        inv.rate_millis = 0;
+        inv.own_grant = inv.nominal;
+        inv.exec_start = None; // a fresh attempt gets a fresh exec clock
+        let attempt = inv.requeues;
+        let terminal = attempt > max_retries;
+        if terminal {
+            inv.state = InvState::Aborted;
+            inv.end = Some(now);
+            w.aborted += 1;
+        } else {
+            inv.state = InvState::Pending;
+            w.requeue_total += 1;
+            let backoff = w.config.crash_backoff.saturating_mul(1u64 << (attempt - 1).min(16));
+            w.queue.push(now + backoff, Event::Requeue(id));
+        }
+        // The departure changes the node's CPU-share balance.
+        w.settle_node(node.idx());
+        w.reschedule_node(node.idx());
+        // A targeted abort frees capacity on a live node: unblock the parked.
+        if w.nodes[node.idx()].is_alive() {
+            for s in 0..w.shards.len() {
+                if !w.shards[s].blocked.is_empty() && !w.shards[s].retry_pending {
+                    w.shards[s].retry_pending = true;
+                    w.queue.push(now, Event::RetryBlocked { shard: s });
+                }
+            }
+        }
+    }
+
+    /// A crash victim's backoff expired: re-admit it through its scheduler
+    /// shard like a fresh arrival (cold-start rules apply again).
+    fn on_requeue(w: &mut World, id: InvocationId) {
+        let idx = id.idx();
+        if w.invs[idx].state != InvState::Pending {
+            return;
+        }
+        let now = w.clock;
+        let ovh = w.overheads;
+        let inv = &mut w.invs[idx];
+        inv.state = InvState::AwaitingDecision;
+        inv.breakdown.frontend += ovh.frontend; // passes the front end again
+        let ready = now + ovh.frontend;
+        let shard = id.0 as usize % w.shards.len();
+        inv.shard = Some(shard);
+        w.shards[shard].queue.push_back((id, ready));
+        Self::kick_shard(w, shard);
     }
 
     fn on_finish(w: &mut World, platform: &mut dyn Platform, id: InvocationId, generation: u64) {
@@ -1051,7 +1320,7 @@ impl Simulation {
             (inv.nominal.mem_mb as f64 / peak_mem as f64).max(0.3)
         };
         let rate_nominal = ((busy as f64 * mem_factor) as u64).max(1);
-        let base_exec_us = (inv.work_total + rate_nominal as u128 - 1) / rate_nominal as u128;
+        let base_exec_us = inv.work_total.div_ceil(rate_nominal as u128);
         let overhead = latency.saturating_sub(exec);
         let baseline = overhead + SimDuration(base_exec_us as u64);
         let speedup = if baseline.as_micros() == 0 {
@@ -1078,6 +1347,7 @@ impl Simulation {
             cpu_peak_obs: w.cpu_peak_obs[idx],
             mem_peak_obs: inv.mem_usage_mb(),
             restarts: inv.restarts,
+            requeues: inv.requeues,
         };
         w.records.push(rec);
     }
@@ -1098,10 +1368,7 @@ impl Simulation {
             cpu_used += w.invs[*idx].cpu_usage_millis();
             mem_used += w.invs[*idx].mem_usage_mb();
         }
-        let alloc = w
-            .nodes
-            .iter()
-            .fold(ResourceVec::ZERO, |a, n| a + n.total_reserved());
+        let alloc = w.nodes.iter().fold(ResourceVec::ZERO, |a, n| a + n.total_reserved());
         let cap = w.total_capacity();
         w.util.push(UtilSample {
             at: w.clock,
@@ -1126,9 +1393,7 @@ impl Platform for NullPlatform {
 
     fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
         let need = world.inv(inv).nominal;
-        world
-            .node_ids()
-            .find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
+        world.node_ids().find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
     }
 }
 
@@ -1167,7 +1432,11 @@ mod tests {
         // ~1s execution + 500ms cold start + 1ms frontend + decision
         let lat = r.latency.as_secs_f64();
         assert!(lat > 1.49 && lat < 1.6, "latency {lat}");
-        assert!((r.speedup).abs() < 1e-9, "untouched invocation has zero speedup, got {}", r.speedup);
+        assert!(
+            (r.speedup).abs() < 1e-9,
+            "untouched invocation has zero speedup, got {}",
+            r.speedup
+        );
     }
 
     #[test]
@@ -1289,7 +1558,12 @@ mod tests {
         fn name(&self) -> String {
             "overharvest".into()
         }
-        fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        fn select_node(
+            &mut self,
+            world: &World,
+            shard: usize,
+            inv: InvocationId,
+        ) -> Option<NodeId> {
             let need = world.inv(inv).nominal;
             world.node_ids().find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
         }
@@ -1318,5 +1592,104 @@ mod tests {
         assert!(r.flags.oomed);
         assert!(r.flags.harvested);
         assert!(r.speedup < -0.15, "OOM restart must show as degradation, got {}", r.speedup);
+    }
+
+    #[test]
+    fn node_crash_requeues_and_completes_after_recovery() {
+        let funcs = vec![spec("f", 2, 1024, one_sec_demand(2, 256))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        // Crash mid-execution (exec starts ~501.3ms in, runs 1s), recover 2s later.
+        let mut plan = FaultPlan::empty();
+        plan.push(SimTime::from_millis(800), FaultKind::NodeCrash(NodeId(0)));
+        plan.push(SimTime::from_millis(2_800), FaultKind::NodeRecover(NodeId(0)));
+        let res = sim.run_with_faults(&t, &mut NullPlatform, &plan);
+        assert_eq!(res.records.len(), 1);
+        assert_eq!(res.aborted, 0);
+        assert_eq!(res.crash_requeues, 1);
+        assert_eq!(res.pool_violations, 0);
+        let r = &res.records[0];
+        assert!(r.flags.crashed);
+        assert_eq!(r.requeues, 1);
+        // Latency spans the crash: > backoff (1s) + recovery wait + full rerun.
+        assert!(r.latency.as_secs_f64() > 3.0, "latency {:?}", r.latency);
+    }
+
+    #[test]
+    fn crash_retry_exhaustion_terminally_aborts() {
+        let funcs = vec![spec("f", 2, 1024, one_sec_demand(2, 256))];
+        let cfg = SimConfig { crash_max_retries: 1, ..SimConfig::default() };
+        let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], cfg);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        // Two crashes, each caught mid-attempt: the second exhausts the budget.
+        let mut plan = FaultPlan::empty();
+        plan.push(SimTime::from_millis(800), FaultKind::NodeCrash(NodeId(0)));
+        plan.push(SimTime::from_millis(1_000), FaultKind::NodeRecover(NodeId(0)));
+        // Requeue lands at ~1.8s; the attempt restarts (cold) and crashes again.
+        plan.push(SimTime::from_millis(2_600), FaultKind::NodeCrash(NodeId(0)));
+        plan.push(SimTime::from_millis(2_800), FaultKind::NodeRecover(NodeId(0)));
+        let res = sim.run_with_faults(&t, &mut NullPlatform, &plan);
+        assert_eq!(res.records.len(), 0, "an aborted invocation never completes");
+        assert_eq!(res.aborted, 1);
+        assert_eq!(res.crash_requeues, 1);
+        assert_eq!(res.pool_violations, 0);
+    }
+
+    #[test]
+    fn shard_stall_defers_decisions_until_resume() {
+        let funcs = vec![spec("f", 1, 256, one_sec_demand(1, 128))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::from_millis(100), FunctionId(0), InputMeta::new(1, 0));
+        let mut plan = FaultPlan::empty();
+        plan.push(SimTime::ZERO, FaultKind::ShardStall(0));
+        plan.push(SimTime::from_secs(3), FaultKind::ShardResume(0));
+        let res = sim.run_with_faults(&t, &mut NullPlatform, &plan);
+        assert_eq!(res.records.len(), 1);
+        // The arrival at 100ms could not be decided before the resume at 3s.
+        let lat = res.records[0].latency.as_secs_f64();
+        assert!(lat > 2.9, "stalled shard must delay the decision: {lat}");
+    }
+
+    #[test]
+    fn abort_fault_requeues_on_a_live_node() {
+        let funcs = vec![spec("f", 2, 1024, one_sec_demand(2, 256))];
+        let sim = single_node_sim(funcs);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let mut plan = FaultPlan::empty();
+        plan.push(SimTime::from_millis(800), FaultKind::AbortInvocation(InvocationId(0)));
+        let res = sim.run_with_faults(&t, &mut NullPlatform, &plan);
+        assert_eq!(res.records.len(), 1);
+        assert_eq!(res.crash_requeues, 1);
+        assert!(res.records[0].flags.crashed);
+        assert_eq!(res.pool_violations, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_plain_run() {
+        let funcs = vec![
+            spec("a", 2, 1024, one_sec_demand(2, 256)),
+            spec("b", 1, 512, one_sec_demand(3, 700)),
+        ];
+        let mut t = Trace::new();
+        for i in 0..20u64 {
+            t.push(SimTime::from_millis(i * 137), FunctionId((i % 2) as u32), InputMeta::new(i, i));
+        }
+        let plain = single_node_sim(funcs.clone()).run(&t, &mut NullPlatform);
+        let faulted =
+            single_node_sim(funcs).run_with_faults(&t, &mut NullPlatform, &FaultPlan::empty());
+        assert_eq!(plain.records.len(), faulted.records.len());
+        for (a, b) in plain.records.iter().zip(&faulted.records) {
+            assert_eq!(a.inv, b.inv);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.flags, b.flags);
+        }
+        assert_eq!(plain.completion_time, faulted.completion_time);
+        assert_eq!(plain.util.len(), faulted.util.len());
+        assert_eq!(faulted.faults_injected, 0);
     }
 }

@@ -27,8 +27,15 @@ pub enum Event {
         /// Scheduler shard index.
         shard: usize,
     },
-    /// A container (warm or freshly cold-started) begins executing.
-    StartExec(InvocationId),
+    /// A container (warm or freshly cold-started) begins executing. Carries
+    /// the attempt epoch it was scheduled under; after a crash requeue the
+    /// epoch advances and stale starts are discarded.
+    StartExec {
+        /// The invocation entering execution.
+        inv: InvocationId,
+        /// Attempt epoch at scheduling time (lazy cancellation token).
+        attempt: u32,
+    },
     /// A running invocation finishes. Carries the generation it was scheduled
     /// under; stale generations are discarded.
     Finish {
@@ -38,8 +45,14 @@ pub enum Event {
         generation: u64,
     },
     /// Periodic per-invocation resource-usage check (the safeguard's cgroup
-    /// monitor window, §5.2).
-    MonitorTick(InvocationId),
+    /// monitor window, §5.2). Attempt-stamped like [`Event::StartExec`] so a
+    /// pre-crash monitor loop dies with its attempt.
+    MonitorTick {
+        /// The monitored invocation.
+        inv: InvocationId,
+        /// Attempt epoch the monitor loop belongs to.
+        attempt: u32,
+    },
     /// Periodic per-node health ping carrying the harvest pool status
     /// piggyback (§6.4).
     HealthPing(NodeId),
@@ -50,6 +63,11 @@ pub enum Event {
         /// Scheduler shard index.
         shard: usize,
     },
+    /// An injected fault fires. Carries the index into the run's
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    Fault(usize),
+    /// A crash/abort victim's backoff expired; re-admit it to a scheduler.
+    Requeue(InvocationId),
 }
 
 #[derive(Clone, Debug)]

@@ -24,7 +24,11 @@ pub struct FunctionSpec {
 impl FunctionSpec {
     /// Create a spec with the default memory floor (1/8 of user memory,
     /// at least 64 MB).
-    pub fn new(name: impl Into<String>, user_alloc: ResourceVec, model: Arc<dyn DemandModel>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        user_alloc: ResourceVec,
+        model: Arc<dyn DemandModel>,
+    ) -> Self {
         let floor = (user_alloc.mem_mb / 8).max(64).min(user_alloc.mem_mb);
         FunctionSpec { name: name.into(), user_alloc, mem_floor_mb: floor, model }
     }

@@ -26,6 +26,8 @@ pub enum InvState {
     Running,
     /// Finished; actuals recorded.
     Completed,
+    /// Terminally failed: crashed/aborted and the retry budget is exhausted.
+    Aborted,
 }
 
 /// Which estimator produced a prediction (§4).
@@ -125,6 +127,8 @@ pub struct InvFlags {
     pub safeguarded: bool,
     /// The invocation ran out of memory and was restarted.
     pub oomed: bool,
+    /// An injected fault killed at least one attempt (node crash or abort).
+    pub crashed: bool,
 }
 
 /// The engine's record of one invocation.
@@ -180,6 +184,9 @@ pub struct Invocation {
     pub cold_start: bool,
     /// Number of OOM restarts.
     pub restarts: u32,
+    /// Number of crash/abort requeues; doubles as the attempt epoch for
+    /// lazy-cancelled StartExec/MonitorTick events.
+    pub requeues: u32,
 
     /// The platform's prediction, if any (recorded for metrics).
     pub pred: Option<Prediction>,
@@ -228,6 +235,7 @@ impl Invocation {
             state: InvState::Pending,
             cold_start: false,
             restarts: 0,
+            requeues: 0,
             pred: None,
             flags: InvFlags::default(),
             breakdown: StageBreakdown::default(),
@@ -239,9 +247,7 @@ impl Invocation {
     /// Everything the invocation can currently use: its own grant plus all
     /// incoming loans.
     pub fn effective_alloc(&self) -> ResourceVec {
-        self.borrowed_in
-            .iter()
-            .fold(self.own_grant, |acc, l| acc + l.res)
+        self.borrowed_in.iter().fold(self.own_grant, |acc, l| acc + l.res)
     }
 
     /// What the invocation currently charges against its node's capacity:
@@ -254,9 +260,7 @@ impl Invocation {
 
     /// Total volume currently borrowed in.
     pub fn borrowed_total(&self) -> ResourceVec {
-        self.borrowed_in
-            .iter()
-            .fold(ResourceVec::ZERO, |acc, l| acc + l.res)
+        self.borrowed_in.iter().fold(ResourceVec::ZERO, |acc, l| acc + l.res)
     }
 
     /// Fraction of total work completed, in `[0, 1]`.

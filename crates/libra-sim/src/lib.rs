@@ -41,6 +41,7 @@ pub mod container;
 pub mod demand;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod function;
 pub mod ids;
 pub mod invocation;
@@ -55,10 +56,15 @@ pub mod trace;
 pub mod prelude {
     pub use crate::demand::{ConstantDemand, DemandModel, FnDemand, InputMeta, TrueDemand};
     pub use crate::engine::{NullPlatform, SimConfig, SimCtx, Simulation, UsageSample, World};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::function::FunctionSpec;
     pub use crate::ids::{FunctionId, InvocationId, NodeId};
-    pub use crate::invocation::{Actuals, InvFlags, InvState, Invocation, Loan, Prediction, PredictionPath, StageBreakdown};
-    pub use crate::metrics::{cdf, mean, percentile, InvCategory, InvRecord, RunResult, UtilSample};
+    pub use crate::invocation::{
+        Actuals, InvFlags, InvState, Invocation, Loan, Prediction, PredictionPath, StageBreakdown,
+    };
+    pub use crate::metrics::{
+        cdf, mean, percentile, InvCategory, InvRecord, RunResult, UtilSample,
+    };
     pub use crate::platform::{LoanEnd, Platform, PlatformOverheads, PlatformReport};
     pub use crate::resources::{ResourceVec, MILLIS_PER_CORE};
     pub use crate::time::{SimDuration, SimTime};

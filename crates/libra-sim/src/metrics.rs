@@ -49,6 +49,8 @@ pub struct InvRecord {
     pub mem_peak_obs: u64,
     /// Number of OOM restarts suffered.
     pub restarts: u32,
+    /// Number of crash/abort requeues suffered (fault injection).
+    pub requeues: u32,
 }
 
 impl InvRecord {
@@ -127,6 +129,15 @@ pub struct RunResult {
     pub cold_starts: u64,
     /// Mean scheduler decision queueing+service delay per invocation.
     pub mean_sched_delay: SimDuration,
+    /// Invocations terminally aborted after exhausting crash retries.
+    pub aborted: u64,
+    /// Total crash/abort requeue attempts across all invocations.
+    pub crash_requeues: u64,
+    /// Injected faults that fired (0 in a fault-free run).
+    pub faults_injected: u64,
+    /// End-of-run safety-ledger violations (must always be 0; a non-zero
+    /// value means a crash sweep corrupted the reservation/loan books).
+    pub pool_violations: u64,
 }
 
 impl RunResult {
@@ -219,10 +230,7 @@ pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
     let mut v = data.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf input"));
     let n = v.len() as f64;
-    v.into_iter()
-        .enumerate()
-        .map(|(i, x)| (x, (i + 1) as f64 / n))
-        .collect()
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
 }
 
 #[cfg(test)]
@@ -295,6 +303,7 @@ mod tests {
             cpu_peak_obs: 0,
             mem_peak_obs: 0,
             restarts: 0,
+            requeues: 0,
         };
         assert_eq!(r.category(), InvCategory::Default);
         r.flags.harvested = true;

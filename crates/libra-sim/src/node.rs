@@ -27,6 +27,9 @@ pub struct Node {
     pub resident: Vec<InvocationId>,
     /// Idle warm containers.
     pub warm: WarmPool,
+    /// False while the node is crashed (fault injection). A dead node
+    /// advertises zero free capacity, so every placement path skips it.
+    alive: bool,
 }
 
 impl Node {
@@ -39,7 +42,27 @@ impl Node {
             reserved: vec![ResourceVec::ZERO; shards],
             resident: Vec::new(),
             warm: WarmPool::new(keepalive),
+            alive: true,
         }
+    }
+
+    /// Whether the node is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Kill the node: it stops advertising capacity and its warm containers
+    /// die. Reservations are *not* cleared here — the engine releases each
+    /// resident's charge as part of the crash sweep so the ledger stays
+    /// consistent.
+    pub fn fail(&mut self) {
+        self.alive = false;
+        self.warm.drain_all();
+    }
+
+    /// Bring a crashed node back, empty.
+    pub fn recover(&mut self) {
+        self.alive = true;
     }
 
     /// Number of scheduler shards this node is sliced across.
@@ -52,8 +75,12 @@ impl Node {
         self.capacity.div(self.reserved.len() as u64)
     }
 
-    /// Free (unreserved) capacity within `shard`'s slice.
+    /// Free (unreserved) capacity within `shard`'s slice. A crashed node
+    /// has no free capacity at all.
     pub fn free_in_shard(&self, shard: usize) -> ResourceVec {
+        if !self.alive {
+            return ResourceVec::ZERO;
+        }
         self.shard_capacity().saturating_sub(&self.reserved[shard])
     }
 
@@ -85,7 +112,8 @@ impl Node {
     /// warm memory fit the slice again.
     fn settle_pins(&mut self, shard: usize) {
         let slice_mem = self.shard_capacity().mem_mb;
-        let over = (self.reserved[shard].mem_mb + self.warm.pinned_for(shard)).saturating_sub(slice_mem);
+        let over =
+            (self.reserved[shard].mem_mb + self.warm.pinned_for(shard)).saturating_sub(slice_mem);
         if over > 0 {
             let _ = self.warm.evict_for(shard, over, SimTime::ZERO);
         }
@@ -94,9 +122,16 @@ impl Node {
     /// Park a completed invocation's container as warm, pinning `mem_mb` in
     /// `shard`'s slice — unless there is no room to keep it, in which case
     /// the container is simply torn down.
-    pub fn park_warm(&mut self, func: crate::ids::FunctionId, shard: usize, mem_mb: u64, now: SimTime) {
+    pub fn park_warm(
+        &mut self,
+        func: crate::ids::FunctionId,
+        shard: usize,
+        mem_mb: u64,
+        now: SimTime,
+    ) {
         let slice_mem = self.shard_capacity().mem_mb;
-        let room = slice_mem.saturating_sub(self.reserved[shard].mem_mb + self.warm.pinned_for(shard));
+        let room =
+            slice_mem.saturating_sub(self.reserved[shard].mem_mb + self.warm.pinned_for(shard));
         if mem_mb <= room {
             self.warm.release(func, shard, mem_mb, now);
         }
@@ -114,9 +149,7 @@ impl Node {
 
     /// Total nominal reservation across all shards.
     pub fn total_reserved(&self) -> ResourceVec {
-        self.reserved
-            .iter()
-            .fold(ResourceVec::ZERO, |acc, r| acc + *r)
+        self.reserved.iter().fold(ResourceVec::ZERO, |acc, r| acc + *r)
     }
 
     /// Number of invocations currently resident.

@@ -25,6 +25,9 @@ pub enum LoanEnd {
     Safeguard,
     /// The source OOMed and needed its memory back.
     SourceOom,
+    /// An injected fault (node crash or invocation abort) destroyed one end
+    /// of the loan; nothing can be returned.
+    Crashed,
 }
 
 /// Per-invocation control-plane overheads a platform charges (Fig 15 stages).
@@ -118,6 +121,18 @@ pub trait Platform {
     /// A node's periodic health ping fired; harvest-pool status may be
     /// piggybacked to the schedulers here (§6.4).
     fn on_ping(&mut self, world: &World, node: NodeId) {}
+
+    /// A node crashed. The engine has already revoked every loan touching
+    /// the node, released resident reservations, and queued the victims for
+    /// requeue; the platform should drop any per-node state it keeps (e.g.
+    /// sweep the node's harvest pool — its entries are orphans now).
+    fn on_node_crash(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {}
+
+    /// One invocation's attempt was killed (node crash sweep or targeted
+    /// abort). Fires while the invocation still knows its node, so the
+    /// platform can clean per-invocation pool state. A requeue or terminal
+    /// abort follows.
+    fn on_abort(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {}
 
     /// End-of-run counters.
     fn report(&self) -> PlatformReport {

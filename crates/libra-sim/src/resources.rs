@@ -172,7 +172,10 @@ mod tests {
         let b = ResourceVec::new(300, 50);
         assert_eq!(a.min(&b), ResourceVec::new(100, 50));
         assert_eq!(a.max(&b), ResourceVec::new(300, 400));
-        assert_eq!(ResourceVec::from_cores_mb(32, 32_768).div(4), ResourceVec::from_cores_mb(8, 8192));
+        assert_eq!(
+            ResourceVec::from_cores_mb(32, 32_768).div(4),
+            ResourceVec::from_cores_mb(8, 8192)
+        );
         assert_eq!(a.mul(3), ResourceVec::new(300, 1200));
     }
 

@@ -87,9 +87,9 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
-    /// Multiply by an integer factor.
-    pub fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
+    /// Multiply by an integer factor, saturating at the representable max.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
     }
 }
 

@@ -30,7 +30,8 @@ fn suite() -> Vec<FunctionSpec> {
 
 #[test]
 fn breakdown_sums_to_latency_exactly() {
-    let sim = Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     for i in 0..12 {
         trace.push(SimTime(i * 700_000), FunctionId((i % 2) as u32), InputMeta::new(1, i));
@@ -51,12 +52,14 @@ fn breakdown_sums_to_latency_exactly() {
 
 #[test]
 fn speedup_matches_eq1_definition() {
-    let sim = Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(1), InputMeta::new(1, 0));
     let res = sim.run(&trace, &mut NullPlatform);
     let r = &res.records[0];
-    let expected = (r.baseline_latency.as_secs_f64() - r.latency.as_secs_f64()) / r.baseline_latency.as_secs_f64();
+    let expected = (r.baseline_latency.as_secs_f64() - r.latency.as_secs_f64())
+        / r.baseline_latency.as_secs_f64();
     assert!((r.speedup - expected).abs() < 1e-12);
 }
 
@@ -65,7 +68,8 @@ fn utilization_alloc_tracks_reservations() {
     // During a known window, exactly one 4-core invocation runs: allocated
     // must read 4 cores, used 4 cores (demand 6 capped by grant... grant 4,
     // demand 6 -> busy 4).
-    let sim = Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(1), InputMeta::new(1, 0));
     let res = sim.run(&trace, &mut NullPlatform);
@@ -84,7 +88,8 @@ fn utilization_alloc_tracks_reservations() {
 
 #[test]
 fn cold_start_charged_once_per_new_container() {
-    let sim = Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
     trace.push(SimTime::from_secs(3), FunctionId(0), InputMeta::new(1, 1)); // warm reuse
@@ -100,7 +105,8 @@ fn cold_start_charged_once_per_new_container() {
 
 #[test]
 fn exec_stage_equals_base_duration_when_fully_provisioned() {
-    let sim = Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(suite(), vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
     let res = sim.run(&trace, &mut NullPlatform);

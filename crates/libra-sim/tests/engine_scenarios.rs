@@ -38,15 +38,10 @@ impl<F: FnMut(&mut SimCtx<'_>, InvocationId)> Platform for Scripted<F> {
 #[test]
 fn lend_is_refused_across_nodes() {
     // Two 4-core nodes; two 4-core functions land on different nodes.
-    let funcs = vec![
-        spec("a", 4, 1024, demand(1, 128, 10)),
-        spec("b", 4, 1024, demand(8, 128, 10)),
-    ];
-    let sim = Simulation::new(
-        funcs,
-        vec![ResourceVec::from_cores_mb(4, 4096); 2],
-        SimConfig::default(),
-    );
+    let funcs =
+        vec![spec("a", 4, 1024, demand(1, 128, 10)), spec("b", 4, 1024, demand(8, 128, 10))];
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(4, 4096); 2], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
     trace.push(SimTime::ZERO, FunctionId(1), InputMeta::new(1, 0));
@@ -72,7 +67,8 @@ fn partial_return_loan_gives_back_exactly_what_was_asked() {
         spec("donor", 4, 1024, demand(1, 128, 30)),
         spec("taker", 2, 1024, demand(6, 128, 10)),
     ];
-    let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
     trace.push(SimTime::ZERO, FunctionId(1), InputMeta::new(1, 0));
@@ -101,7 +97,8 @@ fn preemptive_release_restores_full_speed_immediately() {
     // One function throttled by over-harvesting, then rescued via
     // preemptive release at the first monitor tick.
     let funcs = vec![spec("f", 4, 1024, demand(4, 128, 8))];
-    let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
 
@@ -112,7 +109,12 @@ fn preemptive_release_restores_full_speed_immediately() {
         fn name(&self) -> String {
             "rescue".into()
         }
-        fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        fn select_node(
+            &mut self,
+            world: &World,
+            shard: usize,
+            inv: InvocationId,
+        ) -> Option<NodeId> {
             let need = world.inv(inv).nominal;
             world.node_ids().find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
         }
@@ -143,10 +145,11 @@ fn harvested_capacity_admits_more_invocations() {
     // (each invocation really uses 1 core), the third invocation gets in as
     // soon as grants shrink — no waiting for completions.
     let funcs = vec![spec("f", 4, 1024, demand(1, 128, 10))];
-    let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     for i in 0..4 {
-        trace.push(SimTime(i), FunctionId(0), InputMeta::new(1, i as u64));
+        trace.push(SimTime(i), FunctionId(0), InputMeta::new(1, i));
     }
 
     // Without harvesting: 4 × 4-core reservations on an 8-core node → two
@@ -181,10 +184,11 @@ fn oversubscription_scales_rates_proportionally() {
     // invocation (admitted into the harvested space) still runs: Σ grants =
     // 12 > 8 → everyone runs at 2/3 speed until someone finishes.
     let funcs = vec![spec("f", 4, 1024, demand(4, 128, 6))];
-    let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     for i in 0..3 {
-        trace.push(SimTime(i), FunctionId(0), InputMeta::new(1, i as u64));
+        trace.push(SimTime(i), FunctionId(0), InputMeta::new(1, i));
     }
 
     struct HarvestThenRestore;
@@ -192,7 +196,12 @@ fn oversubscription_scales_rates_proportionally() {
         fn name(&self) -> String {
             "htr".into()
         }
-        fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        fn select_node(
+            &mut self,
+            world: &World,
+            shard: usize,
+            inv: InvocationId,
+        ) -> Option<NodeId> {
             let need = world.inv(inv).nominal;
             world.node_ids().find(|&n| need.fits_within(&world.free_in_shard(n, shard)))
         }
@@ -203,7 +212,10 @@ fn oversubscription_scales_rates_proportionally() {
         }
         fn on_tick(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
             // restore at ~1s
-            if inv.0 < 2 && ctx.now() > SimTime::from_secs(1) && ctx.inv(inv).own_grant.cpu_millis < 4000 {
+            if inv.0 < 2
+                && ctx.now() > SimTime::from_secs(1)
+                && ctx.inv(inv).own_grant.cpu_millis < 4000
+            {
                 let _ = ctx.preemptive_release(inv);
             }
         }
@@ -242,10 +254,11 @@ fn queued_invocations_keep_arrival_order_per_shard() {
     // A saturated node: later arrivals must not overtake earlier ones of the
     // same shard queue (FIFO service).
     let funcs = vec![spec("f", 8, 2048, demand(8, 256, 2))];
-    let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim =
+        Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
     let mut trace = Trace::new();
     for i in 0..5 {
-        trace.push(SimTime(i * 10), FunctionId(0), InputMeta::new(1, i as u64));
+        trace.push(SimTime(i * 10), FunctionId(0), InputMeta::new(1, i));
     }
     let res = sim.run(&trace, &mut NullPlatform);
     let mut by_arrival: Vec<_> = res.records.iter().collect();

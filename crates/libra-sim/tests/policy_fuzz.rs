@@ -88,14 +88,13 @@ impl Platform for ChaosPolicy {
                     let _ = ctx.return_loan(inv, loan.source, give);
                 }
             }
-            2 => {
+            2
                 // random top-up attempt from a random peer
-                if !self.running.is_empty() {
+                if !self.running.is_empty() => {
                     let src = self.running[self.rng.below(self.running.len() as u64) as usize];
                     let vol = ResourceVec::new(self.rng.below(2000), 0);
                     let _ = ctx.lend(src, inv, vol);
                 }
-            }
             3 => {
                 // random re-harvest of own grant (memory never below usage)
                 let nominal = ctx.inv(inv).nominal;
@@ -156,14 +155,19 @@ fn chaos_policies_cannot_break_the_physics() {
         let mut t = 0u64;
         for _ in 0..n {
             t += rng.below(3_000_000);
-            trace.push(SimTime(t), FunctionId(rng.below(6) as u32), InputMeta::new(1 + rng.below(1000), rng.next()));
+            trace.push(
+                SimTime(t),
+                FunctionId(rng.below(6) as u32),
+                InputMeta::new(1 + rng.below(1000), rng.next()),
+            );
         }
         let mut policy = ChaosPolicy::new(seed * 31 + 7);
         let res = sim.run(&trace, &mut policy);
         assert_eq!(res.records.len(), n, "seed {seed}: lost invocations");
         // Work conservation: borrowed never exceeds harvested.
         let borrowed: f64 = res.records.iter().map(|r| r.cpu_reassigned_core_sec.max(0.0)).sum();
-        let harvested: f64 = res.records.iter().map(|r| (-r.cpu_reassigned_core_sec).max(0.0)).sum();
+        let harvested: f64 =
+            res.records.iter().map(|r| (-r.cpu_reassigned_core_sec).max(0.0)).sum();
         assert!(
             borrowed <= harvested + 1e-6,
             "seed {seed}: borrowed {borrowed:.2} > harvested {harvested:.2}"
@@ -186,7 +190,11 @@ fn chaos_is_deterministic() {
         let mut t = 0u64;
         for _ in 0..25 {
             t += rng.below(2_000_000);
-            trace.push(SimTime(t), FunctionId(rng.below(6) as u32), InputMeta::new(1 + rng.below(500), rng.next()));
+            trace.push(
+                SimTime(t),
+                FunctionId(rng.below(6) as u32),
+                InputMeta::new(1 + rng.below(500), rng.next()),
+            );
         }
         sim.run(&trace, &mut ChaosPolicy::new(77))
     };

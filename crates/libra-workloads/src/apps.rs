@@ -116,13 +116,13 @@ impl AppKind {
     /// `datasets` for the meaning per app).
     pub fn size_range(&self) -> (u64, u64) {
         match self {
-            AppKind::Ul => (1, 400),      // MB uploaded
-            AppKind::Tn => (10, 5_000),   // KB of image
-            AppKind::Cp => (1, 200),      // MB to compress
-            AppKind::Dv => (1, 40),       // MB of sequence
-            AppKind::Dh => (100, 10_000), // pages to render
-            AppKind::Vp => (1, 100),      // MB of video (irrelevant to demand)
-            AppKind::Ir => (10, 3_000),   // KB of image (irrelevant)
+            AppKind::Ul => (1, 400),         // MB uploaded
+            AppKind::Tn => (10, 5_000),      // KB of image
+            AppKind::Cp => (1, 200),         // MB to compress
+            AppKind::Dv => (1, 40),          // MB of sequence
+            AppKind::Dh => (100, 10_000),    // pages to render
+            AppKind::Vp => (1, 100),         // MB of video (irrelevant to demand)
+            AppKind::Ir => (10, 3_000),      // KB of image (irrelevant)
             AppKind::Gp => (1_000, 100_000), // serialized bytes (irrelevant)
             AppKind::Gm => (1_000, 100_000),
             AppKind::Gb => (1_000, 100_000),
@@ -262,9 +262,7 @@ impl DemandModel for AppModel {
 pub fn sebs_suite() -> Vec<FunctionSpec> {
     ALL_APPS
         .iter()
-        .map(|&kind| {
-            FunctionSpec::new(kind.name(), kind.user_alloc(), Arc::new(AppModel { kind }))
-        })
+        .map(|&kind| FunctionSpec::new(kind.name(), kind.user_alloc(), Arc::new(AppModel { kind })))
         .collect()
 }
 
@@ -272,7 +270,8 @@ pub fn sebs_suite() -> Vec<FunctionSpec> {
 /// DH) — the "input size-related workload" of §8.7. Function ids are
 /// re-based to 0..5.
 pub fn size_related_suite() -> (Vec<FunctionSpec>, Vec<AppKind>) {
-    let kinds: Vec<AppKind> = ALL_APPS.iter().copied().filter(AppKind::input_size_related).collect();
+    let kinds: Vec<AppKind> =
+        ALL_APPS.iter().copied().filter(AppKind::input_size_related).collect();
     let specs = kinds
         .iter()
         .map(|&kind| FunctionSpec::new(kind.name(), kind.user_alloc(), Arc::new(AppModel { kind })))
@@ -329,7 +328,12 @@ mod tests {
             let m = AppModel { kind: *kind };
             let a = m.demand(&InputMeta::new(1, 7));
             let b = m.demand(&InputMeta::new(1_000_000, 7));
-            assert_eq!(a, b, "{}: same content must give same demand regardless of size", kind.name());
+            assert_eq!(
+                a,
+                b,
+                "{}: same content must give same demand regardless of size",
+                kind.name()
+            );
             let c = m.demand(&InputMeta::new(1, 8));
             assert_ne!(a, c, "{}: different content must change demand", kind.name());
         }
@@ -365,9 +369,8 @@ mod tests {
     fn vp_is_frequently_under_provisioned() {
         // The canonical accelerable app: most contents need > 4 cores.
         let m = AppModel { kind: AppKind::Vp };
-        let over = (0..100)
-            .filter(|&s| m.demand(&InputMeta::new(10, s)).cpu_peak_millis > 4_000)
-            .count();
+        let over =
+            (0..100).filter(|&s| m.demand(&InputMeta::new(10, s)).cpu_peak_millis > 4_000).count();
         assert!(over > 40, "VP should often exceed its 4-core default, got {over}/100");
     }
 

@@ -129,7 +129,8 @@ mod tests {
     fn bias_skews_towards_large_sizes() {
         let plain = InputPool::generate_biased(AppKind::Dh, 400, 5, 1.0);
         let heavy = InputPool::generate_biased(AppKind::Dh, 400, 5, 2.5);
-        let mean = |p: &InputPool| p.inputs.iter().map(|i| i.size).sum::<u64>() / p.inputs.len() as u64;
+        let mean =
+            |p: &InputPool| p.inputs.iter().map(|i| i.size).sum::<u64>() / p.inputs.len() as u64;
         assert!(
             mean(&heavy) as f64 > mean(&plain) as f64 * 1.5,
             "bias 2.5 should raise mean size: {} vs {}",

@@ -37,9 +37,7 @@ impl TraceGen {
     /// gentle Zipf popularity (`1/(rank+1)^0.7`).
     pub fn standard(kinds: &[AppKind], seed: u64) -> Self {
         let pools = crate::datasets::standard_pools(kinds, seed);
-        let weights = (0..kinds.len())
-            .map(|r| 1.0 / ((r + 1) as f64).powf(0.7))
-            .collect();
+        let weights = (0..kinds.len()).map(|r| 1.0 / ((r + 1) as f64).powf(0.7)).collect();
         TraceGen { kinds: kinds.to_vec(), pools, weights, seed }
     }
 
@@ -47,13 +45,8 @@ impl TraceGen {
     /// towards large sizes (for the multi-node scheduling experiments, whose
     /// queueing behaviour the paper drives with heavier invocations).
     pub fn heavy(kinds: &[AppKind], seed: u64) -> Self {
-        let pools = kinds
-            .iter()
-            .map(|&k| InputPool::generate_biased(k, 100, seed, 2.5))
-            .collect();
-        let weights = (0..kinds.len())
-            .map(|r| 1.0 / ((r + 1) as f64).powf(0.7))
-            .collect();
+        let pools = kinds.iter().map(|&k| InputPool::generate_biased(k, 100, seed, 2.5)).collect();
+        let weights = (0..kinds.len()).map(|r| 1.0 / ((r + 1) as f64).powf(0.7)).collect();
         TraceGen { kinds: kinds.to_vec(), pools, weights, seed }
     }
 
@@ -98,12 +91,8 @@ impl TraceGen {
         // overload the 72-core node, so the default platform carries a
         // backlog from wave to wave while a harvesting platform packs each
         // wave into the reserved-but-idle capacity and drains in time.
-        let phases = [
-            (41usize, 300.0f64, 0.0f64),
-            (41, 300.0, 15e6),
-            (41, 300.0, 30e6),
-            (42, 300.0, 45e6),
-        ];
+        let phases =
+            [(41usize, 300.0f64, 0.0f64), (41, 300.0, 15e6), (41, 300.0, 30e6), (42, 300.0, 45e6)];
         for (n, rpm, t0) in phases {
             let mean_gap_us = 60e6 / rpm;
             let mut t = t0;

@@ -20,7 +20,10 @@ fn run(platform: &mut dyn Platform) -> libra::sim::metrics::RunResult {
 }
 
 fn main() {
-    println!("{:<10} {:>9} {:>9} {:>12} {:>10} {:>14}", "platform", "P50 (s)", "P99 (s)", "completion", "CPU util", "worst speedup");
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>10} {:>14}",
+        "platform", "P50 (s)", "P99 (s)", "completion", "CPU util", "worst speedup"
+    );
     let mut rows = Vec::new();
     for platform in [
         Box::new(OpenWhiskDefault) as Box<dyn Platform>,

@@ -17,7 +17,10 @@ fn main() {
     let fixed = run_live(&workload, &LiveConfig { harvesting: false, ..LiveConfig::default() });
     let libra = run_live(&workload, &LiveConfig { harvesting: true, ..LiveConfig::default() });
 
-    println!("{:<12} {:>10} {:>10} {:>12} {:>14}", "platform", "p50 (ms)", "p99 (ms)", "makespan", "loans expired");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>14}",
+        "platform", "p50 (ms)", "p99 (ms)", "makespan", "loans expired"
+    );
     for (name, r) in [("fixed", &fixed), ("harvesting", &libra)] {
         println!(
             "{:<12} {:>10.0} {:>10.0} {:>10.0}ms {:>14}",
@@ -32,7 +35,10 @@ fn main() {
     let harvested = libra.records.iter().filter(|r| r.harvested).count();
     println!();
     println!("harvested from {harvested} invocations, accelerated {accelerated};");
-    println!("peak committed CPU {} millicores (capacity 16,000/node) — the", libra.peak_committed_cpu);
+    println!(
+        "peak committed CPU {} millicores (capacity 16,000/node) — the",
+        libra.peak_committed_cpu
+    );
     println!("conservation invariant holds under genuine thread interleavings,");
     println!("and {} loans were revoked mid-flight by the timeliness law.", libra.loans_expired);
 }

@@ -31,12 +31,18 @@ fn main() {
     println!("platform            : {}", result.platform);
     println!("invocations         : {}", result.records.len());
     println!("completion time     : {:.1} s", result.completion_time.as_secs_f64());
-    println!("P50 / P99 latency   : {:.1} s / {:.1} s", result.latency_percentile(50.0), result.latency_percentile(99.0));
+    println!(
+        "P50 / P99 latency   : {:.1} s / {:.1} s",
+        result.latency_percentile(50.0),
+        result.latency_percentile(99.0)
+    );
     println!("mean CPU utilization: {:.1} %", 100.0 * result.mean_cpu_util());
     println!("cold starts         : {} ({} warm hits)", result.cold_starts, result.warm_hits);
     println!();
-    println!("harvesting activity : {} puts, {} gets, {} safeguard triggers",
-        report.pool_puts, report.pool_gets, report.safeguard_triggers);
+    println!(
+        "harvesting activity : {} puts, {} gets, {} safeguard triggers",
+        report.pool_puts, report.pool_gets, report.safeguard_triggers
+    );
 
     let harvested = result.records.iter().filter(|r| r.flags.harvested).count();
     let accelerated = result.records.iter().filter(|r| r.flags.accelerated).count();

@@ -33,7 +33,11 @@ impl Platform for Fig2 {
         } else {
             // Accelerate B with A's idle core.
             let ok = ctx.lend(InvocationId(0), inv, ResourceVec::new(1_000, 0));
-            println!("t={}: lending A's core to B -> {}", ctx.now(), if ok { "granted" } else { "refused" });
+            println!(
+                "t={}: lending A's core to B -> {}",
+                ctx.now(),
+                if ok { "granted" } else { "refused" }
+            );
         }
     }
 
@@ -70,7 +74,11 @@ fn main() {
         })),
     );
 
-    let sim = Simulation::new(vec![a, b], vec![ResourceVec::from_cores_mb(8, 8192)], SimConfig::default());
+    let sim = Simulation::new(
+        vec![a, b],
+        vec![ResourceVec::from_cores_mb(8, 8192)],
+        SimConfig::default(),
+    );
     let mut trace = Trace::new();
     trace.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
     trace.push(SimTime::from_secs(1), FunctionId(1), InputMeta::new(1, 0));

@@ -10,12 +10,15 @@
 //! * [`workloads`] — the Table 1 applications, datasets, and Azure-like traces,
 //! * [`core`] — Libra itself: profiler, harvest resource pool, safeguard,
 //!   demand coverage, decentralized sharding scheduler,
-//! * [`baselines`] — OpenWhisk default, the Freyr stand-in, RR/JSQ/MWS.
+//! * [`baselines`] — OpenWhisk default, the Freyr stand-in, RR/JSQ/MWS,
+//! * [`chaos`] — deterministic fault-injection plans for resilience testing,
+//! * [`live`] — the real-thread sharded control plane.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and DESIGN.md for the
 //! system inventory.
 
 pub use libra_baselines as baselines;
+pub use libra_chaos as chaos;
 pub use libra_core as core;
 pub use libra_live as live;
 pub use libra_ml as ml;

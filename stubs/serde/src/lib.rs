@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`: marker traits with blanket impls plus
+//! no-op derives. The workspace derives `Serialize` for documentation/
+//! future-proofing but never serializes through serde at runtime.
+
+/// Marker: every type is "serializable".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: every type is "deserializable".
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+// Make `#[derive(serde::Serialize)]` resolve: the derive macro shares the
+// `Serialize` name in the macro namespace, the trait lives in the type
+// namespace.
+pub use serde_derive::Deserialize;
+pub use serde_derive::Serialize;

@@ -28,10 +28,7 @@ fn libra_beats_default_on_the_single_trace() {
         l.latency_percentile(99.0),
         d.latency_percentile(99.0)
     );
-    assert!(
-        l.completion_time <= d.completion_time,
-        "Libra must complete the workload no slower"
-    );
+    assert!(l.completion_time <= d.completion_time, "Libra must complete the workload no slower");
 }
 
 #[test]
@@ -189,4 +186,82 @@ fn platform_report_ledgers_are_consistent() {
     // loosest sane bound — total cluster capacity × completion time.
     let cap_core_sec = 72.0 * r.completion_time.as_secs_f64();
     assert!(rep.pool_idle_cpu_core_sec <= cap_core_sec);
+}
+
+#[test]
+fn lender_node_crash_mid_loan_is_fully_unwound() {
+    // The chaos headline: kill nodes while loans are live. Because loans are
+    // intra-node, a node crash takes lenders and borrowers down together; the
+    // engine must unwind every affected loan through the normal revocation
+    // protocol (LoanEnd::Crashed), sweep the node's pool collections, requeue
+    // the victims, and leave the ledgers exact.
+    use libra::sim::fault::{FaultKind, FaultPlan};
+    use libra::sim::time::SimTime;
+
+    let gen = TraceGen::standard(&ALL_APPS, 11);
+    let trace = gen.poisson(120, 180.0);
+    let mut plan = FaultPlan::empty();
+    for (node, at) in [(0u32, 6u64), (2, 14), (1, 22), (3, 30)] {
+        plan.push(SimTime::from_secs(at), FaultKind::NodeCrash(libra::sim::ids::NodeId(node)));
+        plan.push(
+            SimTime::from_secs(at + 4),
+            FaultKind::NodeRecover(libra::sim::ids::NodeId(node)),
+        );
+    }
+
+    let config = SimConfig { shards: 2, ..SimConfig::default() };
+    let sim = Simulation::new(sebs_suite(), testbeds::multi_node(), config);
+    let mut p = LibraPlatform::new(LibraConfig::libra());
+    let r = sim.run_with_faults(&trace, &mut p, &plan);
+
+    assert_eq!(r.faults_injected, 8);
+    assert_eq!(r.pool_violations, 0, "crash sweep left the pool ledger inconsistent");
+    assert_eq!(
+        r.records.len() as u64 + r.aborted,
+        120,
+        "an arrival neither completed nor terminally aborted"
+    );
+    assert!(r.crash_requeues > 0, "crashes at peak load must displace someone");
+
+    let rep = p.report();
+    let extra = |k: &str| {
+        rep.extra.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or_else(|| {
+            panic!("missing report counter {k}");
+        })
+    };
+    assert!(extra("loans_crashed") > 0.0, "no loan was live on any crashed node");
+    assert!(extra("crash_sweeps") >= 1.0, "platform never swept a crashed node's pool");
+}
+
+#[test]
+fn fault_injection_disabled_is_byte_identical() {
+    // Zero-rate acceptance criterion: `run_with_faults` with an empty plan
+    // must reproduce `run` exactly — same records, same times, same flags.
+    use libra::sim::fault::FaultPlan;
+
+    let run_once = |faulted: bool| {
+        let gen = TraceGen::standard(&ALL_APPS, 77);
+        let trace = gen.poisson(90, 150.0);
+        let config = SimConfig { shards: 2, ..SimConfig::default() };
+        let sim = Simulation::new(sebs_suite(), testbeds::multi_node(), config);
+        let mut p = LibraPlatform::new(LibraConfig::libra());
+        if faulted {
+            sim.run_with_faults(&trace, &mut p, &FaultPlan::empty())
+        } else {
+            sim.run(&trace, &mut p)
+        }
+    };
+    let (a, b) = (run_once(false), run_once(true));
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.inv, y.inv);
+        assert_eq!(x.latency, y.latency);
+        assert_eq!(x.node, y.node);
+        assert_eq!(x.speedup, y.speedup);
+        assert_eq!(x.flags, y.flags);
+        assert_eq!(x.requeues, 0);
+    }
+    assert_eq!(a.completion_time, b.completion_time);
+    assert_eq!(b.faults_injected, 0);
+    assert_eq!(b.aborted, 0);
 }

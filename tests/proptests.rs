@@ -23,8 +23,11 @@ fn pool_op() -> impl Strategy<Value = PoolOp> {
         (0u32..16, 0u64..4000, 0u64..2048, 1u64..600)
             .prop_map(|(src, cpu, mem, expiry)| PoolOp::Put { src, cpu, mem, expiry }),
         (0u64..6000, 0u64..4096).prop_map(|(cpu, mem)| PoolOp::Get { cpu, mem }),
-        (0u32..16, 0u64..2000, 0u64..1024)
-            .prop_map(|(src, cpu, mem)| PoolOp::GiveBack { src, cpu, mem }),
+        (0u32..16, 0u64..2000, 0u64..1024).prop_map(|(src, cpu, mem)| PoolOp::GiveBack {
+            src,
+            cpu,
+            mem
+        }),
         (0u32..16).prop_map(|src| PoolOp::Remove { src }),
     ]
 }
@@ -145,9 +148,75 @@ fn random_traces_always_complete() {
         let gen = TraceGen::standard(&ALL_APPS, seed);
         let n = 20 + (seed as usize * 13) % 60;
         let trace = gen.poisson(n, 60.0 + seed as f64 * 40.0);
-        let sim = Simulation::new(sebs_suite(), testbeds::multi_node(), SimConfig { shards: 2, ..SimConfig::default() });
+        let sim = Simulation::new(
+            sebs_suite(),
+            testbeds::multi_node(),
+            SimConfig { shards: 2, ..SimConfig::default() },
+        );
         let mut p = LibraPlatform::new(LibraConfig::libra());
         let r = sim.run(&trace, &mut p);
         assert_eq!(r.records.len(), n, "seed {seed}");
+    }
+}
+
+// Chaos property (timeliness law + node invariants under faults): for an
+// arbitrary seeded fault plan, every arrival terminates — completed or
+// aborted with its retry budget exhausted — the engine's reservation
+// invariants hold throughout (debug assertions are active in tests), and
+// the final pool-consistency check reports zero violations.
+proptest! {
+    #[test]
+    fn arbitrary_fault_plans_preserve_termination_and_safety(
+        seed in 0u64..1000,
+        crashes in 0.0f64..3.0,
+        aborts in 0.0f64..4.0,
+        stalls in 0.0f64..2.0,
+        drops in 0.0f64..6.0,
+        delays in 0.0f64..3.0,
+        jitters in 0.0f64..4.0,
+    ) {
+        use libra::chaos::{build_plan, ChaosConfig, ClusterShape};
+        use libra::core::{LibraConfig, LibraPlatform};
+        use libra::sim::engine::{SimConfig, Simulation};
+        use libra::workloads::trace::TraceGen;
+        use libra::workloads::{sebs_suite, testbeds, ALL_APPS};
+
+        let n = 14 + (seed as usize % 10);
+        let gen = TraceGen::standard(&ALL_APPS, seed);
+        let trace = gen.poisson(n, 150.0);
+        let span = trace.entries.last().map(|e| e.at.0).unwrap_or(0);
+        let horizon = SimDuration(span) + SimDuration::from_secs(5);
+        let cfg = ChaosConfig {
+            node_crashes: crashes,
+            node_downtime: SimDuration::from_millis(1500),
+            invocation_aborts: aborts,
+            shard_stalls: stalls,
+            ping_drops: drops,
+            ping_delays: delays,
+            tick_jitters: jitters,
+            ..ChaosConfig::quiet(seed, horizon)
+        };
+        let shape = ClusterShape { nodes: 4, shards: 2, invocations: n as u32 };
+        let plan = build_plan(&cfg, &shape);
+
+        let sim = Simulation::new(
+            sebs_suite(),
+            testbeds::multi_node(),
+            SimConfig { shards: 2, ..SimConfig::default() },
+        );
+        let mut p = LibraPlatform::new(LibraConfig::libra());
+        let r = sim.run_with_faults(&trace, &mut p, &plan);
+
+        prop_assert_eq!(r.pool_violations, 0, "pool-consistency violation");
+        prop_assert_eq!(
+            r.records.len() as u64 + r.aborted,
+            n as u64,
+            "an arrival neither completed nor terminally aborted"
+        );
+        // Completed-record bookkeeping survives requeues: ids stay unique.
+        let mut ids: Vec<u32> = r.records.iter().map(|rec| rec.inv.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), r.records.len(), "duplicate completion records");
     }
 }
