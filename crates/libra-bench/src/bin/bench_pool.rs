@@ -1,0 +1,144 @@
+//! bench_pool — machine-readable pool micro-benchmark (`BENCH_pool.json`).
+//!
+//! Times `put` / `get` / `snapshot` on the expiry-indexed
+//! [`HarvestResourcePool`] against the pre-index sorted-scan reference at
+//! 100 / 1k / 10k live entries, and emits the comparison as JSON for CI
+//! tracking (`scripts/verify.sh` runs this as its pool-bench smoke step).
+//! The headline claim — indexed `get` ≥5× faster than the sorted scan at
+//! 10k entries — is printed per size as `get_speedup`.
+//!
+//! Output path: `BENCH_pool.json` in the working directory, or
+//! `LIBRA_BENCH_JSON` if set.
+
+use libra_core::pool::reference::SortedScanPool;
+use libra_core::pool::HarvestResourcePool;
+use libra_sim::ids::InvocationId;
+use libra_sim::resources::ResourceVec;
+use libra_sim::time::SimTime;
+use std::io::Write as _;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+/// Far-future expiry so steady-state timing never hits mass eviction.
+const FAR: SimTime = SimTime(1_000_000_000_000);
+
+fn entry(i: usize) -> (InvocationId, ResourceVec, SimTime) {
+    // Spread expiries over a wide window; all far enough out that the
+    // timed window below never expires them.
+    (
+        InvocationId(i as u32),
+        ResourceVec::new(500 + (i as u64 % 7) * 100, 128),
+        SimTime::from_secs(1_000 + i as u64),
+    )
+}
+
+/// Time `iters` runs of `f`, returning mean nanoseconds per run.
+fn time_ns(iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    // Warm-up pass.
+    for t in 0..iters.min(100) {
+        f(t);
+    }
+    let t0 = Instant::now();
+    for t in 0..iters {
+        f(t);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct SizeReport {
+    n: usize,
+    put_ns: f64,
+    get_indexed_ns: f64,
+    get_scan_ns: f64,
+    snapshot_indexed_ns: f64,
+    snapshot_scan_ns: f64,
+}
+
+fn measure(n: usize) -> SizeReport {
+    let iters: u64 = match n {
+        0..=100 => 20_000,
+        101..=1_000 => 5_000,
+        _ => 1_000,
+    };
+
+    let mut indexed = HarvestResourcePool::new();
+    let mut scan = SortedScanPool::new();
+    for i in 0..n {
+        let (id, vol, pri) = entry(i);
+        indexed.put(id, vol, pri, SimTime::ZERO);
+        scan.put(id, vol, pri, SimTime::ZERO);
+    }
+
+    let put_ns = time_ns(iters, |t| {
+        indexed.put(
+            InvocationId((t % n as u64) as u32),
+            ResourceVec::new(100, 16),
+            FAR,
+            SimTime(t),
+        );
+    });
+    let get_indexed_ns = time_ns(iters, |t| {
+        let got = indexed.get(ResourceVec::new(300, 64), SimTime(t));
+        for (src, vol) in got {
+            indexed.give_back(src, vol, SimTime(t));
+        }
+    });
+    let get_scan_ns = time_ns(iters, |t| {
+        let got = scan.get(ResourceVec::new(300, 64), SimTime(t));
+        for (src, vol) in got {
+            scan.give_back(src, vol, SimTime(t));
+        }
+    });
+    let snapshot_indexed_ns = time_ns(iters, |_| {
+        std::hint::black_box(indexed.snapshot(SimTime::from_secs(5)));
+    });
+    let snapshot_scan_ns = time_ns(iters, |_| {
+        std::hint::black_box(scan.snapshot(SimTime::from_secs(5)));
+    });
+
+    SizeReport { n, put_ns, get_indexed_ns, get_scan_ns, snapshot_indexed_ns, snapshot_scan_ns }
+}
+
+fn main() {
+    let reports: Vec<SizeReport> = SIZES.iter().map(|&n| measure(n)).collect();
+
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "entries", "put ns", "get idx ns", "get scan ns", "speedup"
+    );
+    let mut json = String::from("{\n  \"bench\": \"pool_ops\",\n  \"sizes\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let speedup = r.get_scan_ns / r.get_indexed_ns.max(1.0);
+        println!(
+            "{:>8} {:>12.0} {:>14.0} {:>14.0} {:>11.1}x",
+            r.n, r.put_ns, r.get_indexed_ns, r.get_scan_ns, speedup
+        );
+        json.push_str(&format!(
+            "    {{\"entries\": {}, \"put_ns\": {:.1}, \"get_indexed_ns\": {:.1}, \
+             \"get_sorted_scan_ns\": {:.1}, \"get_speedup\": {:.2}, \
+             \"snapshot_indexed_ns\": {:.1}, \"snapshot_sorted_scan_ns\": {:.1}}}{}\n",
+            r.n,
+            r.put_ns,
+            r.get_indexed_ns,
+            r.get_scan_ns,
+            speedup,
+            r.snapshot_indexed_ns,
+            r.snapshot_scan_ns,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("LIBRA_BENCH_JSON").unwrap_or_else(|_| "BENCH_pool.json".to_string());
+    let mut f = std::fs::File::create(&path).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    println!("[wrote {path}]");
+
+    let at_10k = reports.last().expect("sizes non-empty");
+    let speedup = at_10k.get_scan_ns / at_10k.get_indexed_ns.max(1.0);
+    println!(
+        "indexed get at {} entries: {:.1}x faster than sorted scan (target >= 5x)",
+        at_10k.n, speedup
+    );
+}

@@ -1,8 +1,39 @@
 //! Run every experiment of the paper's evaluation section in order,
 //! regenerating all tables and figures (DESIGN.md §3 maps each to its
-//! module). Heavy sweeps honour `LIBRA_REPS` and `LIBRA_SCALE`.
+//! module). Heavy sweeps honour `LIBRA_REPS` and `LIBRA_SCALE`, and fan
+//! their simulation runs across `--threads N` worker threads (equivalent to
+//! `LIBRA_THREADS=N`; default: all cores). Output is byte-identical at any
+//! thread count — jobs are collected in configuration order before printing.
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+                std::env::set_var("LIBRA_THREADS", n.to_string());
+            }
+            "--help" | "-h" => {
+                println!("usage: run_all [--threads N]");
+                println!("  --threads N   worker threads for sweep fan-out");
+                println!("                (default: LIBRA_THREADS or all cores)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("[sweep runner: {} worker thread(s)]", libra_bench::threads());
+
     use libra_bench::experiments as e;
     e::table1::run();
     e::fig01::run();

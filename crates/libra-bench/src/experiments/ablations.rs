@@ -47,28 +47,33 @@ pub fn pool_order() {
         "loans expired".into(),
         "re-harvested".into(),
     ]);
-    for (name, order) in [
+    let variants = [
         ("longest-lived", GetOrder::LongestLived),
         ("fifo", GetOrder::Fifo),
         ("shortest-lived", GetOrder::ShortestLived),
-    ] {
-        let (mut p99, mut sp, mut expired, mut reh) = (0.0, 0.0, 0.0, 0.0);
-        let reps = repetitions();
-        for rep in 0..reps {
-            let run =
-                single_run(LibraConfig { pool_order: order, ..LibraConfig::libra() }, 42 + rep);
-            p99 += run.result.latency_percentile(99.0);
-            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
-            expired += extra(&run, "loans_expired");
-            reh += extra(&run, "loans_reharvested");
-        }
-        let n = reps as f64;
+    ];
+    let reps = repetitions();
+    let jobs: Vec<(usize, u64)> =
+        (0..variants.len()).flat_map(|vi| (0..reps).map(move |rep| (vi, rep))).collect();
+    let runs = par_map(jobs, |(vi, rep)| {
+        let run = single_run(
+            LibraConfig { pool_order: variants[vi].1, ..LibraConfig::libra() },
+            42 + rep,
+        );
+        (
+            run.result.latency_percentile(99.0),
+            libra_sim::metrics::mean(run.result.speedups().into_iter()),
+            extra(&run, "loans_expired"),
+            extra(&run, "loans_reharvested"),
+        )
+    });
+    for ((name, _), chunk) in variants.iter().zip(runs.chunks(reps as usize)) {
         row(&[
-            name.into(),
-            format!("{:.1}", p99 / n),
-            format!("{:.3}", sp / n),
-            format!("{:.0}", expired / n),
-            format!("{:.0}", reh / n),
+            (*name).into(),
+            format!("{:.1}", mean_of(&chunk.iter().map(|r| r.0).collect::<Vec<_>>())),
+            format!("{:.3}", mean_of(&chunk.iter().map(|r| r.1).collect::<Vec<_>>())),
+            format!("{:.0}", mean_of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>())),
+            format!("{:.0}", mean_of(&chunk.iter().map(|r| r.3).collect::<Vec<_>>())),
         ]);
     }
     println!("Expected: longest-lived-first loses the fewest loans to source");
@@ -79,24 +84,27 @@ pub fn pool_order() {
 pub fn continuous_acceleration() {
     header("Ablation: continuous acceleration (per-tick top-ups) vs one-shot at start");
     row(&["variant".into(), "P99 (s)".into(), "accelerated".into(), "mean speedup".into()]);
-    for (name, on) in [("continuous", true), ("one-shot", false)] {
-        let (mut p99, mut acc, mut sp) = (0.0, 0.0, 0.0);
-        let reps = repetitions();
-        for rep in 0..reps {
-            let run = single_run(
-                LibraConfig { continuous_acceleration: on, ..LibraConfig::libra() },
-                42 + rep,
-            );
-            p99 += run.result.latency_percentile(99.0);
-            acc += run.result.records.iter().filter(|r| r.flags.accelerated).count() as f64;
-            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
-        }
-        let n = reps as f64;
+    let variants = [("continuous", true), ("one-shot", false)];
+    let reps = repetitions();
+    let jobs: Vec<(usize, u64)> =
+        (0..variants.len()).flat_map(|vi| (0..reps).map(move |rep| (vi, rep))).collect();
+    let runs = par_map(jobs, |(vi, rep)| {
+        let run = single_run(
+            LibraConfig { continuous_acceleration: variants[vi].1, ..LibraConfig::libra() },
+            42 + rep,
+        );
+        (
+            run.result.latency_percentile(99.0),
+            run.result.records.iter().filter(|r| r.flags.accelerated).count() as f64,
+            libra_sim::metrics::mean(run.result.speedups().into_iter()),
+        )
+    });
+    for ((name, _), chunk) in variants.iter().zip(runs.chunks(reps as usize)) {
         row(&[
-            name.into(),
-            format!("{:.1}", p99 / n),
-            format!("{:.0}", acc / n),
-            format!("{:.3}", sp / n),
+            (*name).into(),
+            format!("{:.1}", mean_of(&chunk.iter().map(|r| r.0).collect::<Vec<_>>())),
+            format!("{:.0}", mean_of(&chunk.iter().map(|r| r.1).collect::<Vec<_>>())),
+            format!("{:.3}", mean_of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>())),
         ]);
     }
     println!("Expected: one-shot acceleration strands long invocations whose");
@@ -107,22 +115,25 @@ pub fn continuous_acceleration() {
 pub fn headroom() {
     header("Ablation: harvest headroom (grant = prediction × h)");
     row(&["headroom".into(), "P99 (s)".into(), "safeguarded".into(), "cpu util".into()]);
-    for h in [1.0, 1.1, 1.2, 1.3, 1.5] {
-        let (mut p99, mut sg, mut util) = (0.0, 0.0, 0.0);
-        let reps = repetitions();
-        for rep in 0..reps {
-            let run =
-                single_run(LibraConfig { harvest_headroom: h, ..LibraConfig::libra() }, 42 + rep);
-            p99 += run.result.latency_percentile(99.0);
-            sg += run.report.safeguard_triggers as f64;
-            util += run.result.mean_cpu_util();
-        }
-        let n = reps as f64;
+    let hs = [1.0, 1.1, 1.2, 1.3, 1.5];
+    let reps = repetitions();
+    let jobs: Vec<(usize, u64)> =
+        (0..hs.len()).flat_map(|hi| (0..reps).map(move |rep| (hi, rep))).collect();
+    let runs = par_map(jobs, |(hi, rep)| {
+        let run =
+            single_run(LibraConfig { harvest_headroom: hs[hi], ..LibraConfig::libra() }, 42 + rep);
+        (
+            run.result.latency_percentile(99.0),
+            run.report.safeguard_triggers as f64,
+            run.result.mean_cpu_util(),
+        )
+    });
+    for (h, chunk) in hs.iter().zip(runs.chunks(reps as usize)) {
         row(&[
             format!("{h:.1}"),
-            format!("{:.1}", p99 / n),
-            format!("{:.0}", sg / n),
-            format!("{:.3}", util / n),
+            format!("{:.1}", mean_of(&chunk.iter().map(|r| r.0).collect::<Vec<_>>())),
+            format!("{:.0}", mean_of(&chunk.iter().map(|r| r.1).collect::<Vec<_>>())),
+            format!("{:.3}", mean_of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>())),
         ]);
     }
     println!("Expected: more headroom = fewer safeguard trips but less harvest");
@@ -137,27 +148,30 @@ pub fn coverage_vs_volume() {
     fn boxed<S: NodeSelector + 'static>(s: S) -> Box<dyn Platform> {
         Box::new(LibraPlatform::with_selector(LibraConfig::libra(), s))
     }
-    for name in ["coverage", "volume-only"] {
-        let (mut p99, mut expired, mut sp) = (0.0, 0.0, 0.0);
-        let reps = repetitions();
-        for rep in 0..reps {
-            let sets = TraceGen::standard(&ALL_APPS, 42 + rep).multi_sets();
-            let trace = &sets.iter().find(|(rpm, _)| *rpm == 240).expect("240 RPM set").1;
-            let platform = match name {
-                "coverage" => boxed(CoverageSelector),
-                _ => boxed(VolumeSelector),
-            };
-            let run = run_on(sebs_suite(), testbeds::multi_node(), config.clone(), trace, platform);
-            p99 += run.result.latency_percentile(99.0);
-            expired += extra(&run, "loans_expired");
-            sp += libra_sim::metrics::mean(run.result.speedups().into_iter());
-        }
-        let n = reps as f64;
+    let variants = ["coverage", "volume-only"];
+    let reps = repetitions();
+    let jobs: Vec<(usize, u64)> =
+        (0..variants.len()).flat_map(|vi| (0..reps).map(move |rep| (vi, rep))).collect();
+    let runs = par_map(jobs, |(vi, rep)| {
+        let sets = TraceGen::standard(&ALL_APPS, 42 + rep).multi_sets();
+        let trace = &sets.iter().find(|(rpm, _)| *rpm == 240).expect("240 RPM set").1;
+        let platform = match variants[vi] {
+            "coverage" => boxed(CoverageSelector),
+            _ => boxed(VolumeSelector),
+        };
+        let run = run_on(sebs_suite(), testbeds::multi_node(), config.clone(), trace, platform);
+        (
+            run.result.latency_percentile(99.0),
+            extra(&run, "loans_expired"),
+            libra_sim::metrics::mean(run.result.speedups().into_iter()),
+        )
+    });
+    for (name, chunk) in variants.iter().zip(runs.chunks(reps as usize)) {
         row(&[
-            name.into(),
-            format!("{:.1}", p99 / n),
-            format!("{:.0}", expired / n),
-            format!("{:.3}", sp / n),
+            (*name).into(),
+            format!("{:.1}", mean_of(&chunk.iter().map(|r| r.0).collect::<Vec<_>>())),
+            format!("{:.0}", mean_of(&chunk.iter().map(|r| r.1).collect::<Vec<_>>())),
+            format!("{:.3}", mean_of(&chunk.iter().map(|r| r.2).collect::<Vec<_>>())),
         ]);
     }
     println!("Expected: coverage-aware placement sends accelerable invocations");

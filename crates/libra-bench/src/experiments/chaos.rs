@@ -81,28 +81,34 @@ pub fn run() -> Vec<(String, f64)> {
     let mut requeues = vec![Vec::new(); SCALES.len()];
     let mut faults = vec![Vec::new(); SCALES.len()];
 
-    for rep in 0..reps {
-        let trace = TraceGen::standard(&ALL_APPS, 42 + rep).poisson(200, 120.0);
-        let total = trace.len() as f64;
+    // Fan (rep × scale) across the pool; the safety asserts run on the
+    // ordered results so a violation still names its fault scale.
+    let traces: Vec<_> =
+        (0..reps).map(|rep| TraceGen::standard(&ALL_APPS, 42 + rep).poisson(200, 120.0)).collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..reps as usize).flat_map(|rep| (0..SCALES.len()).map(move |i| (rep, i))).collect();
+    let runs = par_map(jobs.clone(), |(rep, i)| {
+        let trace = &traces[rep];
         let span = trace.entries.last().map(|e| e.at).unwrap_or_default();
         let horizon = SimDuration(span.0) + SimDuration::from_secs(5);
         let shape =
             ClusterShape { nodes: 4, shards: config().shards, invocations: trace.len() as u32 };
-
-        for (i, &scale) in SCALES.iter().enumerate() {
-            let plan = build_plan(&base_chaos(1000 + rep, horizon).scaled(scale), &shape);
-            let run = run_libra_with(&trace, &plan);
-            assert_eq!(
-                run.result.pool_violations, 0,
-                "pool-consistency violation at fault scale {scale}"
-            );
-            let done = run.result.records.len() as u64 + run.result.aborted;
-            assert_eq!(done as f64, total, "an arrival neither completed nor aborted");
-            p99[i].push(run.result.latency_percentile(99.0));
-            loss[i].push(run.result.aborted as f64 / total);
-            requeues[i].push(run.result.crash_requeues as f64);
-            faults[i].push(run.result.faults_injected as f64);
-        }
+        let plan = build_plan(&base_chaos(1000 + rep as u64, horizon).scaled(SCALES[i]), &shape);
+        run_libra_with(trace, &plan)
+    });
+    for (&(rep, i), run) in jobs.iter().zip(&runs) {
+        let scale = SCALES[i];
+        let total = traces[rep].len() as f64;
+        assert_eq!(
+            run.result.pool_violations, 0,
+            "pool-consistency violation at fault scale {scale}"
+        );
+        let done = run.result.records.len() as u64 + run.result.aborted;
+        assert_eq!(done as f64, total, "an arrival neither completed nor aborted");
+        p99[i].push(run.result.latency_percentile(99.0));
+        loss[i].push(run.result.aborted as f64 / total);
+        requeues[i].push(run.result.crash_requeues as f64);
+        faults[i].push(run.result.faults_injected as f64);
     }
 
     header("P99 latency and loss vs fault scale (averaged over reps)");

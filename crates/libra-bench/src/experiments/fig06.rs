@@ -11,27 +11,31 @@ pub fn run() -> Vec<(String, f64)> {
     header("Fig 6: single-node comparison (165-invocation `single` trace)");
     let reps = repetitions();
 
-    let mut p99 = vec![Vec::new(); PlatformKind::MAIN_SIX.len()];
-    let mut worst = vec![Vec::new(); PlatformKind::MAIN_SIX.len()];
-    let mut last_runs = Vec::new();
+    let n = PlatformKind::MAIN_SIX.len();
+    let mut p99 = vec![Vec::new(); n];
+    let mut worst = vec![Vec::new(); n];
 
-    for rep in 0..reps {
-        let gen = TraceGen::standard(&ALL_APPS, 42 + rep);
-        let trace = gen.single_set();
-        last_runs.clear();
-        for (i, kind) in PlatformKind::MAIN_SIX.iter().enumerate() {
-            let run = run_kind(
-                *kind,
-                sebs_suite(),
-                testbeds::single_node(),
-                SimConfig::default(),
-                &trace,
-            );
-            p99[i].push(run.result.latency_percentile(99.0));
-            worst[i].push(run.result.worst_degradation());
-            last_runs.push(run);
-        }
+    // Fan (rep × platform) across the worker pool; par_map returns results
+    // in job order, so aggregation below matches a serial sweep exactly.
+    let traces: Vec<_> =
+        (0..reps).map(|rep| TraceGen::standard(&ALL_APPS, 42 + rep).single_set()).collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..reps as usize).flat_map(|rep| (0..n).map(move |i| (rep, i))).collect();
+    let runs = par_map(jobs, |(rep, i)| {
+        run_kind(
+            PlatformKind::MAIN_SIX[i],
+            sebs_suite(),
+            testbeds::single_node(),
+            SimConfig::default(),
+            &traces[rep],
+        )
+    });
+    for (j, run) in runs.iter().enumerate() {
+        let i = j % n;
+        p99[i].push(run.result.latency_percentile(99.0));
+        worst[i].push(run.result.worst_degradation());
     }
+    let last_runs: Vec<PlatformRun> = runs.into_iter().skip((reps as usize - 1) * n).collect();
 
     header("Fig 6(a): response-latency CDF (quantiles, seconds)");
     for run in &last_runs {

@@ -15,26 +15,28 @@ pub fn run() -> Vec<(String, f64, f64, f64)> {
     let n = PlatformKind::MAIN_SIX.len();
     let (mut cpu, mut mem, mut compl) =
         (vec![Vec::new(); n], vec![Vec::new(); n], vec![Vec::new(); n]);
-    let mut last_runs = Vec::new();
 
-    for rep in 0..reps {
-        let gen = TraceGen::standard(&ALL_APPS, 42 + rep);
-        let trace = gen.single_set();
-        last_runs.clear();
-        for (i, kind) in PlatformKind::MAIN_SIX.iter().enumerate() {
-            let run = run_kind(
-                *kind,
-                sebs_suite(),
-                testbeds::single_node(),
-                SimConfig::default(),
-                &trace,
-            );
-            cpu[i].push(run.result.mean_cpu_util());
-            mem[i].push(run.result.mean_mem_util());
-            compl[i].push(run.result.completion_time.as_secs_f64());
-            last_runs.push(run);
-        }
+    // Same ordered fan-out as Fig 6: job order == aggregation order.
+    let traces: Vec<_> =
+        (0..reps).map(|rep| TraceGen::standard(&ALL_APPS, 42 + rep).single_set()).collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..reps as usize).flat_map(|rep| (0..n).map(move |i| (rep, i))).collect();
+    let runs = par_map(jobs, |(rep, i)| {
+        run_kind(
+            PlatformKind::MAIN_SIX[i],
+            sebs_suite(),
+            testbeds::single_node(),
+            SimConfig::default(),
+            &traces[rep],
+        )
+    });
+    for (j, run) in runs.iter().enumerate() {
+        let i = j % n;
+        cpu[i].push(run.result.mean_cpu_util());
+        mem[i].push(run.result.mean_mem_util());
+        compl[i].push(run.result.completion_time.as_secs_f64());
     }
+    let last_runs: Vec<PlatformRun> = runs.into_iter().skip((reps as usize - 1) * n).collect();
 
     row(&["platform".into(), "cpu util".into(), "mem util".into(), "completion".into()]);
     let mut out = Vec::new();

@@ -15,9 +15,11 @@ pub fn run() {
     let gen = TraceGen::standard(&ALL_APPS, 42);
     let trace = gen.single_set();
 
-    for kind in PlatformKind::MAIN_SIX {
-        let run =
-            run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+    // Run all six platforms in parallel; print from the ordered results.
+    let runs = par_map(PlatformKind::MAIN_SIX.to_vec(), |kind| {
+        run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace)
+    });
+    for run in &runs {
         println!("\n-- {}", run.name);
         for cat in [
             InvCategory::Default,

@@ -56,55 +56,57 @@ pub struct SweepPoint {
 }
 
 /// Run the full sweep (all RPMs × all algorithms, averaged over reps).
+///
+/// The whole `rpm × algo × rep` cross product fans across the worker pool
+/// in one `par_map` — it is by far the largest sweep in the harness — and is
+/// aggregated in job order, so every point (and the CSV) is identical to a
+/// serial sweep.
 pub fn sweep() -> Vec<SweepPoint> {
-    let reps = repetitions();
+    let reps = repetitions() as usize;
     // Multi-node experiments use 2 scheduler shards (decentralized).
     let config = SimConfig { shards: 2, ..SimConfig::default() };
-    let mut out = Vec::new();
-    let rpms: Vec<u32> =
-        TraceGen::heavy(&ALL_APPS, 0).multi_sets().iter().map(|(r, _)| *r).collect();
-    for (ri, rpm) in rpms.iter().enumerate() {
-        for algo in ALGOS {
-            let mut acc: Vec<SweepPoint> = Vec::new();
-            for rep in 0..reps {
-                let sets = TraceGen::heavy(&ALL_APPS, 42 + rep).multi_sets();
-                let trace = &sets[ri].1;
-                let run = run_on(
-                    sebs_suite(),
-                    testbeds::multi_node(),
-                    config.clone(),
-                    trace,
-                    build(algo),
-                );
-                acc.push(SweepPoint {
-                    rpm: *rpm,
-                    algo,
-                    p99: run.result.latency_percentile(99.0),
-                    completion: run.result.completion_time.as_secs_f64(),
-                    idle_cpu: run.report.pool_idle_cpu_core_sec,
-                    idle_mem: run.report.pool_idle_mem_mb_sec,
-                    cpu_util: (run.result.mean_cpu_util(), run.result.peak_cpu_util()),
-                    mem_util: (run.result.mean_mem_util(), run.result.peak_mem_util()),
-                });
-            }
-            let n = acc.len() as f64;
-            out.push(SweepPoint {
-                rpm: *rpm,
-                algo,
-                p99: acc.iter().map(|p| p.p99).sum::<f64>() / n,
-                completion: acc.iter().map(|p| p.completion).sum::<f64>() / n,
-                idle_cpu: acc.iter().map(|p| p.idle_cpu).sum::<f64>() / n,
-                idle_mem: acc.iter().map(|p| p.idle_mem).sum::<f64>() / n,
-                cpu_util: (
-                    acc.iter().map(|p| p.cpu_util.0).sum::<f64>() / n,
-                    acc.iter().map(|p| p.cpu_util.1).sum::<f64>() / n,
-                ),
-                mem_util: (
-                    acc.iter().map(|p| p.mem_util.0).sum::<f64>() / n,
-                    acc.iter().map(|p| p.mem_util.1).sum::<f64>() / n,
-                ),
-            });
+    // One trace-set family per repetition, generated up front.
+    let rep_sets: Vec<_> =
+        (0..reps).map(|rep| TraceGen::heavy(&ALL_APPS, 42 + rep as u64).multi_sets()).collect();
+    let rpms: Vec<u32> = rep_sets[0].iter().map(|(r, _)| *r).collect();
+
+    let jobs: Vec<(usize, usize, usize)> = (0..rpms.len())
+        .flat_map(|ri| (0..ALGOS.len()).flat_map(move |ai| (0..reps).map(move |rep| (ri, ai, rep))))
+        .collect();
+    let measured = par_map(jobs, |(ri, ai, rep)| {
+        let run = run_on(
+            sebs_suite(),
+            testbeds::multi_node(),
+            config.clone(),
+            &rep_sets[rep][ri].1,
+            build(ALGOS[ai]),
+        );
+        SweepPoint {
+            rpm: rpms[ri],
+            algo: ALGOS[ai],
+            p99: run.result.latency_percentile(99.0),
+            completion: run.result.completion_time.as_secs_f64(),
+            idle_cpu: run.report.pool_idle_cpu_core_sec,
+            idle_mem: run.report.pool_idle_mem_mb_sec,
+            cpu_util: (run.result.mean_cpu_util(), run.result.peak_cpu_util()),
+            mem_util: (run.result.mean_mem_util(), run.result.peak_mem_util()),
         }
+    });
+
+    let mut out = Vec::new();
+    for (chunk_i, acc) in measured.chunks(reps).enumerate() {
+        let (ri, ai) = (chunk_i / ALGOS.len(), chunk_i % ALGOS.len());
+        let mean = |f: &dyn Fn(&SweepPoint) -> f64| mean_of(&acc.iter().map(f).collect::<Vec<_>>());
+        out.push(SweepPoint {
+            rpm: rpms[ri],
+            algo: ALGOS[ai],
+            p99: mean(&|p| p.p99),
+            completion: mean(&|p| p.completion),
+            idle_cpu: mean(&|p| p.idle_cpu),
+            idle_mem: mean(&|p| p.idle_mem),
+            cpu_util: (mean(&|p| p.cpu_util.0), mean(&|p| p.cpu_util.1)),
+            mem_util: (mean(&|p| p.mem_util.0), mean(&|p| p.mem_util.1)),
+        });
     }
     out
 }

@@ -47,9 +47,8 @@ pub fn strong_scaling() -> Vec<(usize, f64)> {
     header("Fig 12(a): strong scaling — 1,000 concurrent invocations, 50 nodes");
     let scale = scale();
     let n_inv = ((1_000.0 * scale) as usize).max(50);
-    let mut out = Vec::new();
-    row(&["schedulers".into(), "completion (s)".into()]);
-    for shards in 1..=4 {
+    // Shard configs run concurrently; rows print from the ordered results.
+    let out: Vec<(usize, f64)> = par_map((1..=4).collect(), |shards| {
         let gen = TraceGen::standard(&ALL_APPS, 7);
         let trace = gen.concurrent_burst(n_inv);
         let run = run_kind(
@@ -59,9 +58,11 @@ pub fn strong_scaling() -> Vec<(usize, f64)> {
             scaling_config(shards),
             &trace,
         );
-        let t = run.result.completion_time.as_secs_f64();
+        (shards, run.result.completion_time.as_secs_f64())
+    });
+    row(&["schedulers".into(), "completion (s)".into()]);
+    for &(shards, t) in &out {
         row(&[format!("{shards}"), format!("{t:.1}")]);
-        out.push((shards, t));
     }
     let decreasing = out.windows(2).all(|w| w[1].1 <= w[0].1 * 1.02);
     compare(
@@ -78,9 +79,8 @@ pub fn strong_scaling() -> Vec<(usize, f64)> {
 pub fn weak_scaling() -> Vec<(usize, f64)> {
     header("Fig 12(b): weak scaling — 20 invocations/node, 4 schedulers");
     let scale = scale();
-    let mut out = Vec::new();
-    row(&["nodes".into(), "invocations".into(), "completion (s)".into()]);
-    for nodes in [10usize, 20, 30, 40, 50] {
+    // Node counts run concurrently; rows print from the ordered results.
+    let sized: Vec<(usize, usize, f64)> = par_map(vec![10usize, 20, 30, 40, 50], |nodes| {
         let n_inv = ((20.0 * nodes as f64 * scale) as usize).max(20);
         let gen = TraceGen::standard(&ALL_APPS, 7);
         let trace = gen.concurrent_burst(n_inv);
@@ -91,7 +91,11 @@ pub fn weak_scaling() -> Vec<(usize, f64)> {
             scaling_config(4),
             &trace,
         );
-        let t = run.result.completion_time.as_secs_f64();
+        (nodes, n_inv, run.result.completion_time.as_secs_f64())
+    });
+    row(&["nodes".into(), "invocations".into(), "completion (s)".into()]);
+    let mut out = Vec::new();
+    for &(nodes, n_inv, t) in &sized {
         row(&[format!("{nodes}"), format!("{n_inv}"), format!("{t:.1}")]);
         out.push((nodes, t));
     }

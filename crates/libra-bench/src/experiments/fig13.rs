@@ -21,15 +21,17 @@ pub fn run() -> Vec<(String, String, f64, f64)> {
     header("Fig 13(a): model ablation on the hybrid workload (speedup quantiles)");
     let gen = TraceGen::standard(&ALL_APPS, 42);
     let trace = gen.single_set();
-    for kind in [PlatformKind::LibraHist, PlatformKind::LibraMl, PlatformKind::Libra] {
-        let run =
-            run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace);
+    let panel_a = [PlatformKind::LibraHist, PlatformKind::LibraMl, PlatformKind::Libra];
+    let runs = par_map(panel_a.to_vec(), |kind| {
+        run_kind(kind, sebs_suite(), testbeds::single_node(), SimConfig::default(), &trace)
+    });
+    for (kind, run) in panel_a.iter().zip(&runs) {
         cdf_summary(kind.name(), &run.result.speedups(), "");
         out.push((
             "hybrid".into(),
             kind.name().into(),
             run.result.latency_percentile(99.0),
-            p99_speedup(&run),
+            p99_speedup(run),
         ));
     }
     println!("Expected: full Libra at least matches either single-model variant.");
@@ -43,22 +45,19 @@ pub fn run() -> Vec<(String, String, f64, f64)> {
         ));
         let gen = TraceGen::standard(&kinds, 42);
         let trace = gen.single_set();
+        let panel_kinds = [PlatformKind::Default, PlatformKind::Freyr, PlatformKind::Libra];
+        let runs = par_map(panel_kinds.to_vec(), |kind| {
+            run_kind(kind, suite.clone(), testbeds::single_node(), SimConfig::default(), &trace)
+        });
         let mut p99s = Vec::new();
-        for kind in [PlatformKind::Default, PlatformKind::Freyr, PlatformKind::Libra] {
-            let run = run_kind(
-                kind,
-                suite.clone(),
-                testbeds::single_node(),
-                SimConfig::default(),
-                &trace,
-            );
+        for (kind, run) in panel_kinds.iter().zip(&runs) {
             cdf_summary(kind.name(), &run.result.speedups(), "");
             p99s.push(run.result.latency_percentile(99.0));
             out.push((
                 panel.into(),
                 kind.name().into(),
                 run.result.latency_percentile(99.0),
-                p99_speedup(&run),
+                p99_speedup(run),
             ));
         }
         compare(

@@ -15,8 +15,8 @@ pub fn run() -> Vec<(f64, f64, f64)> {
     row(&["threshold".into(), "safeguarded %".into(), "P99 (s)".into()]);
     let gen = TraceGen::standard(&ALL_APPS, 42);
     let trace = gen.single_set();
-    let mut out = Vec::new();
-    for i in 0..=10 {
+    // All eleven thresholds run concurrently; rows print in sweep order.
+    let out: Vec<(f64, f64, f64)> = par_map((0..=10usize).collect(), |i| {
         let thr = i as f64 / 10.0;
         let cfg = LibraConfig { safeguard_threshold: thr, ..LibraConfig::libra() };
         let mut platform = LibraPlatform::new(cfg);
@@ -26,10 +26,10 @@ pub fn run() -> Vec<(f64, f64, f64)> {
             SimConfig::default(),
         );
         let res = sim.run(&trace, &mut platform);
-        let ratio = res.safeguarded_ratio();
-        let p99 = res.latency_percentile(99.0);
+        (thr, res.safeguarded_ratio(), res.latency_percentile(99.0))
+    });
+    for &(thr, ratio, p99) in &out {
         row(&[format!("{thr:.1}"), format!("{:.0}%", 100.0 * ratio), format!("{p99:.1}")]);
-        out.push((thr, ratio, p99));
     }
     println!();
     let monotone_drop = out.windows(2).filter(|w| w[1].1 <= w[0].1 + 0.02).count();

@@ -16,8 +16,8 @@ pub fn run() -> Vec<(f64, f64, f64, f64)> {
     let sets = TraceGen::heavy(&ALL_APPS, 42).multi_sets();
     let trace = &sets.iter().find(|(rpm, _)| *rpm == 240).expect("240 RPM set").1;
     let config = SimConfig { shards: 2, ..SimConfig::default() };
-    let mut out = Vec::new();
-    for i in 0..=10 {
+    // All eleven alphas run concurrently; rows print in sweep order.
+    let out: Vec<(f64, f64, f64, f64)> = par_map((0..=10usize).collect(), |i| {
         let alpha = i as f64 / 10.0;
         let cfg = LibraConfig { alpha, ..LibraConfig::libra() };
         let mut platform = LibraPlatform::new(cfg);
@@ -28,14 +28,15 @@ pub fn run() -> Vec<(f64, f64, f64, f64)> {
         );
         let res = sim.run(trace, &mut platform);
         let rep = platform.report();
-        let p99 = res.latency_percentile(99.0);
+        (alpha, rep.pool_idle_cpu_core_sec, rep.pool_idle_mem_mb_sec, res.latency_percentile(99.0))
+    });
+    for &(alpha, idle_cpu, idle_mem, p99) in &out {
         row(&[
             format!("{alpha:.1}"),
-            format!("{:.0}", rep.pool_idle_cpu_core_sec),
-            format!("{:.1}", rep.pool_idle_mem_mb_sec / 1024.0),
+            format!("{idle_cpu:.0}"),
+            format!("{:.1}", idle_mem / 1024.0),
             format!("{p99:.1}"),
         ]);
-        out.push((alpha, rep.pool_idle_cpu_core_sec, rep.pool_idle_mem_mb_sec, p99));
     }
     println!();
     let lo_alpha_cpu = out[1].1;

@@ -124,7 +124,9 @@ pub fn run() -> Vec<(String, String, Scores)> {
     let mut sums = vec![(0.0, 0.0, 0.0); models.len()]; // related avg
     let mut sums_un = vec![(0.0, 0.0, 0.0); models.len()];
 
-    for kind in ALL_APPS {
+    // One job per function (each trains all four model families); results
+    // come back in app order, so the printed table matches a serial run.
+    let app_scores = par_map(ALL_APPS.to_vec(), |kind| {
         let f = kind.id().idx();
         let (lo, hi) = kind.size_range();
         let first = InputMeta::new(((lo as f64 * hi as f64).sqrt()) as u64, 4242);
@@ -136,16 +138,18 @@ pub fn run() -> Vec<(String, String, Scores)> {
         let mem: Vec<f64> =
             obs.iter().map(|o| o.mem_peak_mb.div_ceil(MEM_CLASS_MB) as f64).collect();
         let dur: Vec<f64> = obs.iter().map(|o| o.duration.as_secs_f64()).collect();
+        models.map(|model| eval_family(model, &x, &cpu, &mem, &dur))
+    });
 
+    for (kind, scores) in ALL_APPS.iter().zip(&app_scores) {
         let mut cols = vec![kind.name().to_string()];
-        for (mi, model) in models.iter().enumerate() {
-            let s = eval_family(model, &x, &cpu, &mem, &dur);
+        for (mi, (model, s)) in models.iter().zip(scores).enumerate() {
             cols.push(format!("{:.2}/{:.2}/{:.2}", s.cpu, s.mem, s.dur.max(-99.0)));
             let tgt = if kind.input_size_related() { &mut sums[mi] } else { &mut sums_un[mi] };
             tgt.0 += s.cpu;
             tgt.1 += s.mem;
             tgt.2 += s.dur.max(-99.0);
-            out.push((kind.name().to_string(), model.to_string(), s));
+            out.push((kind.name().to_string(), model.to_string(), *s));
         }
         row(&cols);
     }

@@ -16,12 +16,14 @@ use libra_baselines::{Freyr, OpenWhiskDefault};
 use libra_core::{LibraConfig, LibraPlatform, ModelChoice};
 use libra_sim::engine::{SimConfig, Simulation};
 use libra_sim::function::FunctionSpec;
-use libra_sim::metrics::{percentile, RunResult};
+use libra_sim::metrics::{mean_slice, percentile, RunResult};
 use libra_sim::platform::{Platform, PlatformReport};
 use libra_sim::resources::ResourceVec;
 use libra_sim::trace::Trace;
+use rayon::prelude::*;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// The six §8.3 platforms plus the Fig 13(a) model ablations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,11 +128,46 @@ pub fn run_kind(
 
 /// Averaged repetition: the paper reports results "averaged over five times
 /// of experiments"; we re-run with distinct trace seeds and aggregate.
+/// Delegates to [`libra_sim::metrics::mean_slice`] (NaN on empty).
 pub fn mean_of(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    values.iter().sum::<f64>() / values.len() as f64
+    mean_slice(values)
+}
+
+// ------------------------------------------------------------- parallel runs
+
+/// Worker-thread count for the parallel sweep runner: `LIBRA_THREADS` env,
+/// else the machine's available parallelism.
+pub fn threads() -> usize {
+    std::env::var("LIBRA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Configure the global rayon pool once per process from [`threads`].
+pub fn ensure_pool() {
+    static POOL: OnceLock<()> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(threads()).build_global();
+    });
+}
+
+/// Fan `jobs` across the worker pool and collect results **in job order** —
+/// the i-th result always comes from the i-th job, regardless of scheduling,
+/// so sweep output (tables, CSVs) is byte-identical to a serial run.
+///
+/// Jobs must be self-contained (build their own trace/platform from a
+/// deterministic seed) and must not print; do all reporting from the ordered
+/// results afterwards.
+pub fn par_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    ensure_pool();
+    jobs.into_par_iter().map(f).collect()
 }
 
 // ---------------------------------------------------------------- reporting
@@ -213,5 +250,14 @@ mod tests {
     fn mean_of_handles_edges() {
         assert!(mean_of(&[]).is_nan());
         assert_eq!(mean_of(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn par_map_preserves_job_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let out = par_map(jobs.clone(), |j| j * 3);
+        assert_eq!(out, jobs.iter().map(|j| j * 3).collect::<Vec<_>>());
+        assert!(par_map(Vec::<u64>::new(), |j| j).is_empty());
+        assert!(threads() >= 1);
     }
 }

@@ -47,7 +47,9 @@ pub struct Assignment {
 
 /// Consume `extra` from a snapshot, longest-lived entries first (mirrors the
 /// pool's `get`), so later requests see what an earlier co-located request
-/// would actually leave behind.
+/// would actually leave behind. The stable sort keys on expiry alone:
+/// snapshots arrive ordered by the total key `(expiry, source id)`, so ties
+/// keep that deterministic position.
 fn consume(snapshot: &mut PoolSnapshot, extra: ResourceVec) {
     let mut remaining = extra;
     let mut order: Vec<usize> = (0..snapshot.len()).collect();

@@ -11,11 +11,32 @@
 //! accumulates `idle volume × time` while harvested resources sit unused, the
 //! quantity the paper uses to compare how well schedulers exploit harvested
 //! resources ("a lower value indicates a better utilization").
+//!
+//! # The expiry index
+//!
+//! `get` is the hot path of every accelerate decision, so the pool keeps an
+//! expiry-ordered index `BTreeSet<(SimTime, InvocationId)>` in lockstep with
+//! the entry map. Invariants (checked by [`HarvestResourcePool::check_index`]
+//! in debug builds):
+//!
+//! * every `(id → entry)` in the map has exactly the key
+//!   `(entry.priority, id)` in the index, and `|index| == |map|`;
+//! * keys never go stale: `put` re-keys when it revises a priority, and
+//!   `remove` deletes map and index together;
+//! * expired entries (`priority ≤ now`) are **lazily evicted** from the index
+//!   head on every `get_with` — they are never handed out and never survive a
+//!   hand-out pass, while the read-only `snapshot()` simply skips them.
+//!
+//! This makes `put`/`remove` O(log n), `get` O(k log n) for k grants, and
+//! `snapshot`/`sources` a single in-order walk with no per-call sort. The
+//! observationally-equivalent O(n log n) sorted-scan implementation lives in
+//! [`reference`] as the bench baseline and proptest oracle.
 
 use libra_sim::ids::InvocationId;
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound::{Excluded, Unbounded};
 
 /// One tracked entry: idle volume still available from a source invocation.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +61,9 @@ pub struct PoolEntryStatus {
     pub expiry: SimTime,
 }
 
-/// A snapshot of a whole pool (the health-ping payload).
+/// A snapshot of a whole pool (the health-ping payload), ordered by
+/// `(expiry, source id)` — a total order, so equal-expiry entries appear in
+/// the same position on every run.
 pub type PoolSnapshot = Vec<PoolEntryStatus>;
 
 /// Hand-out order for [`HarvestResourcePool::get_with`]. The paper's design
@@ -49,12 +72,14 @@ pub type PoolSnapshot = Vec<PoolEntryStatus>;
 /// ablation that quantifies exactly how much that choice matters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GetOrder {
-    /// Latest expiry first — Libra's choice.
+    /// Latest expiry first — Libra's choice. Ties broken by descending
+    /// source id (the index walk order).
     LongestLived,
     /// Insertion order (oldest source id first) — a FIFO pool, what a
     /// timeliness-unaware implementation would do.
     Fifo,
-    /// Earliest expiry first — the adversarial worst case.
+    /// Earliest expiry first — the adversarial worst case. Ties broken by
+    /// ascending source id.
     ShortestLived,
 }
 
@@ -62,6 +87,8 @@ pub enum GetOrder {
 #[derive(Debug, Default)]
 pub struct HarvestResourcePool {
     entries: HashMap<InvocationId, PoolEntry>,
+    /// Expiry-ordered index over `entries`, keyed `(priority, id)`.
+    by_expiry: BTreeSet<(SimTime, InvocationId)>,
     puts: u64,
     gets: u64,
     /// Σ idle cpu × time, in millicore·µs.
@@ -85,24 +112,54 @@ impl HarvestResourcePool {
         }
     }
 
+    /// Evict entries whose priority is `≤ now` — they sit at the head of the
+    /// expiry index, so this pops until the head is live. Their remaining
+    /// idle time is settled into the ledger first, exactly like `remove`.
+    fn evict_expired(&mut self, now: SimTime) {
+        while let Some(&(priority, id)) = self.by_expiry.first() {
+            if priority > now {
+                break;
+            }
+            self.settle(id, now);
+            self.entries.remove(&id);
+            self.by_expiry.remove(&(priority, id));
+        }
+    }
+
     /// `put`: track `vol` harvested from `source`, expiring at `priority`
     /// (the source's estimated completion timestamp). Merges with an existing
-    /// entry for the same source.
+    /// entry for the same source; a re-put **adopts the latest estimate**, so
+    /// a source whose completion was revised earlier no longer advertises its
+    /// stale later expiry.
     pub fn put(&mut self, source: InvocationId, vol: ResourceVec, priority: SimTime, now: SimTime) {
         if vol.is_zero() {
             return;
         }
         self.puts += 1;
         self.settle(source, now);
-        let e = self.entries.entry(source).or_insert(PoolEntry {
-            cpu_idle_millis: 0,
-            mem_idle_mb: 0,
-            priority,
-            last_touch: now,
-        });
-        e.cpu_idle_millis += vol.cpu_millis;
-        e.mem_idle_mb += vol.mem_mb;
-        e.priority = e.priority.max(priority);
+        match self.entries.get_mut(&source) {
+            Some(e) => {
+                e.cpu_idle_millis += vol.cpu_millis;
+                e.mem_idle_mb += vol.mem_mb;
+                if e.priority != priority {
+                    self.by_expiry.remove(&(e.priority, source));
+                    e.priority = priority;
+                    self.by_expiry.insert((priority, source));
+                }
+            }
+            None => {
+                self.entries.insert(
+                    source,
+                    PoolEntry {
+                        cpu_idle_millis: vol.cpu_millis,
+                        mem_idle_mb: vol.mem_mb,
+                        priority,
+                        last_touch: now,
+                    },
+                );
+                self.by_expiry.insert((priority, source));
+            }
+        }
     }
 
     /// `get`: borrow up to `want` from the pool, best-effort, preferring
@@ -112,7 +169,27 @@ impl HarvestResourcePool {
         self.get_with(want, now, GetOrder::LongestLived)
     }
 
-    /// `get` with an explicit hand-out order (see [`GetOrder`]).
+    /// Next index key after `cursor` in the walk direction of `order_by`
+    /// (`None` cursor = start of the walk). O(log n) per step.
+    fn step(
+        &self,
+        order_by: GetOrder,
+        cursor: Option<(SimTime, InvocationId)>,
+    ) -> Option<(SimTime, InvocationId)> {
+        match (order_by, cursor) {
+            (GetOrder::LongestLived, None) => self.by_expiry.last().copied(),
+            (GetOrder::LongestLived, Some(c)) => self.by_expiry.range(..c).next_back().copied(),
+            (GetOrder::ShortestLived, None) => self.by_expiry.first().copied(),
+            (GetOrder::ShortestLived, Some(c)) => {
+                self.by_expiry.range((Excluded(c), Unbounded)).next().copied()
+            }
+            (GetOrder::Fifo, _) => unreachable!("fifo does not walk the expiry index"),
+        }
+    }
+
+    /// `get` with an explicit hand-out order (see [`GetOrder`]). Entries
+    /// whose expiry has passed (`priority ≤ now`) are never handed out — the
+    /// timeliness law — and are lazily evicted from the pool here.
     pub fn get_with(
         &mut self,
         want: ResourceVec,
@@ -123,35 +200,45 @@ impl HarvestResourcePool {
             return Vec::new();
         }
         self.gets += 1;
-        let mut order: Vec<InvocationId> = self.entries.keys().copied().collect();
-        // Deterministic id tiebreak in every mode.
-        order.sort_by(|a, b| {
-            let (ea, eb) = (&self.entries[a], &self.entries[b]);
-            match order_by {
-                GetOrder::LongestLived => eb.priority.cmp(&ea.priority).then(a.cmp(b)),
-                GetOrder::Fifo => a.cmp(b),
-                GetOrder::ShortestLived => ea.priority.cmp(&eb.priority).then(a.cmp(b)),
-            }
-        });
+        self.evict_expired(now);
         let mut remaining = want;
         let mut out = Vec::new();
-        for id in order {
-            if remaining.is_zero() {
-                break;
-            }
-            self.settle(id, now);
-            let e = self.entries.get_mut(&id).expect("entry vanished");
+        let mut take_from = |pool: &mut Self, id: InvocationId| {
+            pool.settle(id, now);
+            let e = pool.entries.get_mut(&id).expect("entry vanished");
             let take = ResourceVec::new(
                 remaining.cpu_millis.min(e.cpu_idle_millis),
                 remaining.mem_mb.min(e.mem_idle_mb),
             );
-            if take.is_zero() {
-                continue;
+            if !take.is_zero() {
+                e.cpu_idle_millis -= take.cpu_millis;
+                e.mem_idle_mb -= take.mem_mb;
+                remaining -= take;
+                out.push((id, take));
             }
-            e.cpu_idle_millis -= take.cpu_millis;
-            e.mem_idle_mb -= take.mem_mb;
-            remaining -= take;
-            out.push((id, take));
+            remaining.is_zero()
+        };
+        if order_by == GetOrder::Fifo {
+            // The ablation-only FIFO order is id order, not expiry order; it
+            // keeps the pre-index sorted scan.
+            let mut order: Vec<InvocationId> = self.entries.keys().copied().collect();
+            order.sort_unstable();
+            for id in order {
+                if take_from(self, id) {
+                    break;
+                }
+            }
+        } else {
+            // Walk the index step by step: taking volume never changes a key
+            // (only `put`/`remove` re-key), so the cursor stays valid.
+            let mut cursor = None;
+            while let Some(key) = self.step(order_by, cursor) {
+                debug_assert!(key.0 > now, "expired entry survived eviction");
+                if take_from(self, key.1) {
+                    break;
+                }
+                cursor = Some(key);
+            }
         }
         out
     }
@@ -172,17 +259,19 @@ impl HarvestResourcePool {
     /// safeguarded). Returns the idle volume that was still pooled.
     pub fn remove(&mut self, source: InvocationId, now: SimTime) -> ResourceVec {
         self.settle(source, now);
-        self.entries
-            .remove(&source)
-            .map(|e| ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb))
-            .unwrap_or(ResourceVec::ZERO)
+        match self.entries.remove(&source) {
+            Some(e) => {
+                self.by_expiry.remove(&(e.priority, source));
+                ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb)
+            }
+            None => ResourceVec::ZERO,
+        }
     }
 
-    /// Source invocations with entries, in id order (deterministic sweeps).
+    /// Source invocations with entries, in expiry-index order — `(expiry,
+    /// id)`, a total order, so sweeps are deterministic.
     pub fn sources(&self) -> Vec<InvocationId> {
-        let mut ids: Vec<InvocationId> = self.entries.keys().copied().collect();
-        ids.sort_by_key(|i| i.0);
-        ids
+        self.by_expiry.iter().map(|&(_, id)| id).collect()
     }
 
     /// Whether `source` still has an entry.
@@ -198,21 +287,22 @@ impl HarvestResourcePool {
     }
 
     /// Point-in-time status for the health-ping piggyback, expired entries
-    /// (priority ≤ now) excluded. Sorted by expiry for deterministic
-    /// downstream computation.
+    /// (priority ≤ now) excluded. Read straight off the expiry index, so the
+    /// result is ordered by the total key `(expiry, source id)` —
+    /// deterministic downstream computation even across equal expiries.
     pub fn snapshot(&self, now: SimTime) -> PoolSnapshot {
-        let mut v: Vec<PoolEntryStatus> = self
-            .entries
-            .values()
-            .filter(|e| e.priority > now && (e.cpu_idle_millis > 0 || e.mem_idle_mb > 0))
-            .map(|e| PoolEntryStatus {
-                cpu_idle_millis: e.cpu_idle_millis,
-                mem_idle_mb: e.mem_idle_mb,
-                expiry: e.priority,
+        self.by_expiry
+            .iter()
+            .skip_while(|&&(priority, _)| priority <= now)
+            .filter_map(|&(priority, id)| {
+                let e = &self.entries[&id];
+                (e.cpu_idle_millis > 0 || e.mem_idle_mb > 0).then_some(PoolEntryStatus {
+                    cpu_idle_millis: e.cpu_idle_millis,
+                    mem_idle_mb: e.mem_idle_mb,
+                    expiry: priority,
+                })
             })
-            .collect();
-        v.sort_by_key(|e| e.expiry);
-        v
+            .collect()
     }
 
     /// Bring the ledger up to `now` for all entries (call before reading the
@@ -242,6 +332,213 @@ impl HarvestResourcePool {
     /// True when no entries are tracked.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Assert the index invariants (map and index in lockstep). Cheap enough
+    /// for tests and the proptest oracle; not called on the hot path.
+    pub fn check_index(&self) {
+        assert_eq!(self.entries.len(), self.by_expiry.len(), "index/map size diverged");
+        for (id, e) in &self.entries {
+            assert!(
+                self.by_expiry.contains(&(e.priority, *id)),
+                "entry {id:?} (priority {:?}) missing from the expiry index",
+                e.priority
+            );
+        }
+    }
+}
+
+pub mod reference {
+    //! The pre-index sorted-scan pool: observationally equivalent to
+    //! [`HarvestResourcePool`](super::HarvestResourcePool) but re-sorting all
+    //! entries on every `get`/`snapshot`. Kept as the criterion-bench
+    //! baseline and as the oracle for the equivalence proptest — not for
+    //! production use.
+
+    use super::{GetOrder, PoolEntryStatus, PoolSnapshot};
+    use libra_sim::ids::InvocationId;
+    use libra_sim::resources::ResourceVec;
+    use libra_sim::time::SimTime;
+    use std::collections::HashMap;
+
+    #[derive(Clone, Copy, Debug)]
+    struct Entry {
+        cpu_idle_millis: u64,
+        mem_idle_mb: u64,
+        priority: SimTime,
+        last_touch: SimTime,
+    }
+
+    /// Sorted-scan twin of the indexed pool (same semantics, O(n log n) get).
+    #[derive(Debug, Default)]
+    pub struct SortedScanPool {
+        entries: HashMap<InvocationId, Entry>,
+        puts: u64,
+        gets: u64,
+        idle_cpu_integral: u128,
+        idle_mem_integral: u128,
+    }
+
+    impl SortedScanPool {
+        /// An empty pool.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn settle(&mut self, id: InvocationId, now: SimTime) {
+            if let Some(e) = self.entries.get_mut(&id) {
+                let dt = now.since(e.last_touch).as_micros() as u128;
+                self.idle_cpu_integral += e.cpu_idle_millis as u128 * dt;
+                self.idle_mem_integral += e.mem_idle_mb as u128 * dt;
+                e.last_touch = now;
+            }
+        }
+
+        /// See [`HarvestResourcePool::put`](super::HarvestResourcePool::put).
+        pub fn put(
+            &mut self,
+            source: InvocationId,
+            vol: ResourceVec,
+            priority: SimTime,
+            now: SimTime,
+        ) {
+            if vol.is_zero() {
+                return;
+            }
+            self.puts += 1;
+            self.settle(source, now);
+            let e = self.entries.entry(source).or_insert(Entry {
+                cpu_idle_millis: 0,
+                mem_idle_mb: 0,
+                priority,
+                last_touch: now,
+            });
+            e.cpu_idle_millis += vol.cpu_millis;
+            e.mem_idle_mb += vol.mem_mb;
+            e.priority = priority;
+        }
+
+        /// See [`HarvestResourcePool::get`](super::HarvestResourcePool::get).
+        pub fn get(&mut self, want: ResourceVec, now: SimTime) -> Vec<(InvocationId, ResourceVec)> {
+            self.get_with(want, now, GetOrder::LongestLived)
+        }
+
+        /// Full-sort hand-out: evicts expired entries, sorts the survivors by
+        /// the same total orders as the indexed pool, then scans.
+        pub fn get_with(
+            &mut self,
+            want: ResourceVec,
+            now: SimTime,
+            order_by: GetOrder,
+        ) -> Vec<(InvocationId, ResourceVec)> {
+            if want.is_zero() || self.entries.is_empty() {
+                return Vec::new();
+            }
+            self.gets += 1;
+            let expired: Vec<InvocationId> =
+                self.entries.iter().filter(|(_, e)| e.priority <= now).map(|(id, _)| *id).collect();
+            for id in expired {
+                self.settle(id, now);
+                self.entries.remove(&id);
+            }
+            let mut order: Vec<InvocationId> = self.entries.keys().copied().collect();
+            order.sort_by(|a, b| {
+                let (ea, eb) = (&self.entries[a], &self.entries[b]);
+                match order_by {
+                    GetOrder::LongestLived => eb.priority.cmp(&ea.priority).then(b.cmp(a)),
+                    GetOrder::Fifo => a.cmp(b),
+                    GetOrder::ShortestLived => ea.priority.cmp(&eb.priority).then(a.cmp(b)),
+                }
+            });
+            let mut remaining = want;
+            let mut out = Vec::new();
+            for id in order {
+                if remaining.is_zero() {
+                    break;
+                }
+                self.settle(id, now);
+                let e = self.entries.get_mut(&id).expect("entry vanished");
+                let take = ResourceVec::new(
+                    remaining.cpu_millis.min(e.cpu_idle_millis),
+                    remaining.mem_mb.min(e.mem_idle_mb),
+                );
+                if take.is_zero() {
+                    continue;
+                }
+                e.cpu_idle_millis -= take.cpu_millis;
+                e.mem_idle_mb -= take.mem_mb;
+                remaining -= take;
+                out.push((id, take));
+            }
+            out
+        }
+
+        /// See [`HarvestResourcePool::give_back`](super::HarvestResourcePool::give_back).
+        pub fn give_back(&mut self, source: InvocationId, vol: ResourceVec, now: SimTime) {
+            self.settle(source, now);
+            if let Some(e) = self.entries.get_mut(&source) {
+                e.cpu_idle_millis += vol.cpu_millis;
+                e.mem_idle_mb += vol.mem_mb;
+            }
+        }
+
+        /// See [`HarvestResourcePool::remove`](super::HarvestResourcePool::remove).
+        pub fn remove(&mut self, source: InvocationId, now: SimTime) -> ResourceVec {
+            self.settle(source, now);
+            self.entries
+                .remove(&source)
+                .map(|e| ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb))
+                .unwrap_or(ResourceVec::ZERO)
+        }
+
+        /// Collect-and-sort snapshot with the same `(expiry, id)` total order
+        /// as the indexed pool.
+        pub fn snapshot(&self, now: SimTime) -> PoolSnapshot {
+            let mut v: Vec<(SimTime, InvocationId)> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.priority > now && (e.cpu_idle_millis > 0 || e.mem_idle_mb > 0))
+                .map(|(id, e)| (e.priority, *id))
+                .collect();
+            v.sort_unstable();
+            v.into_iter()
+                .map(|(priority, id)| {
+                    let e = &self.entries[&id];
+                    PoolEntryStatus {
+                        cpu_idle_millis: e.cpu_idle_millis,
+                        mem_idle_mb: e.mem_idle_mb,
+                        expiry: priority,
+                    }
+                })
+                .collect()
+        }
+
+        /// Total idle volume currently pooled.
+        pub fn total_idle(&self) -> ResourceVec {
+            self.entries.values().fold(ResourceVec::ZERO, |a, e| {
+                a + ResourceVec::new(e.cpu_idle_millis, e.mem_idle_mb)
+            })
+        }
+
+        /// The Fig 10 ledger, as in the indexed pool.
+        pub fn idle_ledger(&self) -> (f64, f64) {
+            (self.idle_cpu_integral as f64 / 1e9, self.idle_mem_integral as f64 / 1e6)
+        }
+
+        /// `(puts, gets)` counters, as in the indexed pool.
+        pub fn op_counts(&self) -> (u64, u64) {
+            (self.puts, self.gets)
+        }
+
+        /// Number of live entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True when no entries are tracked.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
     }
 }
 
@@ -277,6 +574,7 @@ mod tests {
         assert_eq!(got[1].0, inv(2));
         assert_eq!(got[1].1, r(1000, 0));
         assert_eq!(pool.total_idle(), r(1000, 0), "one unit of #2 remains");
+        pool.check_index();
     }
 
     #[test]
@@ -312,6 +610,7 @@ mod tests {
         pool.give_back(inv(1), r(1000, 128), t(25));
         assert!(pool.total_idle().is_zero());
         assert!(!pool.contains(inv(1)));
+        pool.check_index();
     }
 
     #[test]
@@ -325,6 +624,34 @@ mod tests {
         // Drain entry 2 and snapshot again.
         pool.get(r(2000, 64), t(51));
         assert!(pool.snapshot(t(52)).is_empty());
+    }
+
+    #[test]
+    fn get_never_lends_from_expired_entries() {
+        // Regression (timeliness law, §3.1): `snapshot` always excluded
+        // expired entries, but `get_with` used to hand them out anyway, so
+        // schedulers and the pool disagreed about what was available.
+        let mut pool = HarvestResourcePool::new();
+        pool.put(inv(1), r(2000, 256), t(10), t(0));
+        pool.put(inv(2), r(1000, 128), t(100), t(0));
+        let got = pool.get(r(3000, 384), t(50));
+        assert_eq!(got.len(), 1, "expired entry 1 must not be lent");
+        assert_eq!(got[0].0, inv(2));
+        assert_eq!(got[0].1, r(1000, 128));
+        // Expired entries are lazily evicted during the get.
+        assert!(!pool.contains(inv(1)), "expired entry must be evicted");
+        assert_eq!(pool.len(), 1);
+        pool.check_index();
+    }
+
+    #[test]
+    fn get_on_fully_expired_pool_returns_nothing_and_evicts() {
+        let mut pool = HarvestResourcePool::new();
+        pool.put(inv(1), r(1000, 0), t(10), t(0));
+        for order in [GetOrder::LongestLived, GetOrder::Fifo, GetOrder::ShortestLived] {
+            assert!(pool.get_with(r(500, 0), t(20), order).is_empty(), "{order:?}");
+        }
+        assert!(pool.is_empty(), "expired entries evicted on first get");
     }
 
     #[test]
@@ -344,7 +671,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_put_keeps_latest_priority() {
+    fn merge_put_adopts_latest_estimate() {
         let mut pool = HarvestResourcePool::new();
         pool.put(inv(1), r(500, 0), t(10), t(0));
         pool.put(inv(1), r(500, 0), t(30), t(5));
@@ -352,6 +679,43 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].cpu_idle_millis, 1000);
         assert_eq!(snap[0].expiry, t(30));
+        pool.check_index();
+    }
+
+    #[test]
+    fn merge_put_adopts_earlier_revised_estimate() {
+        // Regression: a re-put used to keep `max(old, new)` priority, so a
+        // source whose completion estimate was *revised earlier* kept
+        // advertising its stale later expiry — overstating demand coverage
+        // and handing out volume past the source's real completion.
+        let mut pool = HarvestResourcePool::new();
+        pool.put(inv(1), r(500, 0), t(30), t(0));
+        pool.put(inv(1), r(500, 0), t(10), t(5));
+        let snap = pool.snapshot(t(6));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].expiry, t(10), "re-put must adopt the latest estimate");
+        // And at t20 the (now expired) entry is neither visible nor lendable.
+        assert!(pool.snapshot(t(20)).is_empty());
+        assert!(pool.get(r(1000, 0), t(20)).is_empty());
+        pool.check_index();
+    }
+
+    #[test]
+    fn snapshot_order_is_total_for_equal_expiries() {
+        // Regression: the snapshot used to sort by expiry only, leaving
+        // equal-expiry entries in HashMap iteration order — nondeterminism
+        // that leaked into the batched scheduler's tie-breaks. The index
+        // orders by (expiry, id), so volumes must come out in id order.
+        let mut pool = HarvestResourcePool::new();
+        for i in (0..40).rev() {
+            pool.put(inv(i), r(100 + i as u64, 16), t(50), t(0));
+        }
+        let snap = pool.snapshot(t(1));
+        assert_eq!(snap.len(), 40);
+        let vols: Vec<u64> = snap.iter().map(|e| e.cpu_idle_millis).collect();
+        let mut sorted = vols.clone();
+        sorted.sort_unstable();
+        assert_eq!(vols, sorted, "equal-expiry entries must come out in id order");
     }
 
     #[test]
@@ -392,5 +756,14 @@ mod tests {
         assert_eq!(pool.op_counts(), (1, 1));
         assert_eq!(pool.len(), 1);
         assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn sources_walk_the_expiry_index() {
+        let mut pool = HarvestResourcePool::new();
+        pool.put(inv(7), r(100, 0), t(30), t(0));
+        pool.put(inv(2), r(100, 0), t(50), t(0));
+        pool.put(inv(9), r(100, 0), t(30), t(0));
+        assert_eq!(pool.sources(), vec![inv(7), inv(9), inv(2)], "(expiry, id) order");
     }
 }

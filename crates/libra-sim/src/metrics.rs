@@ -225,6 +225,15 @@ pub fn mean(it: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// Arithmetic mean of a slice. Unlike [`mean`], an empty slice yields NaN —
+/// aggregators must not mistake "no data" for "zero".
+pub fn mean_slice(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
 /// Empirical CDF points `(value, cumulative fraction)` for plotting.
 pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
     let mut v = data.to_vec();
@@ -256,6 +265,12 @@ mod tests {
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(std::iter::empty()), 0.0);
         assert!((mean([1.0, 2.0, 3.0].into_iter()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_slice_empty_is_nan() {
+        assert!(mean_slice(&[]).is_nan());
+        assert!((mean_slice(&[2.0, 4.0]) - 3.0).abs() < 1e-12);
     }
 
     #[test]

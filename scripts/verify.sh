@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> pool-bench smoke (emits BENCH_pool.json)"
+cargo run --release -p libra-bench --bin bench_pool
+
 echo "verify: all green"

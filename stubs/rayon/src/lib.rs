@@ -1,0 +1,210 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Supports the subset this workspace uses: `into_par_iter().map(f).collect()`
+//! over `Vec<T>` and `Range<usize>`, `current_num_threads`, and
+//! `ThreadPoolBuilder::num_threads(n).build_global()`.
+//!
+//! Differences from the real crate: no work-stealing pool — each `collect`
+//! spins up scoped `std::thread`s that pull work items from a shared queue
+//! (dynamic load balancing, so uneven items still pack well) and writes each
+//! result into its input slot, so **output order always equals input order**
+//! regardless of scheduling, exactly like real rayon's indexed collect.
+//! Thread count comes from `build_global`, else `RAYON_NUM_THREADS`, else
+//! `std::thread::available_parallelism()`.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads `collect` will use.
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of rayon's global-pool configuration entry point.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike real rayon this always
+    /// succeeds and later calls simply overwrite the setting.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The parallel-iterator traits, mirroring `rayon::prelude`.
+pub mod iter {
+    use super::*;
+
+    /// Types convertible into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Convert.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter { items: self.collect() }
+        }
+    }
+
+    /// An unmapped parallel iterator over owned items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Map each item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> ParMap<T, F> {
+        /// Execute and collect results **in input order**.
+        pub fn collect<C, R>(self) -> C
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIndexedResults<R>,
+        {
+            C::from_results(par_map_ordered(self.items, &self.f))
+        }
+    }
+
+    /// Collection target for [`ParMap::collect`] (stands in for rayon's
+    /// `FromParallelIterator`).
+    pub trait FromIndexedResults<R> {
+        /// Build the collection from in-order results.
+        fn from_results(results: Vec<R>) -> Self;
+    }
+
+    impl<R> FromIndexedResults<R> for Vec<R> {
+        fn from_results(results: Vec<R>) -> Self {
+            results
+        }
+    }
+
+    fn par_map_ordered<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(s.spawn(|| loop {
+                    let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                    let Some((i, item)) = job else { break };
+                    let r = f(item);
+                    out.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        out.into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("worker completed every claimed item"))
+            .collect()
+    }
+}
+
+pub mod prelude {
+    //! `use rayon::prelude::*;` — the iterator traits.
+    pub use crate::iter::{FromIndexedResults, IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_serial() {
+        let v: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = v.iter().map(|x| x * x).collect();
+        let par: Vec<u64> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn range_and_empty_inputs() {
+        let par: Vec<usize> = (0..10usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(par, (1..=10).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn build_global_overrides_thread_count() {
+        super::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        super::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+}
