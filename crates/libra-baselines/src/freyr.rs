@@ -1,6 +1,6 @@
 //! A behaviourally-faithful Freyr stand-in (§8.3 baseline 2, §9).
 //!
-//! Freyr [49] harvests idle resources with a DRL agent. Re-training a DRL
+//! Freyr \[49\] harvests idle resources with a DRL agent. Re-training a DRL
 //! agent is out of scope (and beside the point: the paper's comparison turns
 //! on three *structural* properties of Freyr, all named in §9, not on the
 //! agent's exact weights). This stand-in reproduces those properties:

@@ -4,7 +4,7 @@
 //!
 //! * [`openwhisk`] — the OpenWhisk default platform (fixed user allocations,
 //!   hash scheduling),
-//! * [`freyr`] — a behaviourally-faithful stand-in for Freyr [49], the
+//! * [`freyr`] — a behaviourally-faithful stand-in for Freyr \[49\], the
 //!   closest prior work (history-only estimates, no timeliness awareness,
 //!   non-preemptive safeguard — see §9 and DESIGN.md §1),
 //! * [`schedulers`] — Round-Robin, Join-the-Shortest-Queue and

@@ -1,5 +1,5 @@
 //! Baseline scheduling algorithms (§8.4): Round-Robin, Join-the-Shortest-
-//! Queue [23], and Min-Worker-Set [50].
+//! Queue \[23\], and Min-Worker-Set \[50\].
 //!
 //! Each implements `libra_core`'s [`NodeSelector`] so it can be plugged under
 //! the full Libra harvesting stack — the paper "enables the cluster with
@@ -70,7 +70,7 @@ impl NodeSelector for JoinShortestQueue {
     }
 }
 
-/// Min-Worker-Set [50]: prefer the node already hosting warm containers of
+/// Min-Worker-Set \[50\]: prefer the node already hosting warm containers of
 /// the function (the minimal worker set), picking the least resource-pressured
 /// of those; fall back to the least-pressured node overall, growing the set.
 #[derive(Debug, Default)]

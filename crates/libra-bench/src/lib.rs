@@ -16,7 +16,7 @@ use libra_baselines::{Freyr, OpenWhiskDefault};
 use libra_core::{LibraConfig, LibraPlatform, ModelChoice};
 use libra_sim::engine::{SimConfig, Simulation};
 use libra_sim::function::FunctionSpec;
-use libra_sim::metrics::{mean_slice, percentile, RunResult};
+use libra_sim::metrics::{mean_slice, percentiles, RunResult};
 use libra_sim::platform::{Platform, PlatformReport};
 use libra_sim::resources::ResourceVec;
 use libra_sim::trace::Trace;
@@ -192,8 +192,9 @@ pub fn cdf_summary(label: &str, data: &[f64], unit: &str) {
         return;
     }
     let qs = [10.0, 25.0, 50.0, 75.0, 90.0, 99.0];
+    let vals = percentiles(data, &qs);
     let cells: Vec<String> =
-        qs.iter().map(|&q| format!("p{q:>2.0}={:.2}{unit}", percentile(data, q))).collect();
+        qs.iter().zip(&vals).map(|(&q, v)| format!("p{q:>2.0}={v:.2}{unit}")).collect();
     println!("{label:>12}: {}", cells.join("  "));
 }
 

@@ -140,8 +140,9 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
             let trace = make_trace(&rep_opts)?;
             let mut platform = build_platform(name)?;
             let r = execute(&rep_opts, platform.as_mut(), &trace);
-            p50 += r.latency_percentile(50.0);
-            p99 += r.latency_percentile(99.0);
+            let ps = r.latency_percentiles(&[50.0, 99.0]);
+            p50 += ps[0];
+            p99 += ps[1];
             compl += r.completion_time.as_secs_f64();
             util += r.mean_cpu_util();
             worst = worst.min(r.worst_degradation());
@@ -166,11 +167,8 @@ fn summarize(r: &RunResult) {
     println!("platform    : {}", r.platform);
     println!("invocations : {}", r.records.len());
     println!("completion  : {:.1} s", r.completion_time.as_secs_f64());
-    println!(
-        "p50 / p99   : {:.1} / {:.1} s",
-        r.latency_percentile(50.0),
-        r.latency_percentile(99.0)
-    );
+    let ps = r.latency_percentiles(&[50.0, 99.0]);
+    println!("p50 / p99   : {:.1} / {:.1} s", ps[0], ps[1]);
     println!("cpu util    : {:.1} %", 100.0 * r.mean_cpu_util());
     println!("worst spdup : {:+.2}", r.worst_degradation());
     let h = r.records.iter().filter(|x| x.flags.harvested).count();

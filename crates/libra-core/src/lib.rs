@@ -19,8 +19,14 @@
 //!   [`scheduler::NodeSelector`],
 //! * [`sharding`] — §6.4: a native multi-threaded decentralized sharded
 //!   scheduler (used to measure real sub-millisecond decision latency),
-//! * [`platform`] — the whole system as a `libra_sim::Platform`, with the
-//!   paper's ablations (NS / NP / NSP / Hist / ML) as configuration presets,
+//! * [`controlplane`] — the substrate-agnostic policy core: a pure,
+//!   clock-free state machine over the loan ledger + pools + safeguard that
+//!   consumes admission/observation/completion events and emits explicit
+//!   [`controlplane::Action`]s; the simulator and the live threaded runtime
+//!   are both thin drivers of it,
+//! * [`platform`] — the simulator driver of the control plane as a
+//!   `libra_sim::Platform`, with the paper's ablations (NS / NP / NSP /
+//!   Hist / ML) as configuration presets,
 //! * [`batch`] — the paper's acknowledged limitation made measurable: a
 //!   batch-optimal assigner against which the greedy scheduler's optimality
 //!   gap (and cost) can be quantified.
@@ -28,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod controlplane;
 pub mod coverage;
 pub mod platform;
 pub mod pool;
@@ -37,6 +44,9 @@ pub mod scheduler;
 pub mod sharding;
 
 pub use batch::{greedy_assign, optimal_assign, Assignment, BatchNode, BatchRequest};
+pub use controlplane::{
+    Action, Admission, ControlConfig, ControlCounters, ControlPlane, LendFailure, Observation,
+};
 pub use coverage::{coverage_1d, demand_coverage};
 pub use platform::{LibraConfig, LibraPlatform};
 pub use pool::{GetOrder, HarvestResourcePool, PoolEntryStatus, PoolSnapshot};

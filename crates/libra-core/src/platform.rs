@@ -1,5 +1,14 @@
-//! The Libra platform: profiler + harvest pools + safeguard + scheduler,
-//! wired into the simulator's five-step workflow (Fig 3).
+//! The Libra platform: the simulator *driver* of the shared
+//! [`ControlPlane`], plus the parts that
+//! are genuinely simulator-side: the profiler (Step 2-4 of Fig 3), the
+//! moving-window NP estimator, node selection and the scheduler's pool view.
+//!
+//! All harvest/accelerate/trim/safeguard/revocation *decisions* live in
+//! [`crate::controlplane`]; this driver feeds it events from the engine's
+//! hooks and translates the emitted [`Action`]s into `SimCtx` calls. The
+//! engine's own loan-end callbacks are treated as cross-checks only — the
+//! core re-derives the same revocations from the same events, which is what
+//! the differential fidelity test (sim vs live) pins down.
 //!
 //! The platform is generic over its [`NodeSelector`] so the scheduling
 //! comparison of §8.4 (Default hashing, RR, JSQ, MWS vs Libra's coverage
@@ -8,9 +17,11 @@
 //! presets: Libra-NS (no safeguard), Libra-NP (no profiler, moving-window
 //! estimates), Libra-NSP (neither).
 
-use crate::pool::{GetOrder, HarvestResourcePool};
+use crate::controlplane::{
+    Action, Admission, ControlConfig, ControlPlane, LendFailure, Observation,
+};
+use crate::pool::GetOrder;
 use crate::profiler::{ModelChoice, Profiler, ProfilerConfig};
-use crate::safeguard::Safeguard;
 use crate::scheduler::{CoverageSelector, NodeSelector, SchedView};
 use libra_sim::engine::{SimCtx, World};
 use libra_sim::ids::{InvocationId, NodeId};
@@ -105,6 +116,18 @@ impl LibraConfig {
             (false, false) => "Libra-NSP",
         }
     }
+
+    /// The policy subset driving the shared control plane.
+    pub fn control(&self) -> ControlConfig {
+        ControlConfig {
+            safeguard: self.safeguard,
+            safeguard_threshold: self.safeguard_threshold,
+            mem_blacklist_after: self.mem_blacklist_after,
+            harvest_headroom: self.harvest_headroom,
+            pool_order: self.pool_order,
+            continuous_acceleration: self.continuous_acceleration,
+        }
+    }
 }
 
 /// Moving-window history for the NP variant: keeps the `n` latest actuals
@@ -143,23 +166,16 @@ impl Window {
     }
 }
 
-/// The Libra platform over a pluggable node selector.
+/// The Libra platform over a pluggable node selector: prediction + placement
+/// stay here, harvesting policy is delegated to the shared [`ControlPlane`].
 pub struct LibraPlatform<S: NodeSelector = CoverageSelector> {
     cfg: LibraConfig,
     selector: S,
     profiler: Option<Profiler>,
     windows: Vec<Window>,
-    pools: Vec<HarvestResourcePool>,
+    core: ControlPlane,
     view: SchedView,
-    safeguard: Safeguard,
-    /// Loans cut short because their source completed (the timeliness tax).
-    loans_expired: u64,
-    /// Loans whose volume returned to the pool (re-harvesting, §5.1).
-    loans_reharvested: u64,
-    /// Loans destroyed by injected crashes/aborts (nothing returned).
-    loans_crashed: u64,
-    /// Node-crash orphan sweeps performed on harvest pools.
-    crash_sweeps: u64,
+    record_trace: bool,
     initialized: bool,
 }
 
@@ -174,18 +190,15 @@ impl<S: NodeSelector> LibraPlatform<S> {
     /// Libra's harvesting stack over a custom node selector (for the §8.4
     /// scheduling-algorithm comparison).
     pub fn with_selector(cfg: LibraConfig, selector: S) -> Self {
+        let core = ControlPlane::new(cfg.control(), 0, 0);
         LibraPlatform {
             cfg,
             selector,
             profiler: None,
             windows: Vec::new(),
-            pools: Vec::new(),
+            core,
             view: SchedView::new(),
-            safeguard: Safeguard::new(0, 0.8, 3),
-            loans_expired: 0,
-            loans_reharvested: 0,
-            loans_crashed: 0,
-            crash_sweeps: 0,
+            record_trace: false,
             initialized: false,
         }
     }
@@ -200,51 +213,53 @@ impl<S: NodeSelector> LibraPlatform<S> {
         self.profiler.as_ref()
     }
 
-    fn node_pool(&mut self, node: NodeId) -> &mut HarvestResourcePool {
-        &mut self.pools[node.idx()]
+    /// The shared control plane (ledger, pools, safeguard, action trace).
+    pub fn core(&self) -> &ControlPlane {
+        &self.core
     }
 
-    /// Harvest-or-accelerate on start (Step 5 of Fig 3).
-    fn harvest_or_accelerate(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
-        let rec = ctx.inv(inv);
-        let Some(pred) = rec.pred else { return };
-        let nominal = rec.nominal;
-        let node = rec.node.expect("on_start without node");
-        let func = rec.func.idx();
-        let now = ctx.now();
+    /// Record the control plane's emitted actions (for the differential
+    /// fidelity test). Must be called before the run; survives `init`.
+    pub fn enable_action_trace(&mut self) {
+        self.record_trace = true;
+        self.core.set_record_trace(true);
+    }
 
-        // Harvest: keep the predicted demand of each dimension plus the
-        // safety headroom (memory stays untouched for blacklisted functions).
-        let h = self.cfg.harvest_headroom;
-        let padded = libra_sim::resources::ResourceVec::new(
-            (pred.cpu_millis as f64 * h) as u64,
-            (pred.mem_mb as f64 * h) as u64,
-        );
-        let mut target = padded.min(&nominal);
-        if self.safeguard.mem_blacklisted(func) {
-            target.mem_mb = nominal.mem_mb;
-        }
-        if target.cpu_millis < nominal.cpu_millis || target.mem_mb < nominal.mem_mb {
-            ctx.set_own_grant(inv, target);
-            // The engine may clamp (memory floor); pool what actually freed up.
-            let freed = ctx.harvestable(inv);
-            if !freed.is_zero() {
-                let priority = now + pred.duration;
-                self.node_pool(node).put(inv, freed, priority, now);
-            }
-        }
-
-        // Accelerate: borrow the shortfall from the pool, best-effort.
-        let extra = pred.peak().saturating_sub(&nominal);
-        if !extra.is_zero() {
-            let order = self.cfg.pool_order;
-            let grants = self.node_pool(node).get_with(extra, now, order);
-            for (source, vol) in grants {
-                if !ctx.lend(source, inv, vol) {
-                    // Stale entry: the engine no longer honours this source.
-                    // Resynchronize by dropping it from the pool.
-                    self.node_pool(node).remove(source, now);
+    /// Translate core actions into engine mutations. `Revoke`/`Requeue` are
+    /// no-ops here: the engine enforces those physics itself (at finish,
+    /// OOM and crash), and the core re-derives them from the same events —
+    /// the actions exist so the live driver (which has no such engine) can
+    /// replay them, and so both substrates' traces can be compared.
+    fn apply(&mut self, ctx: &mut SimCtx<'_>, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::SetGrant { inv, grant, freed } => {
+                    ctx.set_own_grant(inv, grant);
+                    debug_assert_eq!(
+                        ctx.harvestable(inv),
+                        freed,
+                        "core grant clamp diverged from engine for {inv:?}"
+                    );
                 }
+                Action::Lend { source, borrower, vol } => {
+                    if !ctx.lend(source, borrower, vol) {
+                        // Stale entry: the engine no longer honours this
+                        // source. Resynchronize by dropping it from the pool.
+                        let now = ctx.now();
+                        self.core.lend_failed(source, borrower, vol, LendFailure::SourceGone, now);
+                    }
+                }
+                Action::Return { borrower, source, vol } => {
+                    let returned = ctx.return_loan(borrower, source, vol);
+                    debug_assert_eq!(
+                        returned, vol,
+                        "core loan records diverged from engine for {borrower:?}"
+                    );
+                }
+                Action::PreemptiveRelease { inv, .. } => {
+                    let _revoked: Vec<Loan> = ctx.preemptive_release(inv);
+                }
+                Action::Revoke { .. } | Action::Requeue { .. } => {}
             }
         }
     }
@@ -262,9 +277,8 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
             .profiler
             .then(|| Profiler::new(n_funcs, self.cfg.profiler_cfg.clone(), self.cfg.model_choice));
         self.windows = vec![Window::new(self.cfg.np_window); n_funcs];
-        self.pools = (0..world.num_nodes()).map(|_| HarvestResourcePool::new()).collect();
-        self.safeguard =
-            Safeguard::new(n_funcs, self.cfg.safeguard_threshold, self.cfg.mem_blacklist_after);
+        self.core = ControlPlane::new(self.cfg.control(), n_funcs, world.num_nodes());
+        self.core.set_record_trace(self.record_trace);
         self.initialized = true;
     }
 
@@ -300,112 +314,44 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
     }
 
     fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
-        self.harvest_or_accelerate(ctx, inv);
+        let rec = ctx.inv(inv);
+        let adm = Admission {
+            inv,
+            node: rec.node.expect("on_start without node"),
+            func: rec.func.idx(),
+            nominal: rec.nominal,
+            mem_floor_mb: ctx.func_of(inv).mem_floor_mb,
+            pred: rec.pred,
+        };
+        let actions = self.core.on_admit(adm, ctx.now());
+        self.apply(ctx, actions);
     }
 
     fn on_tick(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
-        let rec = ctx.inv(inv);
-        if !rec.is_running() {
+        if !ctx.inv(inv).is_running() {
             return;
         }
-        // Safeguard: invocations that had resources harvested need
-        // protection against mispredictions (§5.2).
-        if self.cfg.safeguard {
-            let harvested = rec.own_grant != rec.nominal || !rec.lent_out.is_zero();
-            if harvested {
-                let usage = ctx.usage(inv);
-                if self.safeguard.should_trigger(&usage) {
-                    let node = rec.node.expect("running without node");
-                    let func = rec.func.idx();
-                    let now = ctx.now();
-                    let _revoked: Vec<Loan> = ctx.preemptive_release(inv);
-                    self.node_pool(node).remove(inv, now);
-                    self.safeguard.record_trigger(func);
-                    return;
-                }
-            }
-        }
-        // Usage-guided trimming: if the invocation cannot use the CPU it
-        // borrowed (over-inflated prediction), return the excess to the pool
-        // so other accelerable invocations aren't starved. Memory is never
-        // trimmed — footprints grow over the execution, and a trimmed grant
-        // could turn into an OOM later.
-        let rec = ctx.inv(inv);
-        let Some(pred) = rec.pred else { return };
-        let usage = ctx.usage(inv);
-        let borrowed_cpu = rec.borrowed_total().cpu_millis;
-        if borrowed_cpu > 0 {
-            let keep = usage.cpu_busy_millis + usage.cpu_busy_millis / 3;
-            let floor = usage.effective.cpu_millis - borrowed_cpu;
-            let mut excess = usage.effective.cpu_millis.saturating_sub(keep.max(floor));
-            if excess > 0 {
-                let node = rec.node.expect("running without node");
-                let now = ctx.now();
-                // Shed newest loans first (LIFO): the oldest grants are the
-                // longest-lived, highest-value ones.
-                let loans: Vec<Loan> = rec.borrowed_in.iter().rev().copied().collect();
-                for loan in loans {
-                    if excess == 0 {
-                        break;
-                    }
-                    let give =
-                        libra_sim::resources::ResourceVec::new(loan.res.cpu_millis.min(excess), 0);
-                    if give.is_zero() {
-                        continue;
-                    }
-                    let returned = ctx.return_loan(inv, loan.source, give);
-                    excess -= returned.cpu_millis;
-                    if !returned.is_zero() {
-                        self.node_pool(node).give_back(loan.source, returned, now);
-                    }
-                }
-            }
-        }
-
-        // Continuous acceleration: an under-provisioned invocation whose
-        // loans expired (their sources completed — the timeliness law), or
-        // that started when the pool was dry, re-acquires its shortfall as
-        // new idle resources are harvested. Reassignment is live
-        // (docker-update, §7), so topping up at each monitor window is the
-        // natural provider-side policy; Fig 4's "accelerate one invocation
-        // using harvested resources from multiple invocations with varying
-        // timeliness" is realized here.
-        if !self.cfg.continuous_acceleration {
-            return;
-        }
-        let rec = ctx.inv(inv);
-        let shortfall = pred.peak().saturating_sub(&rec.effective_alloc());
-        if shortfall.is_zero() {
-            return;
-        }
-        // Don't re-borrow CPU the usage signal says it cannot use.
-        let cpu_cap = (usage.cpu_busy_millis + usage.cpu_busy_millis / 3)
-            .saturating_sub(ctx.inv(inv).effective_alloc().cpu_millis);
-        let want = libra_sim::resources::ResourceVec::new(
-            shortfall.cpu_millis.min(cpu_cap),
-            shortfall.mem_mb,
+        let u = ctx.usage(inv);
+        debug_assert_eq!(
+            self.core.effective_alloc(inv),
+            Some(u.effective),
+            "core ledger diverged from engine for {inv:?}"
         );
-        if want.is_zero() {
-            return;
-        }
-        let node = ctx.inv(inv).node.expect("running without node");
-        let now = ctx.now();
-        let order = self.cfg.pool_order;
-        let grants = self.node_pool(node).get_with(want, now, order);
-        for (source, vol) in grants {
-            if !ctx.lend(source, inv, vol) {
-                self.node_pool(node).remove(source, now);
-            }
-        }
+        let obs = Observation {
+            cpu_busy_millis: u.cpu_busy_millis,
+            mem_used_mb: u.mem_used_mb,
+            cpu_throttled: u.cpu_throttled,
+        };
+        let actions = self.core.on_observe(inv, obs, ctx.now());
+        self.apply(ctx, actions);
     }
 
     fn on_complete(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId, actuals: &Actuals) {
         let rec = ctx.inv(inv);
-        let node = rec.node.expect("complete without node");
         let f = rec.func.idx();
         let input = rec.input;
-        let now = ctx.now();
-        self.node_pool(node).remove(inv, now);
+        let actions = self.core.on_complete(inv, ctx.now());
+        self.apply(ctx, actions);
         if let Some(p) = &mut self.profiler {
             if p.is_trained(f) {
                 p.observe(f, input, actuals);
@@ -414,60 +360,31 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
         self.windows[f].push(actuals.cpu_peak_millis, actuals.mem_peak_mb, actuals.exec_duration);
     }
 
-    fn on_loan_ended(&mut self, ctx: &mut SimCtx<'_>, loan: &Loan, reason: LoanEnd) {
-        match reason {
-            LoanEnd::BorrowerCompleted => {
-                // Re-harvesting (§5.1): the volume returns to the pool with
-                // its original expiry, if the source is still alive.
-                self.loans_reharvested += 1;
-                if let Some(node) = ctx.inv(loan.source).node {
-                    let now = ctx.now();
-                    self.node_pool(node).give_back(loan.source, loan.res, now);
-                }
-            }
-            LoanEnd::SourceCompleted => {
-                // The timeliness tax: the borrower lost this loan mid-flight.
-                self.loans_expired += 1;
-            }
-            LoanEnd::SourceOom | LoanEnd::Safeguard => {
-                // The source's pool entry is removed in on_complete/on_oom;
-                // nothing to return.
-            }
-            LoanEnd::Crashed => {
-                // One end of the loan died with a crash/abort; the engine
-                // already unwound the ledger and on_abort/on_node_crash
-                // sweep the pool entries. Just count the damage.
-                self.loans_crashed += 1;
-            }
-        }
+    fn on_loan_ended(&mut self, _ctx: &mut SimCtx<'_>, loan: &Loan, _reason: LoanEnd) {
+        // The engine announces the physics it enforced; the core re-derives
+        // the same revocation from the corresponding event (completion, OOM,
+        // abort), so this callback is a cross-check only: at this point the
+        // loan must still be on the core's books.
+        debug_assert!(
+            self.core.has_loan(loan.source, loan.borrower),
+            "engine revoked a loan the core does not know: {loan:?}"
+        );
     }
 
     fn on_oom(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
-        let rec = ctx.inv(inv);
-        let node = rec.node.expect("oom without node");
-        let f = rec.func.idx();
-        let now = ctx.now();
-        self.node_pool(node).remove(inv, now);
-        self.safeguard.record_oom(f);
+        let actions = self.core.on_oom(inv, ctx.now());
+        self.apply(ctx, actions);
     }
 
     fn on_ping(&mut self, world: &World, node: NodeId) {
         // The piggyback (§6.4): schedulers learn pool status from pings.
-        let snap = self.pools[node.idx()].snapshot(world.now());
-        self.view.snapshots.insert(node, snap);
+        self.view.snapshots.insert(node, self.core.snapshot(node, world.now()));
         self.view.note_ping(node, world.now());
     }
 
     fn on_node_crash(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {
-        // Orphan sweep: every entry in a dead node's pool belonged to an
-        // invocation that died with it. Remove entries one by one so the
-        // idle ledger and op counts survive the crash.
-        let now = ctx.now();
-        let pool = self.node_pool(node);
-        for id in pool.sources() {
-            pool.remove(id, now);
-        }
-        self.crash_sweeps += 1;
+        let actions = self.core.on_node_crash(node, ctx.now());
+        self.apply(ctx, actions);
         // Drop the scheduler's view of the node: its snapshot describes a
         // pool that no longer exists, and treating it as "never pinged"
         // (rather than stale) lets a recovered node start from a clean slate.
@@ -477,15 +394,13 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
 
     fn on_abort(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
         // The attempt's harvestable idle resources die with it.
-        if let Some(node) = ctx.inv(inv).node {
-            let now = ctx.now();
-            self.node_pool(node).remove(inv, now);
-        }
+        let actions = self.core.on_abort(inv, ctx.now());
+        self.apply(ctx, actions);
     }
 
     fn report(&self) -> PlatformReport {
         let (mut cpu, mut mem, mut puts, mut gets) = (0.0, 0.0, 0, 0);
-        for p in &self.pools {
+        for p in self.core.pools() {
             let (c, m) = p.idle_ledger();
             cpu += c;
             mem += m;
@@ -493,17 +408,18 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
             puts += pu;
             gets += ge;
         }
+        let counters = self.core.counters();
         PlatformReport {
             pool_idle_cpu_core_sec: cpu,
             pool_idle_mem_mb_sec: mem,
-            safeguard_triggers: self.safeguard.triggers(),
+            safeguard_triggers: self.core.safeguard().triggers(),
             pool_puts: puts,
             pool_gets: gets,
             extra: vec![
-                ("loans_expired".into(), self.loans_expired as f64),
-                ("loans_reharvested".into(), self.loans_reharvested as f64),
-                ("loans_crashed".into(), self.loans_crashed as f64),
-                ("crash_sweeps".into(), self.crash_sweeps as f64),
+                ("loans_expired".into(), counters.loans_expired as f64),
+                ("loans_reharvested".into(), counters.loans_reharvested as f64),
+                ("loans_crashed".into(), counters.loans_crashed as f64),
+                ("crash_sweeps".into(), counters.crash_sweeps as f64),
             ],
         }
     }
@@ -581,8 +497,9 @@ mod tests {
         let sim = Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
         let mut platform = LibraPlatform::new(LibraConfig::libra());
         let _ = sim.run(&trace, &mut platform);
-        for p in &platform.pools {
+        for p in platform.core().pools() {
             assert!(p.is_empty(), "every entry must be removed by completion");
         }
+        assert_eq!(platform.core().ledger_len(), 0, "ledger must drain with the workload");
     }
 }

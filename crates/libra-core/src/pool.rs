@@ -30,7 +30,7 @@
 //! This makes `put`/`remove` O(log n), `get` O(k log n) for k grants, and
 //! `snapshot`/`sources` a single in-order walk with no per-call sort. The
 //! observationally-equivalent O(n log n) sorted-scan implementation lives in
-//! [`reference`] as the bench baseline and proptest oracle.
+//! [`mod@reference`] as the bench baseline and proptest oracle.
 
 use libra_sim::ids::InvocationId;
 use libra_sim::resources::ResourceVec;

@@ -1,25 +1,32 @@
-//! The live cluster: node state behind `parking_lot` mutexes, one OS thread
-//! per running invocation, a monitor-free design where every quantum the
-//! invocation thread itself settles its progress, tops up its shortfall from
-//! the node's harvest pool, and — on completion — enforces the timeliness
-//! law by revoking everything it lent, all under the node lock.
+//! The live cluster: a thin concurrent driver of the shared harvest control
+//! plane ([`libra_core::controlplane`]). Node state lives behind
+//! `parking_lot` mutexes, one OS thread runs each invocation, and every
+//! quantum the invocation thread itself settles its progress, reports a
+//! cgroups-style usage observation to the control plane and replays the
+//! emitted [`Action`]s against the sharded scheduler's real admission ledger.
 //!
-//! Scope: this is the *concurrent control plane* of Libra — harvesting,
-//! admission packing, acceleration, re-harvesting and timeliness revocation
-//! racing against each other in real time. Prediction quality, safeguard
-//! dynamics and OOM handling are validated in the deterministic simulator
-//! (`libra-sim` + `libra-core`); here demands are known exactly, so no
-//! misprediction path is exercised.
+//! The policy — harvesting (CPU *and* memory), lending, usage-guided
+//! trimming, the safeguard's preemptive release (§5.2), the OOM rule (§5.1)
+//! and the timeliness law (§3.1) — is the very same [`ControlPlane`] state
+//! machine the deterministic simulator drives, so the two substrates produce
+//! comparable action traces (see the cross-substrate fidelity test). This
+//! crate only supplies the physics: real clocks, real locks, real
+//! message-passing admission, plus a watchdog that turns a wedged run into a
+//! diagnostic panic instead of a hung CI job.
 
 use crate::workload::LiveRequest;
-use libra_core::pool::HarvestResourcePool;
+use libra_core::controlplane::{
+    Action, Admission, ControlConfig, ControlPlane, LendFailure, Observation,
+};
 use libra_core::sharding::{ScheduleRequest, ShardedScheduler};
-use libra_sim::ids::InvocationId;
+use libra_sim::ids::{InvocationId, NodeId};
+use libra_sim::invocation::{exec_rate_millis, mem_usage_model};
+use libra_sim::platform::LoanEnd;
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,11 +41,20 @@ pub struct LiveConfig {
     pub shards: usize,
     /// Harvest + accelerate (Libra) vs fixed user allocations (default).
     pub harvesting: bool,
+    /// Policy knobs of the shared control plane (safeguard threshold,
+    /// pool order, continuous acceleration, ...).
+    pub control: ControlConfig,
     /// Progress/settling quantum (real time).
     pub quantum: Duration,
     /// Workload-milliseconds that elapse per real millisecond (> 1 runs the
     /// workload faster than nominal).
     pub time_scale: f64,
+    /// Real-time deadline for the whole run: if it passes before every
+    /// invocation completes, [`run_live`] panics with a per-node diagnostic
+    /// dump (ledger, resident threads, shard health) instead of hanging CI.
+    pub watchdog: Duration,
+    /// Record every control-plane action per node (fidelity testing).
+    pub record_trace: bool,
     /// Optional chaos driver: kill and respawn scheduler shards while the
     /// workload runs. `None` (the default) injects nothing.
     pub chaos: Option<LiveChaos>,
@@ -67,42 +83,155 @@ impl Default for LiveConfig {
             capacity: ResourceVec::from_cores_mb(16, 16 * 1024),
             shards: 2,
             harvesting: true,
+            control: ControlConfig::default(),
             quantum: Duration::from_millis(2),
             time_scale: 4.0,
+            watchdog: Duration::from_secs(60),
+            record_trace: false,
             chaos: None,
         }
     }
 }
 
-struct InvState {
-    own_cpu: u64,
-    /// Incoming loans: (source global id, millicores).
-    borrowed: Vec<(u32, u64)>,
-    lent_cpu: u64,
-    demand_cpu: u64,
+/// Physics-side state of one running invocation (the policy side lives in
+/// the node's [`ControlPlane`] ledger).
+struct ExecState {
     /// Scheduler shard whose slice this invocation's charge lives in.
     shard: usize,
+    demand_cpu: u64,
+    demand_mem: u64,
+    work_total: f64,
     work_left: f64, // millicore-milliseconds (workload time)
     last_settle: Instant,
-}
-
-impl InvState {
-    fn effective_cpu(&self) -> u64 {
-        self.own_cpu + self.borrowed.iter().map(|b| b.1).sum::<u64>()
-    }
-
-    fn rate(&self) -> u64 {
-        self.effective_cpu().min(self.demand_cpu)
-    }
+    accelerated: bool,
+    safeguarded: bool,
+    oom_restarts: u32,
 }
 
 struct NodeInner {
-    invs: HashMap<u32, InvState>,
-    pool: HarvestResourcePool,
+    /// The shared policy core, instantiated per node (its `NodeId(0)`).
+    core: ControlPlane,
+    exec: HashMap<u32, ExecState>,
+    /// Per-shard forced-restore debt: safeguard releases and OOM restarts
+    /// re-commit capacity unconditionally (like the simulator's forced
+    /// reserve), so when the shard slice cannot cover the charge it is
+    /// tracked here and repaid by the next releases on that shard.
+    overdraft: Vec<ResourceVec>,
 }
 
 struct NodeShared {
     inner: Mutex<NodeInner>,
+}
+
+/// Release `vol` of admission charge on `(shard, node)`, repaying any
+/// forced-restore overdraft first.
+fn release_charge(
+    over: &mut ResourceVec,
+    sched: &ShardedScheduler,
+    shard: usize,
+    node: u32,
+    vol: ResourceVec,
+) {
+    let repay = vol.min(over);
+    *over = over.saturating_sub(&repay);
+    let rest = vol.saturating_sub(&repay);
+    if !rest.is_zero() {
+        sched.release(shard, node, rest);
+    }
+}
+
+/// Charge `vol` on `(shard, node)` unconditionally: a safeguard release or
+/// OOM restart must restore the nominal grant even when admissions already
+/// consumed the freed capacity. A failed charge becomes shard overdraft.
+fn charge_forced(
+    over: &mut ResourceVec,
+    sched: &ShardedScheduler,
+    shard: usize,
+    node: u32,
+    vol: ResourceVec,
+) {
+    if vol.is_zero() {
+        return;
+    }
+    if !sched.try_charge(shard, node, vol) {
+        *over += vol;
+    }
+}
+
+/// Replay control-plane actions against the live substrate: the sharded
+/// scheduler's admission ledger and the per-invocation exec states.
+fn apply_actions(
+    inner: &mut NodeInner,
+    sched: &ShardedScheduler,
+    node: u32,
+    actions: &[Action],
+    now: SimTime,
+) {
+    let NodeInner { core, exec, overdraft } = inner;
+    for &a in actions {
+        match a {
+            // Harvest: the freed volume leaves the committed charge.
+            Action::SetGrant { inv, freed, .. } => {
+                if let Some(st) = exec.get(&inv.0) {
+                    release_charge(&mut overdraft[st.shard], sched, st.shard, node, freed);
+                }
+            }
+            // Lending re-commits pooled idle volume: admissions may have
+            // consumed it, so charge the source's slice first and report the
+            // refusal if it's gone.
+            Action::Lend { source, borrower, vol } => {
+                let Some(src) = exec.get(&source.0) else {
+                    core.lend_failed(source, borrower, vol, LendFailure::SourceGone, now);
+                    continue;
+                };
+                let src_shard = src.shard;
+                if sched.try_charge(src_shard, node, vol) {
+                    if let Some(b) = exec.get_mut(&borrower.0) {
+                        b.accelerated = true;
+                    }
+                } else {
+                    core.lend_failed(source, borrower, vol, LendFailure::NoCapacity, now);
+                }
+            }
+            // Trimmed volume goes back to uncommitted idle.
+            Action::Return { source, vol, .. } => {
+                if let Some(src) = exec.get(&source.0) {
+                    release_charge(&mut overdraft[src.shard], sched, src.shard, node, vol);
+                }
+            }
+            Action::Revoke { source, vol, reason, .. } => match reason {
+                // The source lives on: release the lend-time charge taken on
+                // its shard (re-harvest or forced unwind).
+                LoanEnd::BorrowerCompleted | LoanEnd::Safeguard | LoanEnd::SourceOom => {
+                    if let Some(src) = exec.get(&source.0) {
+                        release_charge(&mut overdraft[src.shard], sched, src.shard, node, vol);
+                    }
+                }
+                // The source is going away: its completion/abort path
+                // releases the full pre-revocation charge in one shot.
+                LoanEnd::SourceCompleted | LoanEnd::Crashed => {}
+            },
+            // Safeguard (§5.2): the grant is already back at nominal in the
+            // ledger; force the substrate charge to match.
+            Action::PreemptiveRelease { inv, restored } => {
+                if let Some(st) = exec.get_mut(&inv.0) {
+                    st.safeguarded = true;
+                    let shard = st.shard;
+                    charge_forced(&mut overdraft[shard], sched, shard, node, restored);
+                }
+            }
+            // OOM rule (§5.1): restart from scratch at the nominal grant.
+            Action::Requeue { inv, restored } => {
+                if let Some(st) = exec.get_mut(&inv.0) {
+                    st.oom_restarts += 1;
+                    st.work_left = st.work_total;
+                    st.last_settle = Instant::now();
+                    let shard = st.shard;
+                    charge_forced(&mut overdraft[shard], sched, shard, node, restored);
+                }
+            }
+        }
+    }
 }
 
 /// Per-invocation completion record.
@@ -118,6 +247,10 @@ pub struct LiveRecord {
     pub accelerated: bool,
     /// Was it harvested from?
     pub harvested: bool,
+    /// Did the safeguard preemptively release its harvested resources?
+    pub safeguarded: bool,
+    /// How many times the OOM rule restarted it at nominal.
+    pub oom_restarts: u32,
 }
 
 /// Aggregate result of a live run.
@@ -130,44 +263,83 @@ pub struct LiveResult {
     /// Loans revoked mid-flight by source completion (the timeliness law,
     /// observed under real concurrency).
     pub loans_expired: u64,
+    /// Safeguard preemptive releases across all nodes (§5.2).
+    pub safeguard_releases: u64,
+    /// OOM restarts across all invocations (§5.1).
+    pub oom_restarts: u64,
     /// Maximum Σ(own + lent) observed on any node (capacity invariant probe).
     pub peak_committed_cpu: u64,
     /// Scheduler-shard kill/respawn cycles performed by the chaos driver.
     pub shard_kills: u32,
+    /// Per-node control-plane action traces (only populated when
+    /// [`LiveConfig::record_trace`] is set).
+    pub actions_by_node: Vec<Vec<Action>>,
 }
 
 impl LiveResult {
     /// The p-th latency percentile in workload milliseconds.
     pub fn latency_percentile(&self, p: f64) -> f64 {
+        self.latency_percentiles(&[p])[0]
+    }
+
+    /// Several latency percentiles at once, sorting the sample a single time.
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<f64> {
         let lats: Vec<f64> = self.records.iter().map(|r| r.latency_ms).collect();
-        libra_sim::metrics::percentile(&lats, p)
+        libra_sim::metrics::percentiles(&lats, ps)
     }
 }
 
 /// Run `workload` on a live cluster under `config`.
+///
+/// # Panics
+///
+/// When the [`LiveConfig::watchdog`] deadline passes before every invocation
+/// completes — the panic message carries a per-node diagnostic dump.
 pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
+    let n_funcs = workload.iter().map(|r| r.func as usize + 1).max().unwrap_or(1);
     let nodes: Vec<Arc<NodeShared>> = (0..config.nodes)
         .map(|_| {
+            let mut core = ControlPlane::new(config.control.clone(), n_funcs, 1);
+            core.set_record_trace(config.record_trace);
             Arc::new(NodeShared {
                 inner: Mutex::new(NodeInner {
-                    invs: HashMap::new(),
-                    pool: HarvestResourcePool::new(),
+                    core,
+                    exec: HashMap::new(),
+                    overdraft: vec![ResourceVec::ZERO; config.shards],
                 }),
             })
         })
         .collect();
     let sched =
         Arc::new(ShardedScheduler::spawn(config.shards, config.nodes, config.capacity, 0.9));
-    let loans_expired = Arc::new(AtomicU64::new(0));
     let peak_committed = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicBool::new(false));
+    let done_count = Arc::new(AtomicUsize::new(0));
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<LiveRecord>();
 
     let t0 = Instant::now();
     let scale = config.time_scale;
     let to_work_ms = move |d: Duration| d.as_secs_f64() * 1e3 * scale;
+    let total = workload.len();
 
     let shard_kills = Arc::new(AtomicU64::new(0));
     crossbeam::scope(|s| {
+        // Watchdog: a wedged run (dead shard, starved admission, logic bug)
+        // must fail loudly with state attached, not hang CI.
+        {
+            let expired = Arc::clone(&expired);
+            let done_count = Arc::clone(&done_count);
+            let deadline = config.watchdog;
+            s.spawn(move |_| {
+                while done_count.load(Ordering::Relaxed) < total {
+                    if t0.elapsed() > deadline {
+                        expired.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         // Chaos driver: a bounded number of kill/respawn cycles, so the
         // scope always joins.
         if let Some(chaos) = config.chaos.clone() {
@@ -192,7 +364,8 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
             let nodes = nodes.clone();
             let sched = Arc::clone(&sched);
             let done_tx = done_tx.clone();
-            let loans_expired = Arc::clone(&loans_expired);
+            let done_count = Arc::clone(&done_count);
+            let expired = Arc::clone(&expired);
             let peak_committed = Arc::clone(&peak_committed);
             let config = config.clone();
             s.spawn(move |_| {
@@ -206,6 +379,9 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
 
                 // Admission: retry until a shard slice fits the allocation.
                 let (shard, node_id) = loop {
+                    if expired.load(Ordering::Relaxed) {
+                        return;
+                    }
                     let shard = idx % config.shards;
                     let d = sched.schedule_on(
                         shard,
@@ -224,147 +400,125 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                 };
 
                 let node = &nodes[node_id];
+                let node_u32 = node_id as u32;
                 let inv_id = idx as u32;
-                // "now" on the workload clock.
-                let est_done_ms = to_work_ms(t0.elapsed());
-                let mut harvested = false;
+                let inv = InvocationId(inv_id);
 
-                // Start: install state; harvest if over-provisioned.
+                // Start: install physics state, then let the control plane
+                // harvest and accelerate (pool priority = predicted expiry —
+                // the timeliness law's bookkeeping).
+                let harvested;
                 {
                     let mut g = node.inner.lock();
-                    let own = if config.harvesting && req.demand_cpu_millis < req.alloc.cpu_millis {
-                        harvested = true;
-                        req.demand_cpu_millis
-                    } else {
-                        req.alloc.cpu_millis.min(req.demand_cpu_millis.max(req.alloc.cpu_millis))
-                    };
-                    g.invs.insert(
+                    g.exec.insert(
                         inv_id,
-                        InvState {
-                            own_cpu: own.min(req.alloc.cpu_millis),
-                            borrowed: Vec::new(),
-                            lent_cpu: 0,
-                            demand_cpu: req.demand_cpu_millis,
+                        ExecState {
                             shard,
+                            demand_cpu: req.demand_cpu_millis,
+                            demand_mem: req.demand_mem_mb,
+                            work_total: req.work_mcore_ms as f64,
                             work_left: req.work_mcore_ms as f64,
                             last_settle: Instant::now(),
+                            accelerated: false,
+                            safeguarded: false,
+                            oom_restarts: 0,
                         },
                     );
-                    if harvested {
-                        let idle = req.alloc.cpu_millis - req.demand_cpu_millis;
-                        let expiry = SimTime::from_millis(
-                            (est_done_ms + req.base_duration_ms() as f64) as u64,
-                        );
-                        g.pool.put(
-                            InvocationId(inv_id),
-                            ResourceVec::new(idle, 0),
-                            expiry,
-                            SimTime::from_millis(est_done_ms as u64),
-                        );
-                        // Harvest frees admission capacity (charge drops).
-                        sched.release(shard, node_id as u32, ResourceVec::new(idle, 0));
-                    }
+                    let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+                    let pred = if config.harvesting { req.pred } else { None };
+                    let actions = g.core.on_admit(
+                        Admission {
+                            inv,
+                            node: NodeId(0),
+                            func: req.func as usize,
+                            nominal: req.alloc,
+                            mem_floor_mb: req.mem_floor_mb,
+                            pred,
+                        },
+                        now_ms,
+                    );
+                    harvested = actions.iter().any(|a| matches!(a, Action::SetGrant { .. }));
+                    apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
                 }
 
-                // Execute: settle progress each quantum, top up shortfalls.
-                let mut accelerated = false;
+                // Execute: settle progress each quantum, feed the control
+                // plane an observation, replay whatever it decides.
                 loop {
                     std::thread::sleep(config.quantum);
+                    if expired.load(Ordering::Relaxed) {
+                        return;
+                    }
                     let mut g = node.inner.lock();
 
                     // Capacity probe: Σ(own + lent) must stay within capacity.
-                    let committed: u64 = g.invs.values().map(|s| s.own_cpu + s.lent_cpu).sum();
-                    peak_committed.fetch_max(committed, Ordering::Relaxed);
+                    let committed = g.core.committed_on(NodeId(0));
+                    peak_committed.fetch_max(committed.cpu_millis, Ordering::Relaxed);
 
-                    let now = Instant::now();
-                    let me = g.invs.get_mut(&inv_id).expect("own state vanished");
-                    let elapsed_ms = to_work_ms(now - me.last_settle);
-                    me.last_settle = now;
-                    me.work_left -= me.rate() as f64 * elapsed_ms;
-                    let finished = me.work_left <= 0.0;
-                    let shortfall = me.demand_cpu.saturating_sub(me.effective_cpu());
-
-                    if !finished && config.harvesting && shortfall > 0 {
-                        let now_ms = SimTime::from_millis((to_work_ms(t0.elapsed())) as u64);
-                        let grants = g.pool.get(ResourceVec::new(shortfall, 0), now_ms);
-                        for (src, vol) in grants {
-                            let Some(src_shard) = g.invs.get(&src.0).map(|s| s.shard) else {
-                                continue; // source already gone
-                            };
-                            // Lending re-commits the harvested idle volume:
-                            // admissions may have consumed it, so charge the
-                            // slice first and skip the loan if it's gone.
-                            if !sched.try_charge(src_shard, node_id as u32, vol) {
-                                g.pool.give_back(src, vol, now_ms);
-                                continue;
-                            }
-                            let srcst = g.invs.get_mut(&src.0).expect("checked above");
-                            srcst.lent_cpu += vol.cpu_millis;
-                            g.invs
-                                .get_mut(&inv_id)
-                                .expect("me")
-                                .borrowed
-                                .push((src.0, vol.cpu_millis));
-                            accelerated = true;
-                        }
-                    }
+                    let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+                    let eff = g.core.effective_alloc(inv).unwrap_or(req.alloc);
+                    let (finished, progress) = {
+                        let me = g.exec.get_mut(&inv_id).expect("own state vanished");
+                        let now = Instant::now();
+                        let elapsed_ms = to_work_ms(now - me.last_settle);
+                        me.last_settle = now;
+                        let rate = exec_rate_millis(
+                            eff.cpu_millis,
+                            eff.mem_mb,
+                            me.demand_cpu,
+                            me.demand_mem,
+                            req.alloc.mem_mb,
+                        );
+                        me.work_left -= rate as f64 * elapsed_ms;
+                        let frac = if me.work_total > 0.0 {
+                            ((me.work_total - me.work_left) / me.work_total).clamp(0.0, 1.0)
+                        } else {
+                            1.0
+                        };
+                        (me.work_left <= 0.0, frac)
+                    };
 
                     if finished {
-                        // The timeliness law: revoke everything I lent.
-                        let borrowers: Vec<u32> = g
-                            .invs
-                            .iter()
-                            .filter(|(_, s)| s.borrowed.iter().any(|b| b.0 == inv_id))
-                            .map(|(&id, _)| id)
-                            .collect();
-                        for b in borrowers {
-                            let s = g.invs.get_mut(&b).expect("borrower");
-                            s.borrowed.retain(|&(src, _)| src != inv_id);
-                            loans_expired.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // Re-harvest: return my borrows to their sources' pool entries.
-                        let my_borrows: Vec<(u32, u64)> = {
-                            let me = g.invs.get_mut(&inv_id).expect("me");
-                            std::mem::take(&mut me.borrowed)
-                        };
-                        let now_ms = SimTime::from_millis((to_work_ms(t0.elapsed())) as u64);
-                        for (src, vol) in my_borrows {
-                            if let Some(srcst) = g.invs.get_mut(&src) {
-                                srcst.lent_cpu -= vol;
-                                let src_shard = srcst.shard;
-                                g.pool.give_back(
-                                    InvocationId(src),
-                                    ResourceVec::new(vol, 0),
-                                    now_ms,
-                                );
-                                // Back to uncommitted idle: release the
-                                // charge taken at lend time.
-                                sched.release(src_shard, node_id as u32, ResourceVec::new(vol, 0));
-                            }
-                        }
-                        let me = g.invs.remove(&inv_id).expect("me");
-                        g.pool.remove(InvocationId(inv_id), now_ms);
+                        // Charge on the books *before* completion unwinds it:
+                        // own grant + everything still lent out.
+                        let still = g.core.charge(inv).unwrap_or(req.alloc);
+                        let actions = g.core.on_complete(inv, now_ms);
+                        apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
+                        let me = g.exec.remove(&inv_id).expect("own state vanished");
+                        release_charge(&mut g.overdraft[shard], &sched, shard, node_u32, still);
                         drop(g);
 
-                        // Release the remaining admission charge.
-                        let still_charged =
-                            if harvested { me.own_cpu + me.lent_cpu } else { req.alloc.cpu_millis };
-                        sched.release(
-                            shard,
-                            node_id as u32,
-                            ResourceVec::new(still_charged, req.alloc.mem_mb),
-                        );
-
+                        done_count.fetch_add(1, Ordering::Relaxed);
                         let latency_ms = to_work_ms(submitted.elapsed());
                         let _ = done_tx.send(LiveRecord {
                             idx,
                             latency_ms,
                             baseline_exec_ms: req.alloc_duration_ms() as f64,
-                            accelerated,
+                            accelerated: me.accelerated,
                             harvested,
+                            safeguarded: me.safeguarded,
+                            oom_restarts: me.oom_restarts,
                         });
                         break;
                     }
+
+                    // The OOM rule (§5.1): a footprint within the user
+                    // allocation crossed a harvested grant.
+                    let mem_used = mem_usage_model(req.demand_mem_mb, progress);
+                    if req.demand_mem_mb <= req.alloc.mem_mb && mem_used > eff.mem_mb {
+                        let actions = g.core.on_oom(inv, now_ms);
+                        apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
+                        continue;
+                    }
+
+                    // Monitor path: safeguard, trimming, continuous
+                    // acceleration — all decided by the shared core.
+                    let obs = Observation {
+                        cpu_busy_millis: eff.cpu_millis.min(req.demand_cpu_millis),
+                        mem_used_mb: mem_used,
+                        cpu_throttled: req.demand_cpu_millis > eff.cpu_millis,
+                    };
+                    let actions = g.core.on_observe(inv, obs, now_ms);
+                    apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
                 }
             });
         }
@@ -372,14 +526,58 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
     })
     .expect("live worker panicked");
 
+    if expired.load(Ordering::Relaxed) {
+        use std::fmt::Write as _;
+        let done = done_count.load(Ordering::Relaxed);
+        let mut dump = format!(
+            "run_live watchdog expired after {:?}: {done}/{total} invocations completed\n",
+            config.watchdog
+        );
+        for shard in 0..config.shards {
+            let _ = writeln!(dump, "shard {shard}: alive={}", sched.is_alive(shard));
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            let g = n.inner.lock();
+            let _ = writeln!(
+                dump,
+                "node {i}: {} resident threads, overdraft {:?}",
+                g.exec.len(),
+                g.overdraft
+            );
+            for (id, st) in &g.exec {
+                let _ = writeln!(
+                    dump,
+                    "  inv {id}: shard {} work {:.0}/{:.0} oom_restarts {}",
+                    st.shard,
+                    st.work_total - st.work_left,
+                    st.work_total,
+                    st.oom_restarts
+                );
+            }
+            dump.push_str(&g.core.dump());
+        }
+        panic!("{dump}");
+    }
+
     let mut records: Vec<LiveRecord> = done_rx.iter().collect();
     records.sort_by_key(|r| r.idx);
+    let (mut loans_expired, mut safeguard_releases) = (0, 0);
+    let mut actions_by_node = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        let g = n.inner.lock();
+        loans_expired += g.core.counters().loans_expired;
+        safeguard_releases += g.core.safeguard().triggers();
+        actions_by_node.push(g.core.action_trace().to_vec());
+    }
     LiveResult {
+        oom_restarts: records.iter().map(|r| r.oom_restarts as u64).sum(),
         records,
         makespan_ms: to_work_ms(t0.elapsed()),
-        loans_expired: loans_expired.load(Ordering::Relaxed),
+        loans_expired,
+        safeguard_releases,
         peak_committed_cpu: peak_committed.load(Ordering::Relaxed),
         shard_kills: shard_kills.load(Ordering::Relaxed) as u32,
+        actions_by_node,
     }
 }
 
@@ -387,6 +585,7 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
 mod tests {
     use super::*;
     use crate::workload::mixed_workload;
+    use libra_sim::invocation::{Prediction, PredictionPath};
 
     fn cfg(harvesting: bool) -> LiveConfig {
         LiveConfig {
@@ -394,8 +593,11 @@ mod tests {
             capacity: ResourceVec::from_cores_mb(16, 16 * 1024),
             shards: 2,
             harvesting,
+            control: ControlConfig::default(),
             quantum: Duration::from_millis(1),
             time_scale: 8.0,
+            watchdog: Duration::from_secs(30),
+            record_trace: false,
             chaos: None,
         }
     }
@@ -428,11 +630,11 @@ mod tests {
         assert!(acc > 0, "some invocations must be accelerated live");
         // Acceleration + packing must help the tail (generous margin: the
         // live run is timing-noisy).
+        let [libra_p90] = libra.latency_percentiles(&[90.0])[..] else { unreachable!() };
+        let [fixed_p90] = fixed.latency_percentiles(&[90.0])[..] else { unreachable!() };
         assert!(
-            libra.latency_percentile(90.0) < fixed.latency_percentile(90.0) * 1.05,
-            "live Libra p90 {:.0}ms vs fixed {:.0}ms",
-            libra.latency_percentile(90.0),
-            fixed.latency_percentile(90.0)
+            libra_p90 < fixed_p90 * 1.05,
+            "live Libra p90 {libra_p90:.0}ms vs fixed {fixed_p90:.0}ms"
         );
     }
 
@@ -464,5 +666,93 @@ mod tests {
             r.loans_expired > 0,
             "sources completing before borrowers must revoke loans mid-flight"
         );
+    }
+
+    #[test]
+    fn safeguard_releases_preemptively_live() {
+        // Memory prediction (1200 MB) far below the true 2048 MB footprint:
+        // the ramping usage crosses 80 % of the harvested grant at ~29 %
+        // progress and the safeguard must restore nominal before the OOM
+        // rule (which would need ~45 %) can fire.
+        let w = vec![LiveRequest {
+            at_ms: 0,
+            func: 0,
+            alloc: ResourceVec::new(4_000, 4_096),
+            demand_cpu_millis: 1_000,
+            demand_mem_mb: 2_048,
+            mem_floor_mb: 64,
+            work_mcore_ms: 1_000 * 1_000,
+            pred: Some(Prediction {
+                cpu_millis: 1_000,
+                mem_mb: 1_200,
+                duration: SimDuration::from_millis(1_000),
+                path: PredictionPath::Histogram,
+            }),
+        }];
+        let mut c = cfg(true);
+        c.nodes = 1;
+        c.shards = 1;
+        let r = run_live(&w, &c);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.records[0].harvested);
+        assert!(r.records[0].safeguarded, "safeguard must fire on the misprediction");
+        assert!(r.safeguard_releases >= 1);
+        assert_eq!(r.records[0].oom_restarts, 0, "preemptive release must beat the OOM rule");
+    }
+
+    #[test]
+    fn oom_restarts_at_nominal_live() {
+        // Safeguard off (Libra-NS): the mispredicted footprint crosses the
+        // harvested 512 MB grant at ~33 % progress, the OOM rule restarts
+        // the invocation at its nominal 2048 MB and it completes.
+        let w = vec![LiveRequest {
+            at_ms: 0,
+            func: 0,
+            alloc: ResourceVec::new(2_000, 2_048),
+            demand_cpu_millis: 2_000,
+            demand_mem_mb: 1_024,
+            mem_floor_mb: 64,
+            work_mcore_ms: 2_000 * 600,
+            pred: Some(Prediction {
+                cpu_millis: 2_000,
+                mem_mb: 512,
+                duration: SimDuration::from_millis(600),
+                path: PredictionPath::Histogram,
+            }),
+        }];
+        let mut c = cfg(true);
+        c.nodes = 1;
+        c.shards = 1;
+        c.control.safeguard = false;
+        let r = run_live(&w, &c);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.records[0].oom_restarts >= 1, "the OOM rule must restart the invocation");
+        assert!(r.oom_restarts >= 1);
+    }
+
+    #[test]
+    fn watchdog_trips_with_diagnostics() {
+        // A request larger than any node can ever admit: without the
+        // watchdog this run would spin in the admission loop forever.
+        let w = vec![LiveRequest {
+            at_ms: 0,
+            func: 0,
+            alloc: ResourceVec::new(32_000, 1_024),
+            demand_cpu_millis: 1_000,
+            demand_mem_mb: 256,
+            mem_floor_mb: 64,
+            work_mcore_ms: 1_000 * 100,
+            pred: None,
+        }];
+        let mut c = cfg(true);
+        c.watchdog = Duration::from_millis(250);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_live(&w, &c)));
+        std::panic::set_hook(prev);
+        let err = res.expect_err("watchdog must trip on an unschedulable request");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("watchdog"), "diagnostic panic expected, got: {msg}");
+        assert!(msg.contains("0/1 invocations completed"), "dump must carry progress: {msg}");
     }
 }

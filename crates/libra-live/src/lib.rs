@@ -1,19 +1,23 @@
 //! # libra-live — Libra's control plane under real concurrency
 //!
-//! The deterministic simulator (`libra-sim`) validates Libra's *decisions*;
-//! this crate validates the *mechanics*: node state behind `parking_lot`
-//! locks, one thread per running invocation, the decentralized sharded
-//! scheduler of §6.4 doing real message-passing admission, and the
-//! timeliness law (§3.1) enforced in real time — a completing donor revokes
-//! its loans while borrowers are mid-quantum on other threads.
+//! The deterministic simulator (`libra-sim`) and this crate drive the *same*
+//! policy core — [`libra_core::controlplane::ControlPlane`] — through the
+//! same action-trace contract; what changes is the substrate. Here the
+//! mechanics are real: node state behind `parking_lot` locks, one thread per
+//! running invocation, the decentralized sharded scheduler of §6.4 doing
+//! real message-passing admission, and the full policy surface — CPU *and*
+//! memory harvesting, safeguard preemptive release (§5.2), OOM restarts
+//! (§5.1) and the timeliness law (§3.1) — enforced in real time while a
+//! watchdog turns any wedged run into a diagnostic panic.
 //!
 //! ```no_run
 //! use libra_live::{mixed_workload, run_live, LiveConfig};
 //!
 //! let workload = mixed_workload(60, 7);
 //! let result = run_live(&workload, &LiveConfig::default());
-//! println!("p99 {:.0} ms, {} loans expired mid-flight",
-//!          result.latency_percentile(99.0), result.loans_expired);
+//! let p = result.latency_percentiles(&[50.0, 99.0]);
+//! println!("p50 {:.0} ms, p99 {:.0} ms, {} loans expired mid-flight",
+//!          p[0], p[1], result.loans_expired);
 //! ```
 
 #![warn(missing_docs)]
@@ -21,5 +25,9 @@
 pub mod cluster;
 pub mod workload;
 
-pub use cluster::{run_live, LiveConfig, LiveRecord, LiveResult};
+pub use cluster::{run_live, LiveChaos, LiveConfig, LiveRecord, LiveResult};
 pub use workload::{mixed_workload, LiveRequest};
+
+// The live driver replays these; re-exported so trace consumers need not
+// depend on libra-core directly.
+pub use libra_core::controlplane::{Action, ControlConfig};

@@ -1,28 +1,41 @@
 //! Live workloads: real-time invocation requests.
 //!
 //! The live platform validates Libra's *concurrent control plane* — the
-//! races between harvesting, acceleration, safeguard releases and the
-//! timeliness revocations at completion — so its workload format carries the
-//! resolved facts of each invocation (allocation, true CPU demand, work),
-//! not the full profiling pipeline (which the deterministic simulator
-//! validates; see `libra-sim` / `libra-core`).
+//! races between harvesting, acceleration, safeguard releases, OOM restarts
+//! and the timeliness revocations at completion — so its workload format
+//! carries the resolved facts of each invocation (allocation, true CPU/memory
+//! demand, work) plus the control plane's *belief* about it (an optional
+//! [`Prediction`]). Predictions may deliberately mispredict: that is how the
+//! live runtime exercises the safeguard and OOM paths the simulator
+//! validates deterministically.
 
+use libra_sim::invocation::{Prediction, PredictionPath};
 use libra_sim::resources::ResourceVec;
+use libra_sim::time::SimDuration;
 
 /// One invocation request for the live platform.
 #[derive(Clone, Copy, Debug)]
 pub struct LiveRequest {
     /// Arrival offset from workload start, in scaled milliseconds.
     pub at_ms: u64,
-    /// Function id (drives hashing/warm locality).
+    /// Function id (drives hashing/warm locality and the safeguard's
+    /// per-function history).
     pub func: u32,
     /// User-defined allocation.
     pub alloc: ResourceVec,
     /// True CPU demand in millicores (what the code can actually use).
     pub demand_cpu_millis: u64,
+    /// True memory footprint peak in MB (ramps 25 % → 100 % over the
+    /// execution, the same model the simulator uses).
+    pub demand_mem_mb: u64,
+    /// OOM memory floor the platform must leave with this function (§5.1).
+    pub mem_floor_mb: u64,
     /// Total CPU work in millicore-milliseconds: running at `demand` for
     /// `work / demand` milliseconds completes it.
     pub work_mcore_ms: u64,
+    /// The control plane's demand estimate (`None` = unprofiled: serve at
+    /// the user allocation, no harvesting).
+    pub pred: Option<Prediction>,
 }
 
 impl LiveRequest {
@@ -35,10 +48,24 @@ impl LiveRequest {
     pub fn alloc_duration_ms(&self) -> u64 {
         self.work_mcore_ms / self.demand_cpu_millis.min(self.alloc.cpu_millis).max(1)
     }
+
+    /// An exact prediction for this request's demands and duration, with
+    /// `mem_pad_mb` of headroom on the memory estimate.
+    pub fn exact_pred(&self, mem_pad_mb: u64) -> Prediction {
+        Prediction {
+            cpu_millis: self.demand_cpu_millis,
+            mem_mb: self.demand_mem_mb + mem_pad_mb,
+            duration: SimDuration::from_millis(self.base_duration_ms()),
+            path: PredictionPath::Histogram,
+        }
+    }
 }
 
 /// A synthetic live workload mixing over-provisioned donors and
 /// under-provisioned acceptors — the harvesting opportunity in miniature.
+/// Predictions are exact on CPU and padded by a third on donor memory, so
+/// the mix exercises CPU+memory harvesting and acceleration without
+/// tripping the safeguard (dedicated tests mispredict on purpose).
 pub fn mixed_workload(n: usize, seed: u64) -> Vec<LiveRequest> {
     let mut out = Vec::with_capacity(n);
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -55,13 +82,26 @@ pub fn mixed_workload(n: usize, seed: u64) -> Vec<LiveRequest> {
         } else {
             (2_000, 3_000 + (r >> 8) % 3_000) // wants 3-6, allocated 2
         };
+        let demand_mem = 192 + (r >> 16) % 192; // 192-384 MB of 512
         let dur_ms = 400 + (r >> 20) % 1_600; // 0.4-2.0 s at demand
+                                              // Donors keep a third of headroom above the true footprint so the
+                                              // ramping usage stays under the 0.8 safeguard threshold; acceptors
+                                              // are predicted at their full memory allocation (CPU-only loans).
+        let pred_mem = if donor { (demand_mem + demand_mem / 3).min(512) } else { 512 };
         out.push(LiveRequest {
             at_ms: (i as u64) * 25 + (r >> 40) % 25,
             func: (r % 8) as u32,
             alloc: ResourceVec::new(alloc_c, 512),
             demand_cpu_millis: demand_c,
+            demand_mem_mb: demand_mem,
+            mem_floor_mb: 64,
             work_mcore_ms: demand_c * dur_ms,
+            pred: Some(Prediction {
+                cpu_millis: demand_c,
+                mem_mb: pred_mem,
+                duration: SimDuration::from_millis(dur_ms),
+                path: PredictionPath::Histogram,
+            }),
         });
     }
     out.sort_by_key(|r| r.at_ms);
@@ -79,10 +119,14 @@ mod tests {
             func: 0,
             alloc: ResourceVec::new(2_000, 512),
             demand_cpu_millis: 4_000,
+            demand_mem_mb: 256,
+            mem_floor_mb: 64,
             work_mcore_ms: 4_000 * 1_000,
+            pred: None,
         };
         assert_eq!(r.base_duration_ms(), 1_000);
         assert_eq!(r.alloc_duration_ms(), 2_000, "throttled to half speed");
+        assert_eq!(r.exact_pred(64).mem_mb, 320);
     }
 
     #[test]
@@ -93,6 +137,13 @@ mod tests {
         let donors = w.iter().filter(|r| r.demand_cpu_millis < r.alloc.cpu_millis).count();
         let acceptors = w.iter().filter(|r| r.demand_cpu_millis > r.alloc.cpu_millis).count();
         assert!(donors > 20 && acceptors > 20, "{donors} donors, {acceptors} acceptors");
+        // Predictions never undershoot the true footprint (the benign mix),
+        // and donor predictions leave memory to harvest.
+        assert!(w.iter().all(|r| r.pred.unwrap().mem_mb >= r.demand_mem_mb));
+        assert!(w
+            .iter()
+            .any(|r| r.demand_cpu_millis < r.alloc.cpu_millis
+                && r.pred.unwrap().mem_mb < r.alloc.mem_mb));
     }
 
     #[test]
@@ -102,6 +153,8 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.at_ms, y.at_ms);
             assert_eq!(x.work_mcore_ms, y.work_mcore_ms);
+            assert_eq!(x.demand_mem_mb, y.demand_mem_mb);
+            assert_eq!(x.pred, y.pred);
         }
     }
 }

@@ -4,7 +4,7 @@
 //! (CPU peak, memory peak, execution time) and estimates future invocations
 //! conservatively from percentiles: the 99th percentile for resource peaks
 //! (don't under-allocate) and the 5th percentile for execution time (don't
-//! over-promise availability) — §4.3.2, following the Azure convention [36].
+//! over-promise availability) — §4.3.2, following the Azure convention \[36\].
 //!
 //! The implementation is a fixed-bin-count histogram whose range doubles
 //! geometrically when a sample falls outside it, so it ingests unbounded

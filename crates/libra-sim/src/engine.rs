@@ -251,28 +251,20 @@ impl World {
 
     // ---- physics ------------------------------------------------------
 
-    /// Effective work-accumulation rate in millicores.
+    /// Effective work-accumulation rate in millicores (shared physics; the
+    /// live runtime uses the same [`crate::invocation::exec_rate_millis`]).
     fn effective_rate(&self, idx: usize) -> u64 {
         let inv = &self.invs[idx];
         let eff = inv.effective_alloc();
         let scale = inv.node.map_or(1.0, |n| self.node_cpu_scale(n.idx()));
         let usable = (eff.cpu_millis as f64 * scale) as u64;
-        let busy = usable.min(inv.true_demand.cpu_peak_millis);
-        let peak_mem = inv.true_demand.mem_peak_mb;
-        let mem_factor = if eff.mem_mb >= peak_mem {
-            1.0
-        } else if peak_mem > inv.nominal.mem_mb {
-            // User under-provisioned memory: the container spills and slows
-            // down proportionally (this is the Fig 1 "memory acceleration"
-            // opportunity). Floor keeps progress strictly positive.
-            (eff.mem_mb as f64 / peak_mem as f64).max(0.3)
-        } else {
-            // Provider harvested below true usage: the container keeps full
-            // speed until its footprint crosses the grant, at which point the
-            // OOM rule fires (checked on monitor ticks).
-            1.0
-        };
-        ((busy as f64 * mem_factor) as u64).max(1)
+        crate::invocation::exec_rate_millis(
+            usable,
+            eff.mem_mb,
+            inv.true_demand.cpu_peak_millis,
+            inv.true_demand.mem_peak_mb,
+            inv.nominal.mem_mb,
+        )
     }
 
     /// Bring `progress`, the reassignment integrals and the observed CPU peak

@@ -11,6 +11,46 @@ use crate::ids::{FunctionId, InvocationId, NodeId};
 use crate::resources::ResourceVec;
 use crate::time::{SimDuration, SimTime};
 
+/// Substrate-shared execution physics: the work-accumulation rate (in
+/// millicores) of an invocation holding `usable_cpu_millis` of schedulable
+/// CPU and `effective_mem_mb` of memory, against its true demands. The
+/// engine applies node contention scaling to `usable_cpu_millis` before
+/// calling; the live runtime passes its effective grant directly. Keeping
+/// this in one place is what makes the live platform's progress model
+/// *identical* to the simulator's, not a drifting copy.
+pub fn exec_rate_millis(
+    usable_cpu_millis: u64,
+    effective_mem_mb: u64,
+    true_cpu_peak_millis: u64,
+    true_mem_peak_mb: u64,
+    nominal_mem_mb: u64,
+) -> u64 {
+    let busy = usable_cpu_millis.min(true_cpu_peak_millis);
+    let mem_factor = if effective_mem_mb >= true_mem_peak_mb {
+        1.0
+    } else if true_mem_peak_mb > nominal_mem_mb {
+        // User under-provisioned memory: the container spills and slows
+        // down proportionally (this is the Fig 1 "memory acceleration"
+        // opportunity). Floor keeps progress strictly positive.
+        (effective_mem_mb as f64 / true_mem_peak_mb as f64).max(0.3)
+    } else {
+        // Provider harvested below true usage: the container keeps full
+        // speed until its footprint crosses the grant, at which point the
+        // OOM rule fires (checked on monitor ticks).
+        1.0
+    };
+    ((busy as f64 * mem_factor) as u64).max(1)
+}
+
+/// Substrate-shared footprint model: instantaneous memory usage (MB) ramps
+/// linearly from 25 % to 100 % of the peak over the execution — a coarse but
+/// monotone model of heap growth that gives the safeguard a usage signal to
+/// watch (§5.2).
+pub fn mem_usage_model(true_mem_peak_mb: u64, progress_frac: f64) -> u64 {
+    let frac = 0.25 + 0.75 * progress_frac.clamp(0.0, 1.0);
+    (true_mem_peak_mb as f64 * frac).round() as u64
+}
+
 /// Lifecycle states of an invocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub enum InvState {
@@ -272,12 +312,9 @@ impl Invocation {
         }
     }
 
-    /// Instantaneous memory footprint (MB): ramps linearly from 25 % to 100 %
-    /// of the peak over the execution, a coarse but monotone model of heap
-    /// growth that gives the safeguard a usage signal to watch (§5.2).
+    /// Instantaneous memory footprint (MB); see [`mem_usage_model`].
     pub fn mem_usage_mb(&self) -> u64 {
-        let frac = 0.25 + 0.75 * self.progress_frac();
-        (self.true_demand.mem_peak_mb as f64 * frac).round() as u64
+        mem_usage_model(self.true_demand.mem_peak_mb, self.progress_frac())
     }
 
     /// Instantaneous busy millicores: the code uses everything it can, up to

@@ -151,9 +151,14 @@ impl RunResult {
         self.records.iter().map(|r| r.speedup).collect()
     }
 
-    /// The p-th percentile response latency in seconds (p in [0,100]).
+    /// The p-th percentile response latency in seconds (p in \[0,100\]).
     pub fn latency_percentile(&self, p: f64) -> f64 {
         percentile(&self.latencies_sec(), p)
+    }
+
+    /// Several latency percentiles at once, sorting the sample a single time.
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        percentiles(&self.latencies_sec(), ps)
     }
 
     /// Mean CPU utilization over the run (Eq. 2).
@@ -192,13 +197,24 @@ impl RunResult {
     }
 }
 
-/// The p-th percentile (linear interpolation, p in [0,100]) of unsorted data.
+/// The p-th percentile (linear interpolation, p in \[0,100\]) of unsorted data.
 pub fn percentile(data: &[f64], p: f64) -> f64 {
+    percentiles(data, &[p])[0]
+}
+
+/// Several percentiles of unsorted data, sorting it only once. Returns one
+/// value per requested `p` (NaN for every entry when `data` is empty).
+pub fn percentiles(data: &[f64], ps: &[f64]) -> Vec<f64> {
     if data.is_empty() {
-        return f64::NAN;
+        return vec![f64::NAN; ps.len()];
     }
     let mut v = data.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    ps.iter().map(|&p| percentile_sorted(&v, p)).collect()
+}
+
+/// The p-th percentile of data already sorted ascending.
+fn percentile_sorted(v: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -259,6 +275,17 @@ mod tests {
     fn percentile_handles_unsorted() {
         let data = [4.0, 1.0, 3.0, 2.0];
         assert_eq!(percentile(&data, 100.0), 4.0);
+    }
+
+    #[test]
+    fn percentiles_batch_matches_singles() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        let ps = [0.0, 25.0, 50.0, 99.0, 100.0];
+        let batch = percentiles(&data, &ps);
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(batch[i], percentile(&data, p));
+        }
+        assert!(percentiles(&[], &ps).iter().all(|x| x.is_nan()));
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl Node {
 
     /// Try to reserve `res` nominally within `shard`'s slice. Idle warm
     /// containers do not block admission — their pinned memory is evicted
-    /// on demand ([`Node::settle_pins`]), exactly like OpenWhisk's container
+    /// on demand (`Node::settle_pins`), exactly like OpenWhisk's container
     /// pool tearing down paused containers to make room.
     pub fn try_reserve(&mut self, shard: usize, res: ResourceVec) -> bool {
         if res.fits_within(&self.free_in_shard(shard)) {

@@ -1,6 +1,6 @@
 //! The ten serverless applications of Table 1.
 //!
-//! The paper evaluates with the SeBS benchmark suite [14]: five functions
+//! The paper evaluates with the SeBS benchmark suite \[14\]: five functions
 //! whose resource demands and execution time are dominated by *input size*
 //! (UL, TN, CP, DV, DH) and five dominated by *input content* (VP, IR, GP,
 //! GM, GB). SeBS itself is Python + real datasets (CIFAR-100, YouTube-8M,
@@ -16,7 +16,7 @@
 //!   bottom half of Table 2),
 //! * a mix of over-provisioned (harvestable) and under-provisioned
 //!   (accelerable) defaults, matching the 20–60 % utilization reported for
-//!   production serverless platforms [42].
+//!   production serverless platforms \[42\].
 
 use libra_sim::demand::{DemandModel, InputMeta, TrueDemand};
 use libra_sim::function::FunctionSpec;
@@ -95,7 +95,7 @@ impl AppKind {
 
     /// User-defined (default) allocation from the suite's settings. Users
     /// over-provision (most production functions utilize only 20–60 % of
-    /// their allocation [42]); VP and IR are the chronically
+    /// their allocation \[42\]); VP and IR are the chronically
     /// under-provisioned ones the paper's motivation highlights.
     pub fn user_alloc(&self) -> ResourceVec {
         match self {

@@ -1,6 +1,6 @@
 //! Azure-Functions-like invocation trace generators.
 //!
-//! The paper samples eleven trace sets from the Azure Functions traces [36]:
+//! The paper samples eleven trace sets from the Azure Functions traces \[36\]:
 //! one `single` set (165 invocations) for the single-node experiments and
 //! ten `multi` sets (1,050 invocations in total, 10→300 requests per minute)
 //! for the multi-node scheduling experiments (§8.2.2). The raw traces are

@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, deny rustdoc warnings)"
+# --exclude libra-cli: its `libra` bin collides with the root `libra` lib in
+# the doc output path (cargo #6313); the CLI has no API docs to gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet --exclude libra-cli
+
 echo "==> cargo build --release"
 cargo build --release
 

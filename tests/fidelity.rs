@@ -1,0 +1,232 @@
+//! Cross-substrate fidelity: the deterministic simulator and the live
+//! threaded runtime are both thin drivers of the *same*
+//! `libra_core::controlplane::ControlPlane`, so one deterministic workload
+//! driven through both substrates must produce the same per-invocation
+//! action traces — harvest grants, loans (CPU *and* memory), the safeguard's
+//! preemptive release and the timeliness revocation, with identical volumes.
+//!
+//! The scenario (one 16-core/16-GB node, four invocations):
+//!
+//! * **A** (t=0): over-provisioned donor — harvested to its prediction,
+//!   lends to B and D, completes while D still runs (timeliness revoke).
+//! * **B** (t=100 ms): under-provisioned on CPU *and* memory — takes a
+//!   mixed CPU+memory loan from A and completes before A (re-harvest).
+//! * **C** (t=200 ms): memory misprediction — harvested too deep; its
+//!   ramping footprint crosses the safeguard threshold and triggers a
+//!   preemptive release (§5.2) before the OOM rule can fire.
+//! * **D** (t=300 ms): CPU-hungry borrower that outlives its donor.
+
+use libra::core::controlplane::Action;
+use libra::core::{LibraConfig, LibraPlatform};
+use libra::live::{run_live, LiveConfig, LiveRequest};
+use libra::sim::demand::{ConstantDemand, InputMeta, TrueDemand};
+use libra::sim::engine::{SimConfig, SimCtx, Simulation, World};
+use libra::sim::function::FunctionSpec;
+use libra::sim::ids::{FunctionId, InvocationId, NodeId};
+use libra::sim::invocation::{Actuals, Loan, Prediction, PredictionPath};
+use libra::sim::platform::{LoanEnd, Platform, PlatformOverheads, PlatformReport};
+use libra::sim::resources::ResourceVec;
+use libra::sim::time::{SimDuration, SimTime};
+use libra::sim::trace::Trace;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scenario invocation: allocation, ground truth, and the prediction
+/// both control planes are fed.
+struct Actor {
+    alloc: (u64, u64),
+    demand: (u64, u64, u64), // cpu millicores, mem MB, duration ms
+    pred: (u64, u64, u64),
+}
+
+const ACTORS: [Actor; 4] = [
+    // A: donor — predicted exactly on CPU, memory padded 2x (never safeguards).
+    Actor { alloc: (8_000, 4_096), demand: (2_000, 1_024, 1_500), pred: (2_000, 2_048, 1_500) },
+    // B: borrower of CPU and memory; true footprint above its allocation.
+    Actor { alloc: (2_000, 512), demand: (4_000, 1_024, 600), pred: (4_000, 1_024, 600) },
+    // C: memory misprediction — 1200 MB predicted, 2048 MB real.
+    Actor { alloc: (4_000, 4_096), demand: (1_000, 2_048, 1_000), pred: (1_000, 1_200, 1_000) },
+    // D: CPU borrower that outlives donor A.
+    Actor { alloc: (2_000, 512), demand: (3_000, 384, 2_000), pred: (3_000, 512, 2_000) },
+];
+
+const ARRIVALS_MS: [u64; 4] = [0, 100, 200, 300];
+
+fn prediction(p: (u64, u64, u64)) -> Prediction {
+    Prediction {
+        cpu_millis: p.0,
+        mem_mb: p.1,
+        duration: SimDuration::from_millis(p.2),
+        path: PredictionPath::Histogram,
+    }
+}
+
+/// A `LibraPlatform` with the profiler pinned: `predict` returns the
+/// scenario's fixed per-function predictions so both substrates reason from
+/// identical beliefs. Everything else delegates.
+struct FixedPredPlatform {
+    inner: LibraPlatform,
+    preds: Vec<Prediction>,
+}
+
+impl Platform for FixedPredPlatform {
+    fn name(&self) -> String {
+        "libra-fixed-pred".into()
+    }
+    fn init(&mut self, world: &World) {
+        self.inner.init(world);
+    }
+    fn overheads(&self) -> PlatformOverheads {
+        self.inner.overheads()
+    }
+    fn predict(&mut self, world: &World, inv: InvocationId) -> Option<Prediction> {
+        Some(self.preds[world.inv(inv).func.idx()])
+    }
+    fn select_node(&mut self, world: &World, shard: usize, inv: InvocationId) -> Option<NodeId> {
+        self.inner.select_node(world, shard, inv)
+    }
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.inner.on_start(ctx, inv);
+    }
+    fn on_tick(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.inner.on_tick(ctx, inv);
+    }
+    fn on_complete(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId, actuals: &Actuals) {
+        self.inner.on_complete(ctx, inv, actuals);
+    }
+    fn on_loan_ended(&mut self, ctx: &mut SimCtx<'_>, loan: &Loan, reason: LoanEnd) {
+        self.inner.on_loan_ended(ctx, loan, reason);
+    }
+    fn on_oom(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.inner.on_oom(ctx, inv);
+    }
+    fn on_ping(&mut self, world: &World, node: NodeId) {
+        self.inner.on_ping(world, node);
+    }
+    fn on_node_crash(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {
+        self.inner.on_node_crash(ctx, node);
+    }
+    fn on_abort(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
+        self.inner.on_abort(ctx, inv);
+    }
+    fn report(&self) -> PlatformReport {
+        self.inner.report()
+    }
+}
+
+/// Drive the scenario through the simulator; return the recorded action trace.
+fn sim_trace() -> Vec<Action> {
+    let funcs: Vec<FunctionSpec> = ACTORS
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            FunctionSpec::new(
+                format!("actor-{i}"),
+                ResourceVec::new(a.alloc.0, a.alloc.1),
+                Arc::new(ConstantDemand(TrueDemand {
+                    cpu_peak_millis: a.demand.0,
+                    mem_peak_mb: a.demand.1,
+                    base_duration: SimDuration::from_millis(a.demand.2),
+                })),
+            )
+            .with_mem_floor(64)
+        })
+        .collect();
+    let mut trace = Trace::new();
+    for (i, at) in ARRIVALS_MS.iter().enumerate() {
+        trace.push(SimTime::from_millis(*at), FunctionId(i as u32), InputMeta::new(1, 1));
+    }
+    let sim = Simulation::new(
+        funcs,
+        vec![ResourceVec::from_cores_mb(16, 16 * 1024)],
+        SimConfig { shards: 1, ..SimConfig::default() },
+    );
+    let mut platform = FixedPredPlatform {
+        inner: LibraPlatform::new(LibraConfig::libra()),
+        preds: ACTORS.iter().map(|a| prediction(a.pred)).collect(),
+    };
+    platform.inner.enable_action_trace();
+    let r = sim.run(&trace, &mut platform);
+    assert_eq!(r.records.len(), 4, "all sim invocations must complete");
+    platform.inner.core().action_trace().to_vec()
+}
+
+/// Drive the same scenario through the live threaded runtime.
+fn live_trace() -> (Vec<Action>, libra::live::LiveResult) {
+    let workload: Vec<LiveRequest> = ACTORS
+        .iter()
+        .zip(ARRIVALS_MS)
+        .map(|(a, at_ms)| LiveRequest {
+            at_ms,
+            func: 0, // distinct funcs come from per-request predictions below
+            alloc: ResourceVec::new(a.alloc.0, a.alloc.1),
+            demand_cpu_millis: a.demand.0,
+            demand_mem_mb: a.demand.1,
+            mem_floor_mb: 64,
+            work_mcore_ms: a.demand.0 * a.demand.2,
+            pred: Some(prediction(a.pred)),
+        })
+        .collect();
+    let cfg = LiveConfig {
+        nodes: 1,
+        capacity: ResourceVec::from_cores_mb(16, 16 * 1024),
+        shards: 1,
+        harvesting: true,
+        quantum: Duration::from_millis(1),
+        time_scale: 4.0,
+        record_trace: true,
+        ..LiveConfig::default()
+    };
+    let r = run_live(&workload, &cfg);
+    assert_eq!(r.records.len(), 4, "all live invocations must complete");
+    (r.actions_by_node[0].clone(), r)
+}
+
+fn project(trace: &[Action], inv: u32) -> Vec<Action> {
+    trace.iter().copied().filter(|a| a.subject() == InvocationId(inv)).collect()
+}
+
+#[test]
+fn sim_and_live_action_traces_match() {
+    let sim = sim_trace();
+    let (live, result) = live_trace();
+
+    // Same control plane, same inputs → identical per-invocation decisions,
+    // down to the exact volumes. (Projection by subject makes the comparison
+    // robust to cross-invocation interleaving, which real threads reorder.)
+    for inv in 0..4u32 {
+        assert_eq!(
+            project(&sim, inv),
+            project(&live, inv),
+            "substrates diverged for invocation {inv}\n sim: {sim:#?}\nlive: {live:#?}"
+        );
+    }
+
+    // The live run demonstrably exercised a *memory* loan (A → B)...
+    assert!(
+        live.iter().any(|a| matches!(a, Action::Lend { vol, .. } if vol.mem_mb > 0)),
+        "live trace must contain a memory-dimension loan: {live:#?}"
+    );
+    // ...and a safeguard preemptive release (C's misprediction).
+    assert!(
+        live.iter().any(|a| matches!(a, Action::PreemptiveRelease { .. })),
+        "live trace must contain a preemptive release: {live:#?}"
+    );
+    assert!(result.safeguard_releases >= 1);
+    assert!(result.records[2].safeguarded, "C must be safeguarded live");
+
+    // The timeliness law crossed substrates too: A's loan to D died with A.
+    assert!(
+        project(&live, 0)
+            .iter()
+            .any(|a| matches!(a, Action::Revoke { reason: LoanEnd::SourceCompleted, .. })),
+        "A completing must revoke its loan to D mid-flight"
+    );
+    // And B's completion re-harvested its mixed loan back to A.
+    assert!(
+        project(&live, 1)
+            .iter()
+            .any(|a| matches!(a, Action::Revoke { reason: LoanEnd::BorrowerCompleted, vol, .. } if vol.mem_mb > 0)),
+        "B completing must return its CPU+memory loan"
+    );
+}
