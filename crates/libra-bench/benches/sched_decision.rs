@@ -20,8 +20,13 @@ fn req(i: u64, accelerable: bool) -> ScheduleRequest {
 fn bench_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_decision");
     for &nodes in &[10usize, 50, 200] {
-        let sched =
-            ShardedScheduler::spawn(4, nodes, ResourceVec::from_cores_mb(24, 24 * 1024), 0.9);
+        let sched = ShardedScheduler::spawn_with_clock(
+            4,
+            nodes,
+            ResourceVec::from_cores_mb(24, 24 * 1024),
+            0.9,
+            std::sync::Arc::new(libra_live::WallClock::new()),
+        );
         let mut i = 0u64;
         group.bench_with_input(BenchmarkId::new("hash_path", nodes), &nodes, |b, _| {
             b.iter(|| {

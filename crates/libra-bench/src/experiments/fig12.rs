@@ -117,7 +117,13 @@ pub fn sched_overhead() -> Vec<(usize, f64)> {
     row(&["invocations".into(), "mean overhead (ms)".into(), "max (ms)".into()]);
     let mut out = Vec::new();
     for n in [200usize, 400, 600, 800, 1000] {
-        let sched = ShardedScheduler::spawn(4, 50, ResourceVec::from_cores_mb(24, 24 * 1024), 0.9);
+        let sched = ShardedScheduler::spawn_with_clock(
+            4,
+            50,
+            ResourceVec::from_cores_mb(24, 24 * 1024),
+            0.9,
+            std::sync::Arc::new(libra_live::WallClock::new()),
+        );
         let mut lat = Vec::with_capacity(n);
         for i in 0..n {
             let d = sched.schedule(ScheduleRequest {

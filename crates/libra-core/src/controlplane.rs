@@ -295,21 +295,30 @@ impl ControlPlane {
         out: &mut Vec<Action>,
     ) {
         let order = self.cfg.pool_order;
-        let grants = self.pools[node.idx()].get_with(want, now, order);
+        let Some(pool) = self.pools.get_mut(node.idx()) else { return };
+        let grants = pool.get_with(want, now, order);
         for (source, vol) in grants {
             // A substrate never honours a self-loan or an unledgered source;
             // resynchronize by dropping the stale entry (mirrors the
             // historical sim-platform behaviour).
             if source == borrower || !self.ledger.contains_key(&source) {
-                self.pools[node.idx()].remove(source, now);
+                if let Some(p) = self.pools.get_mut(node.idx()) {
+                    p.remove(source, now);
+                }
                 continue;
             }
-            self.ledger
-                .get_mut(&borrower)
-                .expect("acquire for unledgered borrower")
-                .borrowed
-                .push((source, vol));
-            self.ledger.get_mut(&source).expect("checked above").lent_out += vol;
+            let Some(be) = self.ledger.get_mut(&borrower) else {
+                // Unledgered borrower (already completed/aborted): the grant
+                // goes straight back to its source's pool entry.
+                if let Some(p) = self.pools.get_mut(node.idx()) {
+                    p.give_back(source, vol, now);
+                }
+                continue;
+            };
+            be.borrowed.push((source, vol));
+            if let Some(se) = self.ledger.get_mut(&source) {
+                se.lent_out += vol;
+            }
             self.emit(out, Action::Lend { source, borrower, vol });
         }
     }
@@ -341,6 +350,12 @@ impl ControlPlane {
     /// Admission: harvest if over-provisioned (Step 5 of Fig 3), then
     /// accelerate the shortfall from the pool, best-effort.
     pub fn on_admit(&mut self, a: Admission, now: SimTime) -> Vec<Action> {
+        let out = self.admit_inner(a, now);
+        crate::audit::post_event(self, "on_admit");
+        out
+    }
+
+    fn admit_inner(&mut self, a: Admission, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         let mut entry = Entry {
             node: a.node,
@@ -373,7 +388,9 @@ impl ControlPlane {
             self.emit(&mut out, Action::SetGrant { inv: a.inv, grant, freed });
             if !freed.is_zero() {
                 let priority = now + pred.duration;
-                self.pools[a.node.idx()].put(a.inv, freed, priority, now);
+                if let Some(p) = self.pools.get_mut(a.node.idx()) {
+                    p.put(a.inv, freed, priority, now);
+                }
             }
         }
         self.ledger.insert(a.inv, entry);
@@ -389,6 +406,12 @@ impl ControlPlane {
     /// A monitor observation for a running invocation: safeguard check,
     /// usage-guided loan trimming, continuous acceleration.
     pub fn on_observe(&mut self, inv: InvocationId, obs: Observation, now: SimTime) -> Vec<Action> {
+        let out = self.observe_inner(inv, obs, now);
+        crate::audit::post_event(self, "on_observe");
+        out
+    }
+
+    fn observe_inner(&mut self, inv: InvocationId, obs: Observation, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         let Some(e) = self.ledger.get(&inv) else { return out };
         let (node, func, nominal, pred) = (e.node, e.func, e.nominal, e.pred);
@@ -417,10 +440,12 @@ impl ControlPlane {
                             },
                         );
                     }
-                    let e = self.ledger.get_mut(&inv).expect("present above");
+                    let Some(e) = self.ledger.get_mut(&inv) else { return out };
                     let restored = nominal.saturating_sub(&e.own_grant);
                     e.own_grant = nominal;
-                    self.pools[node.idx()].remove(inv, now);
+                    if let Some(p) = self.pools.get_mut(node.idx()) {
+                        p.remove(inv, now);
+                    }
                     self.safeguard.record_trigger(func);
                     self.emit(&mut out, Action::PreemptiveRelease { inv, restored });
                     return out;
@@ -434,7 +459,7 @@ impl ControlPlane {
         // use (over-inflated prediction) so other accelerable invocations
         // aren't starved. Memory is never trimmed — footprints grow over the
         // execution, and a trimmed grant could turn into an OOM later.
-        let e = self.ledger.get_mut(&inv).expect("present above");
+        let Some(e) = self.ledger.get_mut(&inv) else { return out };
         let borrowed_cpu: u64 = e.borrowed.iter().map(|(_, v)| v.cpu_millis).sum();
         if borrowed_cpu > 0 {
             let eff_cpu = e.effective().cpu_millis;
@@ -463,7 +488,9 @@ impl ControlPlane {
                     if let Some(se) = self.ledger.get_mut(&src) {
                         se.lent_out = se.lent_out.saturating_sub(&vol);
                     }
-                    self.pools[node.idx()].give_back(src, vol, now);
+                    if let Some(p) = self.pools.get_mut(node.idx()) {
+                        p.give_back(src, vol, now);
+                    }
                     self.emit(&mut out, Action::Return { borrower: inv, source: src, vol });
                 }
             }
@@ -476,7 +503,7 @@ impl ControlPlane {
         if !self.cfg.continuous_acceleration {
             return out;
         }
-        let e = self.ledger.get(&inv).expect("present above");
+        let Some(e) = self.ledger.get(&inv) else { return out };
         let eff = e.effective();
         let shortfall = pred.peak().saturating_sub(&eff);
         if shortfall.is_zero() {
@@ -497,9 +524,17 @@ impl ControlPlane {
     /// lent (the timeliness law) and return everything it borrowed to its
     /// sources' pool entries (re-harvesting, §5.1).
     pub fn on_complete(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
+        let out = self.complete_inner(inv, now);
+        crate::audit::post_event(self, "on_complete");
+        out
+    }
+
+    fn complete_inner(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         let Some(e) = self.ledger.remove(&inv) else { return out };
-        self.pools[e.node.idx()].remove(inv, now);
+        if let Some(p) = self.pools.get_mut(e.node.idx()) {
+            p.remove(inv, now);
+        }
         for (borrower, vol) in self.collect_outgoing(inv) {
             self.counters.loans_expired += 1;
             self.emit(
@@ -512,7 +547,9 @@ impl ControlPlane {
             if let Some(se) = self.ledger.get_mut(&source) {
                 se.lent_out = se.lent_out.saturating_sub(&vol);
                 let src_node = se.node;
-                self.pools[src_node.idx()].give_back(source, vol, now);
+                if let Some(p) = self.pools.get_mut(src_node.idx()) {
+                    p.give_back(source, vol, now);
+                }
             }
             self.emit(
                 &mut out,
@@ -525,6 +562,12 @@ impl ControlPlane {
     /// The OOM rule fired for a harvested invocation: unwind all its loans,
     /// restore its grant and ask the driver to restart it at nominal.
     pub fn on_oom(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
+        let out = self.oom_inner(inv, now);
+        crate::audit::post_event(self, "on_oom");
+        out
+    }
+
+    fn oom_inner(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         let Some(e) = self.ledger.get(&inv) else { return out };
         let (node, func) = (e.node, e.func);
@@ -534,26 +577,30 @@ impl ControlPlane {
                 Action::Revoke { source: inv, borrower, vol, reason: LoanEnd::SourceOom },
             );
         }
-        let borrowed: Vec<(InvocationId, ResourceVec)> = {
-            let e = self.ledger.get_mut(&inv).expect("present above");
-            std::mem::take(&mut e.borrowed)
+        let borrowed: Vec<(InvocationId, ResourceVec)> = match self.ledger.get_mut(&inv) {
+            Some(e) => std::mem::take(&mut e.borrowed),
+            None => Vec::new(),
         };
         for (source, vol) in borrowed {
             self.counters.loans_reharvested += 1;
             if let Some(se) = self.ledger.get_mut(&source) {
                 se.lent_out = se.lent_out.saturating_sub(&vol);
                 let src_node = se.node;
-                self.pools[src_node.idx()].give_back(source, vol, now);
+                if let Some(p) = self.pools.get_mut(src_node.idx()) {
+                    p.give_back(source, vol, now);
+                }
             }
             self.emit(
                 &mut out,
                 Action::Revoke { source, borrower: inv, vol, reason: LoanEnd::BorrowerCompleted },
             );
         }
-        let e = self.ledger.get_mut(&inv).expect("present above");
+        let Some(e) = self.ledger.get_mut(&inv) else { return out };
         let restored = e.nominal.saturating_sub(&e.own_grant);
         e.own_grant = e.nominal;
-        self.pools[node.idx()].remove(inv, now);
+        if let Some(p) = self.pools.get_mut(node.idx()) {
+            p.remove(inv, now);
+        }
         self.safeguard.record_oom(func);
         self.emit(&mut out, Action::Requeue { inv, restored });
         out
@@ -562,9 +609,17 @@ impl ControlPlane {
     /// A crash/abort killed this attempt: both loan directions die with it
     /// (nothing returns to the pool — the volumes were lost, not idled).
     pub fn on_abort(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
+        let out = self.abort_inner(inv, now);
+        crate::audit::post_event(self, "on_abort");
+        out
+    }
+
+    fn abort_inner(&mut self, inv: InvocationId, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
         let Some(e) = self.ledger.remove(&inv) else { return out };
-        self.pools[e.node.idx()].remove(inv, now);
+        if let Some(p) = self.pools.get_mut(e.node.idx()) {
+            p.remove(inv, now);
+        }
         for (borrower, vol) in self.collect_outgoing(inv) {
             self.counters.loans_crashed += 1;
             self.emit(
@@ -589,18 +644,32 @@ impl ControlPlane {
     /// residual ledger entries (residents are normally aborted one by one
     /// first, so this is a defensive sweep).
     pub fn on_node_crash(&mut self, node: NodeId, now: SimTime) -> Vec<Action> {
-        let pool = &mut self.pools[node.idx()];
-        for id in pool.sources() {
-            pool.remove(id, now);
+        if let Some(pool) = self.pools.get_mut(node.idx()) {
+            for id in pool.sources() {
+                pool.remove(id, now);
+            }
         }
         self.counters.crash_sweeps += 1;
         self.ledger.retain(|_, e| e.node != node);
+        crate::audit::post_event(self, "on_node_crash");
         Vec::new()
     }
 
     /// Driver feedback: a [`Action::Lend`] could not be applied. Unwinds the
     /// optimistic ledger records and resynchronizes the pool.
     pub fn lend_failed(
+        &mut self,
+        source: InvocationId,
+        borrower: InvocationId,
+        vol: ResourceVec,
+        why: LendFailure,
+        now: SimTime,
+    ) {
+        self.lend_failed_inner(source, borrower, vol, why, now);
+        crate::audit::post_event(self, "lend_failed");
+    }
+
+    fn lend_failed_inner(
         &mut self,
         source: InvocationId,
         borrower: InvocationId,
@@ -620,12 +689,13 @@ impl ControlPlane {
             node = Some(se.node);
         }
         let Some(node) = node else { return };
+        let Some(pool) = self.pools.get_mut(node.idx()) else { return };
         match why {
             LendFailure::SourceGone => {
-                self.pools[node.idx()].remove(source, now);
+                pool.remove(source, now);
             }
             LendFailure::NoCapacity => {
-                self.pools[node.idx()].give_back(source, vol, now);
+                pool.give_back(source, vol, now);
             }
         }
     }
@@ -666,14 +736,15 @@ impl ControlPlane {
         &self.pools
     }
 
-    /// One node's harvest pool.
-    pub fn pool(&self, node: NodeId) -> &HarvestResourcePool {
-        &self.pools[node.idx()]
+    /// One node's harvest pool (`None` for an unknown node id).
+    pub fn pool(&self, node: NodeId) -> Option<&HarvestResourcePool> {
+        self.pools.get(node.idx())
     }
 
     /// A scheduler-facing snapshot of one node's pool (§6.4 piggyback).
+    /// An unknown node id yields an empty snapshot.
     pub fn snapshot(&self, node: NodeId, now: SimTime) -> PoolSnapshot {
-        self.pools[node.idx()].snapshot(now)
+        self.pools.get(node.idx()).map(|p| p.snapshot(now)).unwrap_or_default()
     }
 
     /// The safeguard (trigger counts, per-function blacklist state).
@@ -815,7 +886,7 @@ mod tests {
         assert!(acts.iter().any(|a| matches!(a, Action::PreemptiveRelease { restored, .. }
             if *restored == ResourceVec::new(3_000, 1_536))));
         assert_eq!(c.charge(InvocationId(1)), Some(ResourceVec::new(4_000, 2_048)));
-        assert!(c.pool(NodeId(0)).is_empty(), "pool entry removed on release");
+        assert!(c.pool(NodeId(0)).unwrap().is_empty(), "pool entry removed on release");
         c.check_conservation().unwrap();
     }
 
@@ -828,7 +899,7 @@ mod tests {
         assert!(acts.iter().any(|a| matches!(a, Action::Requeue { restored, .. }
             if restored.mem_mb == 2_048 - 256)));
         assert_eq!(c.charge(InvocationId(1)), Some(ResourceVec::new(2_000, 2_048)));
-        assert!(c.pool(NodeId(0)).is_empty());
+        assert!(c.pool(NodeId(0)).unwrap().is_empty());
         c.check_conservation().unwrap();
     }
 

@@ -33,7 +33,9 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod batch;
+pub mod clock;
 pub mod controlplane;
 pub mod coverage;
 pub mod platform;
@@ -44,6 +46,7 @@ pub mod scheduler;
 pub mod sharding;
 
 pub use batch::{greedy_assign, optimal_assign, Assignment, BatchNode, BatchRequest};
+pub use clock::{Clock, ManualClock, NullClock};
 pub use controlplane::{
     Action, Admission, ControlConfig, ControlCounters, ControlPlane, LendFailure, Observation,
 };

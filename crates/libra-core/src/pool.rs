@@ -35,7 +35,7 @@
 use libra_sim::ids::InvocationId;
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound::{Excluded, Unbounded};
 
 /// One tracked entry: idle volume still available from a source invocation.
@@ -86,7 +86,7 @@ pub enum GetOrder {
 /// The per-node harvest resource pool.
 #[derive(Debug, Default)]
 pub struct HarvestResourcePool {
-    entries: HashMap<InvocationId, PoolEntry>,
+    entries: BTreeMap<InvocationId, PoolEntry>,
     /// Expiry-ordered index over `entries`, keyed `(priority, id)`.
     by_expiry: BTreeSet<(SimTime, InvocationId)>,
     puts: u64,
@@ -359,7 +359,7 @@ pub mod reference {
     use libra_sim::ids::InvocationId;
     use libra_sim::resources::ResourceVec;
     use libra_sim::time::SimTime;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[derive(Clone, Copy, Debug)]
     struct Entry {
@@ -372,7 +372,7 @@ pub mod reference {
     /// Sorted-scan twin of the indexed pool (same semantics, O(n log n) get).
     #[derive(Debug, Default)]
     pub struct SortedScanPool {
-        entries: HashMap<InvocationId, Entry>,
+        entries: BTreeMap<InvocationId, Entry>,
         puts: u64,
         gets: u64,
         idle_cpu_integral: u128,

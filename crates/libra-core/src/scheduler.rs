@@ -19,7 +19,7 @@ use libra_sim::engine::World;
 use libra_sim::ids::{InvocationId, NodeId};
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A pool snapshot older than this (i.e. this many missed health pings at
 /// the default 500 ms interval) is stale: the node may be partitioned or
@@ -30,9 +30,9 @@ pub const STALE_VIEW_AFTER: SimDuration = SimDuration(2_000_000);
 #[derive(Debug, Default)]
 pub struct SchedView {
     /// Last-known pool snapshot per node.
-    pub snapshots: HashMap<NodeId, PoolSnapshot>,
+    pub snapshots: BTreeMap<NodeId, PoolSnapshot>,
     /// When each node's last health ping arrived.
-    pub pings: HashMap<NodeId, SimTime>,
+    pub pings: BTreeMap<NodeId, SimTime>,
 }
 
 impl SchedView {

@@ -13,6 +13,7 @@
 //! which must stay under a millisecond even at 50 nodes. The Criterion bench
 //! `sched_decision` and the `exp_fig12_scaling` binary drive it.
 
+use crate::clock::{Clock, NullClock};
 use crate::coverage::demand_coverage;
 use crate::pool::PoolSnapshot;
 use crossbeam::channel::{bounded, unbounded, Sender};
@@ -136,12 +137,28 @@ struct ShardSlot {
 pub struct ShardedScheduler {
     slots: Vec<ShardSlot>,
     next: std::sync::atomic::AtomicUsize,
+    clock: Arc<dyn Clock>,
 }
 
 impl ShardedScheduler {
     /// Spawn `shards` scheduler threads over `nodes` nodes of `capacity`
-    /// each. Each shard owns `capacity / shards` of every node.
+    /// each. Each shard owns `capacity / shards` of every node. Decision
+    /// latency is measured against [`NullClock`] (always zero) — the
+    /// deterministic default; harnesses that want the real Fig 12(c) numbers
+    /// use [`spawn_with_clock`](ShardedScheduler::spawn_with_clock) with a
+    /// wall clock.
     pub fn spawn(shards: usize, nodes: usize, capacity: ResourceVec, alpha: f64) -> Self {
+        Self::spawn_with_clock(shards, nodes, capacity, alpha, Arc::new(NullClock))
+    }
+
+    /// [`spawn`](ShardedScheduler::spawn) with an explicit latency clock.
+    pub fn spawn_with_clock(
+        shards: usize,
+        nodes: usize,
+        capacity: ResourceVec,
+        alpha: f64,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(shards > 0 && nodes > 0);
         let slice = capacity.div(shards as u64);
         let mut slots = Vec::with_capacity(shards);
@@ -151,26 +168,29 @@ impl ShardedScheduler {
                 snapshots: vec![PoolSnapshot::new(); nodes],
                 alpha,
             }));
-            let (tx, handle) = Self::spawn_thread(Arc::clone(&state));
+            let (tx, handle) = Self::spawn_thread(Arc::clone(&state), Arc::clone(&clock));
             slots.push(ShardSlot { tx: Mutex::new(tx), state, handle: Mutex::new(Some(handle)) });
         }
-        ShardedScheduler { slots, next: std::sync::atomic::AtomicUsize::new(0) }
+        ShardedScheduler { slots, next: std::sync::atomic::AtomicUsize::new(0), clock }
     }
 
-    fn spawn_thread(state: Arc<Mutex<ShardState>>) -> (Sender<Job>, JoinHandle<()>) {
+    fn spawn_thread(
+        state: Arc<Mutex<ShardState>>,
+        clock: Arc<dyn Clock>,
+    ) -> (Sender<Job>, JoinHandle<()>) {
         let (tx, rx) = unbounded::<Job>();
         let handle = std::thread::spawn(move || {
             while let Ok(job) = rx.recv() {
                 match job {
                     Job::Schedule(req, reply) => {
-                        let t0 = std::time::Instant::now();
+                        let t0 = clock.now_micros();
                         let mut state = state.lock();
                         let node = state.decide(&req);
                         if let Some(i) = node {
                             state.free[i as usize] -= req.nominal;
                         }
                         drop(state);
-                        let latency = t0.elapsed();
+                        let latency = Duration::from_micros(clock.now_micros().saturating_sub(t0));
                         let _ = reply.send(Decision { node, latency });
                     }
                     Job::Release { node, res } => {
@@ -229,7 +249,7 @@ impl ShardedScheduler {
         if handle.is_some() {
             return;
         }
-        let (tx, h) = Self::spawn_thread(Arc::clone(&slot.state));
+        let (tx, h) = Self::spawn_thread(Arc::clone(&slot.state), Arc::clone(&self.clock));
         *slot.tx.lock() = tx;
         *handle = Some(h);
     }

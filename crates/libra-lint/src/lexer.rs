@@ -1,0 +1,425 @@
+//! A minimal Rust lexer — just enough token fidelity for the lint rules.
+//!
+//! The workspace builds with no access to crates.io, so `syn` is not an
+//! option; instead the rules run over a token stream produced here. The lexer
+//! understands everything that would otherwise cause false positives at the
+//! text level: line/block comments (nested), string/raw-string/byte-string
+//! and char literals, lifetimes vs char literals, float vs integer literals,
+//! and maximal-munch multi-char operators (`==`, `=>`, `::`, ...). Tokens
+//! carry their 1-based source line so diagnostics point at real locations.
+//!
+//! Line comments are additionally scanned for the escape hatch
+//! `// libra-lint: allow(rule-a, rule-b)`, recorded per line so a rule can be
+//! suppressed by a trailing comment or one on the line directly above.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Token kinds the rules discriminate on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `_`).
+    Ident(String),
+    /// Punctuation / operator, maximal-munch (`==`, `=>`, `::`, `(`, ...).
+    Punct(&'static str),
+    /// Integer literal (any radix).
+    Int,
+    /// Float literal (decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// String, raw string, byte string or char literal.
+    Lit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line it starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus the per-line allow-comment table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Lines carrying a `libra-lint: allow(...)` comment → allowed rules.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+/// Multi-char operators, longest first so maximal munch works by scan order.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+const SINGLE: &[(char, &str)] = &[
+    ('(', "("),
+    (')', ")"),
+    ('[', "["),
+    (']', "]"),
+    ('{', "{"),
+    ('}', "}"),
+    (',', ","),
+    (';', ";"),
+    (':', ":"),
+    ('.', "."),
+    ('=', "="),
+    ('<', "<"),
+    ('>', ">"),
+    ('+', "+"),
+    ('-', "-"),
+    ('*', "*"),
+    ('/', "/"),
+    ('%', "%"),
+    ('!', "!"),
+    ('&', "&"),
+    ('|', "|"),
+    ('^', "^"),
+    ('#', "#"),
+    ('?', "?"),
+    ('@', "@"),
+    ('$', "$"),
+    ('~', "~"),
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the rule list out of a `libra-lint: allow(a, b)` comment body.
+fn parse_allow(comment: &str) -> Option<BTreeSet<String>> {
+    let idx = comment.find("libra-lint:")?;
+    let rest = comment[idx + "libra-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    Some(rest[..end].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect())
+}
+
+/// Lex `src` into tokens + allow table. Unknown bytes are skipped — the lexer
+/// is a best-effort front end for linting, not a conformance parser.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments) — scan for the escape hatch.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let body: String = chars[start..i].iter().collect();
+            if let Some(rules) = parse_allow(&body) {
+                out.allows.entry(line).or_default().extend(rules);
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings / raw byte strings: r"..." r#"..."# br##"..."##.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+                let mut hashes = 0;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    j += 1;
+                    // Find closing `"####`.
+                    'raw: while j < chars.len() {
+                        if chars[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Lit, line });
+                    i = j;
+                    continue;
+                }
+            }
+            // Plain byte string b"..." falls through to the '"' case below
+            // via identifier handling when not followed by a quote.
+            if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                i += 1; // consume the b; the string branch takes over
+                continue;
+            }
+        }
+        // Strings.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            out.tokens.push(Token { tok: Tok::Lit, line: start_line });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Escape ⇒ char literal.
+            if chars.get(i + 1) == Some(&'\\') {
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token { tok: Tok::Lit, line });
+                continue;
+            }
+            // `'x'` ⇒ char; `'ident` not followed by `'` ⇒ lifetime.
+            if chars.get(i + 1).is_some_and(|&n| is_ident_start(n) || n.is_ascii_digit()) {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    out.tokens.push(Token { tok: Tok::Lit, line });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token { tok: Tok::Lifetime, line });
+                    i = j;
+                }
+                continue;
+            }
+            // `'('` style char literal of punctuation.
+            if chars.get(i + 2) == Some(&'\'') {
+                out.tokens.push(Token { tok: Tok::Lit, line });
+                i += 3;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_float = false;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                j += 2;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part: a dot followed by a digit (so `1..10` and
+                // `1.max(2)` stay integers).
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                } else if chars.get(j) == Some(&'.')
+                    && !chars.get(j + 1).is_some_and(|&d| d == '.' || is_ident_start(d))
+                {
+                    // Trailing-dot float `1.`.
+                    is_float = true;
+                    j += 1;
+                }
+                // Exponent.
+                if matches!(chars.get(j), Some('e' | 'E'))
+                    && chars.get(j + 1).is_some_and(|&d| d.is_ascii_digit() || d == '+' || d == '-')
+                {
+                    is_float = true;
+                    j += 2;
+                    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                // Suffix (u64, f64, ...).
+                let suffix_start = j;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let suffix: String = chars[suffix_start..j].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            out.tokens.push(Token { tok: if is_float { Tok::Float } else { Tok::Int }, line });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords (incl. raw identifiers `r#match`).
+        if is_ident_start(c) {
+            let mut j = i;
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).is_some_and(|&n| is_ident_start(n))
+            {
+                j += 2;
+            }
+            let name_start = j;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let name: String = chars[name_start..j].iter().collect();
+            out.tokens.push(Token { tok: Tok::Ident(name), line });
+            i = j;
+            continue;
+        }
+        // Multi-char operators, longest first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let olen = op.len();
+            if i + olen <= chars.len() {
+                let slice: String = chars[i..i + olen].iter().collect();
+                if slice == *op {
+                    out.tokens.push(Token { tok: Tok::Punct(op), line });
+                    bump_lines!(chars[i..i + olen]);
+                    i += olen;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if matched {
+            continue;
+        }
+        if let Some(&(_, s)) = SINGLE.iter().find(|&&(ch, _)| ch == c) {
+            out.tokens.push(Token { tok: Tok::Punct(s), line });
+            i += 1;
+            continue;
+        }
+        // Anything else (unicode punctuation, stray bytes): skip.
+        i += 1;
+    }
+    out
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(s) if *s == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let l = lex("// Instant::now\n/* HashMap */ let s = \"SystemTime::now\";");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant") || t.is_ident("HashMap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn allow_comment_is_recorded() {
+        let l = lex("let x = 1; // libra-lint: allow(determinism, float-eq)\n");
+        let rules = l.allows.get(&1).expect("allow line");
+        assert!(rules.contains("determinism") && rules.contains("float-eq"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let l = lex("let a = 1.5; let b = 1e-12; let c = 3; for i in 0..10 {} let d = 2f64;");
+        let floats = l.tokens.iter().filter(|t| t.tok == Tok::Float).count();
+        assert_eq!(floats, 3, "{:?}", l.tokens);
+        assert!(l.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count(), 2);
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Lit).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let l = lex("let s = r#\"Instant::now() unwrap()\"#; let t = 1;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Int));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let l = lex("a == b; c => d; e :: f; g != 1.0;");
+        assert!(l.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("=>")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("::")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("!=")));
+    }
+}

@@ -1,0 +1,117 @@
+//! # libra-lint — workspace static analysis for Libra's invariants
+//!
+//! Libra's correctness argument rests on invariants the compiler cannot see:
+//!
+//! * the control plane must be **clock-free and deterministic** — the
+//!   sim-vs-live fidelity test replays identical event sequences through
+//!   `libra-core` and asserts identical action traces (paper §3.1);
+//! * control-plane **action paths must not panic** — a panic mid-revocation
+//!   strands loans on the ledger (paper §4 safeguard);
+//! * drivers must handle **every `Action` variant** — a wildcard arm would
+//!   silently drop a newly added Action;
+//! * resource-volume floats must not be compared **bit-exactly**.
+//!
+//! This crate enforces them with a token-level analyzer (the workspace
+//! builds with no crates.io access, so `syn` is unavailable; the hand-rolled
+//! [`lexer`] provides comment/string/test-code fidelity). Run it as
+//! `cargo run -p libra-lint` — it exits non-zero on any diagnostic and is
+//! gated in `scripts/verify.sh` between clippy and the doc build.
+//!
+//! Scope: every `.rs` file under `crates/*/src/` plus the root facade
+//! `src/`, minus test code (`#[cfg(test)]` / `#[test]` items). The `stubs/`
+//! tree (offline stand-ins for external crates) and `tests/`/`benches/`/
+//! `examples/` targets are not product control-plane code and are skipped.
+//!
+//! Escape hatch: `// libra-lint: allow(<rule>)` on the offending line or the
+//! line directly above. The self-check test additionally pins that
+//! `libra-core` carries **zero** allow-comments — the deterministic core
+//! must be clean, not excused.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Diagnostic, ALLOWLIST, DETERMINISTIC_CRATES, PANIC_FREE_FILES};
+
+use rules::FileCtx;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one source file given its workspace-relative path. The crate name is
+/// derived from the path (`crates/<name>/src/...`; anything else is `root`).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let krate = crate_of(rel_path);
+    let lexed = lexer::lex(src);
+    let mask = rules::test_mask(&lexed);
+    let ctx = FileCtx { path: rel_path, krate: &krate, lexed: &lexed, mask: &mask };
+    rules::run_all(&ctx)
+}
+
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Collect the workspace `.rs` files in lint scope, sorted for deterministic
+/// diagnostics: `crates/*/src/**` plus the root `src/**`.
+pub fn scope_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Returns `(files scanned,
+/// diagnostics)`, diagnostics sorted by `(path, line, rule)`.
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Diagnostic>)> {
+    let files = scope_files(root)?;
+    let mut diags = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        diags.extend(lint_source(&rel, &src));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok((files.len(), diags))
+}
+
+/// The workspace root this binary was built in: `crates/libra-lint/../..`.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}

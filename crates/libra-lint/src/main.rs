@@ -1,0 +1,26 @@
+//! `cargo run -p libra-lint [workspace-root]` — lint the workspace and exit
+//! non-zero on any diagnostic (the `scripts/verify.sh` gate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(libra_lint::default_root);
+    let (files, diags) = match libra_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("libra-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        eprintln!("error: {d}");
+    }
+    if diags.is_empty() {
+        println!("libra-lint: {files} files scanned, 0 diagnostics");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("libra-lint: {files} files scanned, {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,436 @@
+//! The four codebase-specific lint rules (see `DESIGN.md` §"Enforced
+//! invariants" for the paper clause each rule protects).
+//!
+//! Every rule walks the lexed token stream of one file, skipping tokens
+//! inside test code (`#[cfg(test)]` / `#[test]` items), and emits
+//! [`Diagnostic`]s. A diagnostic is suppressed by a
+//! `// libra-lint: allow(<rule>)` comment on the same line or the line
+//! directly above, or by an entry in the per-rule [`ALLOWLIST`].
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// Rule names, as used in allow-comments and diagnostics.
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Panic-freedom rule name.
+pub const RULE_PANIC: &str = "panic";
+/// Action-exhaustiveness rule name.
+pub const RULE_ACTION_WILDCARD: &str = "action-wildcard";
+/// Float-equality rule name.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+
+/// Crates whose library sources must stay clock-free and deterministic: the
+/// sim-vs-live fidelity test replays identical event sequences through them
+/// and asserts identical action traces.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["libra-core", "libra-sim", "libra-workloads", "libra-chaos"];
+
+/// Files whose non-test code must be panic-free: the control-plane action
+/// paths. A panic mid-revocation would strand loans on the books.
+pub const PANIC_FREE_FILES: &[&str] =
+    &["crates/libra-core/src/controlplane.rs", "crates/libra-live/src/cluster.rs"];
+
+/// Per-rule allowlist: `(path suffix, rule)` pairs exempted wholesale.
+/// Deliberately empty — prefer the in-source
+/// `// libra-lint: allow(<rule>)` escape hatch, which keeps the
+/// justification next to the code. Entries here are for generated files.
+pub const ALLOWLIST: &[(&str, &str)] = &[];
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message with remediation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Per-file lint context: path, crate, tokens, and the test-code mask.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (forward slashes).
+    pub path: &'a str,
+    /// Crate name derived from the path (`libra-core`, ... or `root`).
+    pub krate: &'a str,
+    /// The lexed file.
+    pub lexed: &'a Lexed,
+    /// `mask[i]` is true when token `i` is inside test code.
+    pub mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    fn emit(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: u32, msg: String) {
+        // Escape hatch: allow-comment on the same line or the one above.
+        for l in [line, line.saturating_sub(1)] {
+            if self.lexed.allows.get(&l).is_some_and(|rules| rules.contains(rule)) {
+                return;
+            }
+        }
+        if ALLOWLIST.iter().any(|(suffix, r)| *r == rule && self.path.ends_with(suffix)) {
+            return;
+        }
+        out.push(Diagnostic { rule, path: self.path.to_string(), line, msg });
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Mark tokens covered by test-only items: any item whose attributes mention
+/// `test` outside a `not(...)` (covers `#[cfg(test)]`, `#[test]`,
+/// `#[cfg(all(test, ...))]`), plus everything when an inner `#![cfg(test)]`
+/// marks the whole file. The item body is skipped by brace matching.
+pub fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < toks.len() && toks[j].is_punct("!");
+        if inner {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = j + 1;
+        let mut depth = 1;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let attr = &toks[attr_start..j.saturating_sub(1)];
+        if !attr_mentions_test(attr) {
+            i = j;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        // Skip any further outer attributes, then the item itself.
+        let item_start = i;
+        let mut k = j;
+        while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+            let mut d = 1;
+            let mut m = k + 2;
+            while m < toks.len() && d > 0 {
+                if toks[m].is_punct("[") {
+                    d += 1;
+                } else if toks[m].is_punct("]") {
+                    d -= 1;
+                }
+                m += 1;
+            }
+            k = m;
+        }
+        // The item ends at the first `;` before any `{`, or at the matching
+        // `}` of its first brace block.
+        let mut d = 0i32;
+        let mut saw_brace = false;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                saw_brace = true;
+                d += 1;
+            } else if t.is_punct("}") {
+                d -= 1;
+                if saw_brace && d == 0 {
+                    k += 1;
+                    break;
+                }
+            } else if t.is_punct(";") && !saw_brace {
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(k).skip(item_start) {
+            *m = true;
+        }
+        i = k;
+    }
+    mask
+}
+
+/// Does an attribute token list mention `test` outside a `not(...)`?
+fn attr_mentions_test(attr: &[Token]) -> bool {
+    for (idx, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = idx >= 2 && attr[idx - 1].is_punct("(") && attr[idx - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Rule 1 — determinism: the deterministic crates must not read wall clocks,
+/// draw from ambient RNGs, or use hash-ordered containers whose iteration
+/// order could leak into behaviour.
+pub fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.krate) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let line = t.line;
+        let path2 = |a: &str, b: &str| {
+            toks[i].is_ident(a)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+        };
+        if path2("Instant", "now") {
+            ctx.emit(out, RULE_DETERMINISM, line, format!(
+                "`Instant::now()` in deterministic crate `{}`: thread a `libra_core::clock::Clock` (sim substrates pass `NullClock`) instead of reading the wall clock",
+                ctx.krate
+            ));
+        } else if path2("SystemTime", "now") {
+            ctx.emit(out, RULE_DETERMINISM, line, format!(
+                "`SystemTime::now()` in deterministic crate `{}`: derive time from the event's explicit `now: SimTime`",
+                ctx.krate
+            ));
+        } else if t.is_ident("thread_rng") {
+            ctx.emit(out, RULE_DETERMINISM, line, format!(
+                "`thread_rng` in deterministic crate `{}`: use a seeded `ChaCha8Rng` threaded through the config",
+                ctx.krate
+            ));
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            let name = match &t.tok {
+                Tok::Ident(s) => s.as_str(),
+                _ => "",
+            };
+            ctx.emit(out, RULE_DETERMINISM, line, format!(
+                "`{name}` in deterministic crate `{}`: iteration order is nondeterministic and silently leaks into replay — use the BTree equivalent (or an explicitly ordered index)",
+                ctx.krate
+            ));
+        }
+    }
+}
+
+/// Rule 2 — panic-freedom: control-plane action paths must not `unwrap`,
+/// `expect` or index panically. A panic mid-revocation strands loans.
+pub fn rule_panic(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !PANIC_FREE_FILES.iter().any(|f| ctx.path.ends_with(f)) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(` — exact method names only, so the
+        // infallible `unwrap_or*` family stays legal.
+        if i >= 1
+            && toks[i - 1].is_punct(".")
+            && (t.is_ident("unwrap") || t.is_ident("expect"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let what = match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                _ => String::new(),
+            };
+            ctx.emit(out, RULE_PANIC, t.line, format!(
+                "`.{what}()` on a control-plane action path: restructure with `let .. else` / `if let`, or return a typed error"
+            ));
+        }
+        // Panicking indexing: `expr[..]` — a `[` directly after an
+        // identifier, `)`, `]` or `?` is an index expression (array literals,
+        // attributes, slice patterns and `vec![` all have different
+        // predecessors).
+        if t.is_punct("[") && i >= 1 {
+            let p = &toks[i - 1];
+            let indexing = matches!(&p.tok, Tok::Ident(_))
+                || p.is_punct(")")
+                || p.is_punct("]")
+                || p.is_punct("?");
+            if indexing {
+                ctx.emit(out, RULE_PANIC, t.line, "panicking index on a control-plane action path: use `.get()`/`.get_mut()` and handle the miss".to_string());
+            }
+        }
+    }
+}
+
+/// Rule 3 — action exhaustiveness: a `match` whose patterns name
+/// `Action::...` must not carry a wildcard arm. New `Action` variants must
+/// fail the build in every driver rather than being silently dropped.
+pub fn rule_action_wildcard(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.mask[i] || !toks[i].is_ident("match") {
+            continue;
+        }
+        // Find the body `{` (scrutinees cannot contain a bare `{`).
+        let mut j = i + 1;
+        let mut d = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                d += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                d -= 1;
+            } else if t.is_punct("{") && d == 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        analyze_match_body(ctx, toks, j, out);
+    }
+}
+
+/// Analyze one match body starting at its `{` token: collect arm patterns at
+/// depth 1 and flag a top-level `_` alternative when any pattern names
+/// `Action::`.
+fn analyze_match_body(ctx: &FileCtx<'_>, toks: &[Token], open: usize, out: &mut Vec<Diagnostic>) {
+    #[derive(PartialEq)]
+    enum St {
+        Pattern,
+        Guard,
+        Body,
+    }
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    let mut st = St::Pattern;
+    // Pattern tokens with their depth at record time.
+    let mut pat: Vec<(usize, i32)> = Vec::new();
+    let mut mentions_action = false;
+    let mut wildcard_line: Option<u32> = None;
+
+    let finish_arm = |pat: &mut Vec<(usize, i32)>,
+                      wildcard_line: &mut Option<u32>,
+                      mentions_action: &mut bool| {
+        // Split top-level alternatives on `|` at depth 1.
+        let mut alt: Vec<usize> = Vec::new();
+        let flush = |alt: &mut Vec<usize>, wildcard_line: &mut Option<u32>| {
+            let top: Vec<usize> = alt.clone();
+            if top.len() == 1 && toks[top[0]].is_ident("_") && wildcard_line.is_none() {
+                *wildcard_line = Some(toks[top[0]].line);
+            }
+            alt.clear();
+        };
+        for &(idx, d) in pat.iter() {
+            if toks[idx].is_ident("Action") && toks.get(idx + 1).is_some_and(|t| t.is_punct("::")) {
+                *mentions_action = true;
+            }
+            if d == 1 {
+                if toks[idx].is_punct("|") {
+                    flush(&mut alt, wildcard_line);
+                } else if !toks[idx].is_punct(",") {
+                    alt.push(idx);
+                }
+            }
+        }
+        flush(&mut alt, wildcard_line);
+        pat.clear();
+    };
+
+    while k < toks.len() && depth > 0 {
+        let t = &toks[k];
+        let is_open = t.is_punct("{") || t.is_punct("(") || t.is_punct("[");
+        let is_close = t.is_punct("}") || t.is_punct(")") || t.is_punct("]");
+        if is_open {
+            depth += 1;
+        }
+        if is_close {
+            depth -= 1;
+            if depth == 0 {
+                break; // end of match body
+            }
+        }
+        match st {
+            St::Pattern => {
+                if depth == 1 && t.is_punct("=>") {
+                    finish_arm(&mut pat, &mut wildcard_line, &mut mentions_action);
+                    st = St::Body;
+                } else if depth == 1 && t.is_ident("if") && !pat.is_empty() {
+                    finish_arm(&mut pat, &mut wildcard_line, &mut mentions_action);
+                    st = St::Guard;
+                } else if !is_open || depth > 1 {
+                    // Record pattern tokens (opens recorded at their outer
+                    // depth keeps struct-pattern contents at depth > 1).
+                    pat.push((k, depth));
+                }
+            }
+            St::Guard => {
+                if depth == 1 && t.is_punct("=>") {
+                    st = St::Body;
+                }
+            }
+            St::Body => {
+                // A braced body closing back to depth 1, or a `,` at depth 1,
+                // ends the arm.
+                if depth == 1 && (t.is_punct(",") || is_close) {
+                    st = St::Pattern;
+                }
+            }
+        }
+        k += 1;
+    }
+    if mentions_action {
+        if let Some(line) = wildcard_line {
+            ctx.emit(out, RULE_ACTION_WILDCARD, line, "wildcard arm in a `match` over `controlplane::Action`: enumerate every variant so new Actions fail the build instead of being silently dropped".to_string());
+        }
+    }
+}
+
+/// Rule 4 — float equality: `==`/`!=` against a float literal compares
+/// resource volumes exactly; use an approx helper (`(a - b).abs() < eps`).
+pub fn rule_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let float_adjacent = (i >= 1 && toks[i - 1].tok == Tok::Float)
+            || toks.get(i + 1).is_some_and(|n| n.tok == Tok::Float);
+        if float_adjacent {
+            ctx.emit(out, RULE_FLOAT_EQ, t.line, "exact float equality: compare with an epsilon helper (`(a - b).abs() < EPS`) — bit-exact float compares silently diverge across refactors".to_string());
+        }
+    }
+}
+
+/// Run every rule over one lexed file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    rule_determinism(ctx, &mut out);
+    rule_panic(ctx, &mut out);
+    rule_action_wildcard(ctx, &mut out);
+    rule_float_eq(ctx, &mut out);
+    out
+}

@@ -1,0 +1,166 @@
+//! Fixture tests: every rule gets (a) a seeded violation that must fire with
+//! the right rule name and line, (b) an allow-comment that must suppress it,
+//! and (c) a clean variant that must stay silent.
+
+use libra_lint::lint_source;
+
+fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+    lint_source(path, src).into_iter().map(|d| (d.rule.to_string(), d.line)).collect()
+}
+
+const DET_PATH: &str = "crates/libra-sim/src/fixture.rs";
+
+// ---- determinism ---------------------------------------------------------
+
+#[test]
+fn determinism_flags_instant_now() {
+    let src = "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("determinism".into(), 2)]);
+}
+
+#[test]
+fn determinism_flags_system_time_and_thread_rng() {
+    let src = "fn a() { let _ = SystemTime::now(); }\nfn b() { let _ = thread_rng(); }\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("determinism".into(), 1), ("determinism".into(), 2)]);
+}
+
+#[test]
+fn determinism_flags_hash_collections() {
+    let src = "use std::collections::HashMap;\nstruct S { m: HashSet<u32> }\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("determinism".into(), 1), ("determinism".into(), 2)]);
+}
+
+#[test]
+fn determinism_suppressed_by_allow_comment() {
+    let same_line = "fn t() { let _ = Instant::now(); } // libra-lint: allow(determinism)\n";
+    assert!(rules_at(DET_PATH, same_line).is_empty());
+    let line_above = "// libra-lint: allow(determinism)\nfn t() { let _ = Instant::now(); }\n";
+    assert!(rules_at(DET_PATH, line_above).is_empty());
+}
+
+#[test]
+fn determinism_ignores_nondeterministic_crates() {
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert!(rules_at("crates/libra-live/src/fixture.rs", src).is_empty());
+    assert!(rules_at("crates/libra-bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_ignores_test_code_and_comments() {
+    let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _ = Instant::now(); }\n}\n";
+    assert!(rules_at(DET_PATH, in_test).is_empty());
+    let in_comment = "// HashMap would break replay here\nfn t() {}\n";
+    assert!(rules_at(DET_PATH, in_comment).is_empty());
+    let in_string = "fn t() -> &'static str { \"Instant::now\" }\n";
+    assert!(rules_at(DET_PATH, in_string).is_empty());
+}
+
+#[test]
+fn determinism_clean_source_is_silent() {
+    let src =
+        "use std::collections::BTreeMap;\npub fn t(c: &dyn Clock) -> u64 { c.now_micros() }\n";
+    assert!(rules_at(DET_PATH, src).is_empty());
+}
+
+// ---- panic-freedom -------------------------------------------------------
+
+const PANIC_PATH: &str = "crates/libra-core/src/controlplane.rs";
+
+#[test]
+fn panic_flags_unwrap_expect_and_indexing() {
+    let src = "fn a(m: &std::collections::BTreeMap<u32, u32>) {\n    let _ = m.get(&1).unwrap();\n    let _ = m.get(&2).expect(\"x\");\n    let v = vec![1];\n    let _ = v[0];\n}\n";
+    assert_eq!(
+        rules_at(PANIC_PATH, src),
+        vec![("panic".into(), 2), ("panic".into(), 3), ("panic".into(), 5)]
+    );
+}
+
+#[test]
+fn panic_rule_scoped_to_listed_files_only() {
+    let src = "fn a(v: &[u32]) -> u32 { v[0] }\n";
+    assert!(rules_at("crates/libra-core/src/pool.rs", src).is_empty());
+}
+
+#[test]
+fn panic_ignores_test_code_and_non_panicking_lookalikes() {
+    let in_test = "#[test]\nfn t() { Vec::<u32>::new().pop().unwrap(); }\n";
+    assert!(rules_at(PANIC_PATH, in_test).is_empty());
+    // unwrap_or / attribute brackets / slice patterns / vec! are not panics.
+    let clean = "#[derive(Debug)]\nstruct S;\nfn a(o: Option<u32>) -> u32 {\n    let _ = vec![1, 2];\n    o.unwrap_or(0)\n}\n";
+    assert!(rules_at(PANIC_PATH, clean).is_empty());
+}
+
+#[test]
+fn panic_suppressed_by_allow_comment() {
+    let src = "fn a(v: &[u32]) -> u32 {\n    // libra-lint: allow(panic)\n    v[0]\n}\n";
+    assert!(rules_at(PANIC_PATH, src).is_empty());
+}
+
+// ---- action exhaustiveness ----------------------------------------------
+
+#[test]
+fn action_wildcard_flags_catch_all_arm() {
+    let src = "fn apply(a: Action) {\n    match a {\n        Action::Lend { .. } => {}\n        _ => {}\n    }\n}\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("action-wildcard".into(), 4)]);
+}
+
+#[test]
+fn action_wildcard_flags_or_pattern_wildcard() {
+    let src =
+        "fn apply(a: Action) {\n    match a {\n        Action::Lend { .. } | _ => {}\n    }\n}\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("action-wildcard".into(), 3)]);
+}
+
+#[test]
+fn action_wildcard_ignores_exhaustive_match_and_other_enums() {
+    let exhaustive = "fn apply(a: Action) {\n    match a {\n        Action::Lend { .. } => {}\n        Action::Return { .. } => {}\n    }\n}\n";
+    assert!(rules_at(DET_PATH, exhaustive).is_empty());
+    // A wildcard over some other enum is fine.
+    let other =
+        "fn f(x: Reason) {\n    match x {\n        Reason::Oom => {}\n        _ => {}\n    }\n}\n";
+    assert!(rules_at(DET_PATH, other).is_empty());
+    // `_` binding a field inside an Action pattern is not a catch-all arm.
+    let field = "fn apply(a: Action) {\n    match a {\n        Action::Lend { inv: _, .. } => {}\n        Action::Return { .. } => {}\n    }\n}\n";
+    assert!(rules_at(DET_PATH, field).is_empty());
+}
+
+#[test]
+fn action_wildcard_suppressed_by_allow_comment() {
+    let src = "fn apply(a: Action) {\n    match a {\n        Action::Lend { .. } => {}\n        // libra-lint: allow(action-wildcard)\n        _ => {}\n    }\n}\n";
+    assert!(rules_at(DET_PATH, src).is_empty());
+}
+
+// ---- float equality ------------------------------------------------------
+
+#[test]
+fn float_eq_flags_exact_compares() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(x: f64) -> bool { 1.0 != x }\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("float-eq".into(), 1), ("float-eq".into(), 2)]);
+}
+
+#[test]
+fn float_eq_ignores_int_compares_and_epsilon_form() {
+    let src = "fn f(x: u64) -> bool { x == 0 }\nfn g(x: f64) -> bool { (x - 1.0).abs() < 1e-9 }\n";
+    assert!(rules_at(DET_PATH, src).is_empty());
+}
+
+#[test]
+fn float_eq_suppressed_by_allow_comment() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 } // libra-lint: allow(float-eq)\n";
+    assert!(rules_at(DET_PATH, src).is_empty());
+}
+
+#[test]
+fn float_eq_applies_in_every_crate() {
+    let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
+    assert_eq!(rules_at("crates/libra-bench/src/fixture.rs", src), vec![("float-eq".into(), 1)]);
+}
+
+// ---- allow-comment hygiene ----------------------------------------------
+
+#[test]
+fn allow_comment_is_rule_specific() {
+    // An allow for one rule must not silence a different rule on that line.
+    let src = "fn f(x: f64) -> bool { x == 0.0 } // libra-lint: allow(determinism)\n";
+    assert_eq!(rules_at(DET_PATH, src), vec![("float-eq".into(), 1)]);
+}

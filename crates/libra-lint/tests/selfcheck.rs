@@ -1,0 +1,56 @@
+//! Workspace self-check: the tree this crate ships in must lint clean, and
+//! `libra-core` must be clean *without* escape hatches — its determinism is
+//! load-bearing for the sim-vs-live fidelity argument, so violations there
+//! must be fixed, never allowed away.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = libra_lint::default_root();
+    let (files, diags) = libra_lint::lint_workspace(&root).expect("scan workspace");
+    assert!(files > 0, "scanned no files — wrong root? {}", root.display());
+    assert!(
+        diags.is_empty(),
+        "workspace has lint diagnostics:\n{}",
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn libra_core_has_no_allow_comments() {
+    let root = libra_lint::default_root();
+    let core_src = root.join("crates/libra-core/src");
+    let mut offenders = Vec::new();
+    scan_for_allows(&core_src, &mut offenders);
+    assert!(
+        !offenders.is_empty() || scan_count(&core_src) > 0,
+        "libra-core sources not found under {}",
+        core_src.display()
+    );
+    assert!(
+        offenders.is_empty(),
+        "libra-core must not carry libra-lint allow-comments: {offenders:?}"
+    );
+}
+
+fn scan_for_allows(dir: &Path, out: &mut Vec<String>) {
+    for entry in fs::read_dir(dir).expect("read libra-core src").flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            scan_for_allows(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = fs::read_to_string(&path).expect("read source");
+            for (i, line) in src.lines().enumerate() {
+                if line.contains("libra-lint:") && line.contains("allow(") {
+                    out.push(format!("{}:{}", path.display(), i + 1));
+                }
+            }
+        }
+    }
+}
+
+fn scan_count(dir: &Path) -> usize {
+    fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+}

@@ -1,0 +1,140 @@
+//! Shard-slice capacity accounting for the live driver.
+//!
+//! The live substrate keeps the authoritative admission ledger inside the
+//! sharded scheduler; the control plane's forced restores (safeguard
+//! preemptive release, OOM restart) must re-commit capacity *uncondition-
+//! ally*, even when admissions already consumed the freed volume. The
+//! overdraft discipline reconciles the two:
+//!
+//! * [`charge_forced`] — try to charge the shard slice; a refused charge
+//!   becomes per-shard **overdraft** (debt) instead of being dropped.
+//! * [`release_charge`] — releases repay outstanding overdraft first and
+//!   only the remainder returns to the shard slice.
+//!
+//! The invariant under any interleaving of charges and releases:
+//!
+//! > slice free + (volume the control plane believes committed) −
+//! > overdraft = slice capacity
+//!
+//! i.e. no capacity is ever minted or lost; overshoot is tracked as debt
+//! until releases repay it. The helpers are written against the
+//! [`CapacityLedger`] trait so the loom-style interleaving tests
+//! (`tests/loom_shard.rs`) can drive them against a model ledger as well as
+//! the real [`ShardedScheduler`].
+
+use libra_core::sharding::ShardedScheduler;
+use libra_sim::resources::ResourceVec;
+
+/// The slice-ledger operations the accounting helpers need. Implemented by
+/// the real [`ShardedScheduler`] and by test-model ledgers.
+pub trait CapacityLedger {
+    /// Return `vol` to `(shard, node)`'s free slice.
+    fn ledger_release(&self, shard: usize, node: u32, vol: ResourceVec);
+    /// Try to commit `vol` on `(shard, node)`; `false` means no room (or the
+    /// shard is down — the conservative answer).
+    fn ledger_try_charge(&self, shard: usize, node: u32, vol: ResourceVec) -> bool;
+}
+
+impl CapacityLedger for ShardedScheduler {
+    fn ledger_release(&self, shard: usize, node: u32, vol: ResourceVec) {
+        self.release(shard, node, vol);
+    }
+
+    fn ledger_try_charge(&self, shard: usize, node: u32, vol: ResourceVec) -> bool {
+        self.try_charge(shard, node, vol)
+    }
+}
+
+/// Release `vol` of admission charge on `(shard, node)`, repaying any
+/// forced-restore overdraft first.
+pub fn release_charge<L: CapacityLedger + ?Sized>(
+    over: &mut ResourceVec,
+    ledger: &L,
+    shard: usize,
+    node: u32,
+    vol: ResourceVec,
+) {
+    let repay = vol.min(over);
+    *over = over.saturating_sub(&repay);
+    let rest = vol.saturating_sub(&repay);
+    if !rest.is_zero() {
+        ledger.ledger_release(shard, node, rest);
+    }
+}
+
+/// Charge `vol` on `(shard, node)` unconditionally: a safeguard release or
+/// OOM restart must restore the nominal grant even when admissions already
+/// consumed the freed capacity. A failed charge becomes shard overdraft.
+pub fn charge_forced<L: CapacityLedger + ?Sized>(
+    over: &mut ResourceVec,
+    ledger: &L,
+    shard: usize,
+    node: u32,
+    vol: ResourceVec,
+) {
+    if vol.is_zero() {
+        return;
+    }
+    if !ledger.ledger_try_charge(shard, node, vol) {
+        *over += vol;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// Single-slot model ledger: `free` capacity, charges refused beyond it.
+    struct ModelLedger {
+        free: Cell<ResourceVec>,
+    }
+
+    impl CapacityLedger for ModelLedger {
+        fn ledger_release(&self, _shard: usize, _node: u32, vol: ResourceVec) {
+            self.free.set(self.free.get() + vol);
+        }
+
+        fn ledger_try_charge(&self, _shard: usize, _node: u32, vol: ResourceVec) -> bool {
+            if vol.fits_within(&self.free.get()) {
+                self.free.set(self.free.get().saturating_sub(&vol));
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn forced_charge_overflows_into_overdraft() {
+        let l = ModelLedger { free: Cell::new(ResourceVec::new(1_000, 1_024)) };
+        let mut over = ResourceVec::ZERO;
+        charge_forced(&mut over, &l, 0, 0, ResourceVec::new(4_000, 2_048));
+        assert_eq!(over, ResourceVec::new(4_000, 2_048), "refused charge becomes debt");
+        assert_eq!(l.free.get(), ResourceVec::new(1_000, 1_024), "slice untouched");
+    }
+
+    #[test]
+    fn release_repays_overdraft_before_freeing() {
+        let l = ModelLedger { free: Cell::new(ResourceVec::ZERO) };
+        let mut over = ResourceVec::new(3_000, 512);
+        release_charge(&mut over, &l, 0, 0, ResourceVec::new(4_000, 2_048));
+        assert_eq!(over, ResourceVec::ZERO, "debt repaid first");
+        assert_eq!(l.free.get(), ResourceVec::new(1_000, 1_536), "only the rest freed");
+    }
+
+    #[test]
+    fn charge_release_conserves_capacity() {
+        let cap = ResourceVec::new(8_000, 8_192);
+        let l = ModelLedger { free: Cell::new(cap) };
+        let mut over = ResourceVec::ZERO;
+        // Successful charge, partial release, forced overshoot, full release.
+        charge_forced(&mut over, &l, 0, 0, ResourceVec::new(6_000, 4_096));
+        release_charge(&mut over, &l, 0, 0, ResourceVec::new(2_000, 1_024));
+        charge_forced(&mut over, &l, 0, 0, ResourceVec::new(6_000, 6_144));
+        release_charge(&mut over, &l, 0, 0, ResourceVec::new(6_000, 6_144));
+        release_charge(&mut over, &l, 0, 0, ResourceVec::new(4_000, 3_072));
+        assert_eq!(over, ResourceVec::ZERO);
+        assert_eq!(l.free.get(), cap, "all volume accounted for");
+    }
+}

@@ -1,0 +1,47 @@
+//! The real wall clock, on the non-deterministic side of the boundary.
+//!
+//! `libra-core` measures its own overhead (profiler training time, sharded
+//! scheduler decision latency) against a [`Clock`] and defaults to the
+//! frozen `NullClock` so simulated runs stay replayable. Live runs that want
+//! the paper's real overhead numbers (§8.6, Fig 12c) plug this one in:
+//! `ShardedScheduler::spawn_with_clock(..., Arc::new(WallClock::new()))`.
+
+use libra_core::clock::Clock;
+use std::time::Instant;
+
+/// Monotonic wall clock; epoch = construction time.
+#[derive(Clone, Debug)]
+pub struct WallClock(Instant);
+
+impl WallClock {
+    /// A wall clock anchored now.
+    pub fn new() -> Self {
+        WallClock(Instant::now())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.0.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now_micros();
+        assert!(b > a, "clock must advance: {a} → {b}");
+    }
+}

@@ -14,6 +14,7 @@
 //! message-passing admission, plus a watchdog that turns a wedged run into a
 //! diagnostic panic instead of a hung CI job.
 
+use crate::accounting::{charge_forced, release_charge};
 use crate::workload::LiveRequest;
 use libra_core::controlplane::{
     Action, Admission, ControlConfig, ControlPlane, LendFailure, Observation,
@@ -123,41 +124,6 @@ struct NodeShared {
     inner: Mutex<NodeInner>,
 }
 
-/// Release `vol` of admission charge on `(shard, node)`, repaying any
-/// forced-restore overdraft first.
-fn release_charge(
-    over: &mut ResourceVec,
-    sched: &ShardedScheduler,
-    shard: usize,
-    node: u32,
-    vol: ResourceVec,
-) {
-    let repay = vol.min(over);
-    *over = over.saturating_sub(&repay);
-    let rest = vol.saturating_sub(&repay);
-    if !rest.is_zero() {
-        sched.release(shard, node, rest);
-    }
-}
-
-/// Charge `vol` on `(shard, node)` unconditionally: a safeguard release or
-/// OOM restart must restore the nominal grant even when admissions already
-/// consumed the freed capacity. A failed charge becomes shard overdraft.
-fn charge_forced(
-    over: &mut ResourceVec,
-    sched: &ShardedScheduler,
-    shard: usize,
-    node: u32,
-    vol: ResourceVec,
-) {
-    if vol.is_zero() {
-        return;
-    }
-    if !sched.try_charge(shard, node, vol) {
-        *over += vol;
-    }
-}
-
 /// Replay control-plane actions against the live substrate: the sharded
 /// scheduler's admission ledger and the per-invocation exec states.
 fn apply_actions(
@@ -173,7 +139,9 @@ fn apply_actions(
             // Harvest: the freed volume leaves the committed charge.
             Action::SetGrant { inv, freed, .. } => {
                 if let Some(st) = exec.get(&inv.0) {
-                    release_charge(&mut overdraft[st.shard], sched, st.shard, node, freed);
+                    if let Some(over) = overdraft.get_mut(st.shard) {
+                        release_charge(over, sched, st.shard, node, freed);
+                    }
                 }
             }
             // Lending re-commits pooled idle volume: admissions may have
@@ -196,7 +164,9 @@ fn apply_actions(
             // Trimmed volume goes back to uncommitted idle.
             Action::Return { source, vol, .. } => {
                 if let Some(src) = exec.get(&source.0) {
-                    release_charge(&mut overdraft[src.shard], sched, src.shard, node, vol);
+                    if let Some(over) = overdraft.get_mut(src.shard) {
+                        release_charge(over, sched, src.shard, node, vol);
+                    }
                 }
             }
             Action::Revoke { source, vol, reason, .. } => match reason {
@@ -204,7 +174,9 @@ fn apply_actions(
                 // its shard (re-harvest or forced unwind).
                 LoanEnd::BorrowerCompleted | LoanEnd::Safeguard | LoanEnd::SourceOom => {
                     if let Some(src) = exec.get(&source.0) {
-                        release_charge(&mut overdraft[src.shard], sched, src.shard, node, vol);
+                        if let Some(over) = overdraft.get_mut(src.shard) {
+                            release_charge(over, sched, src.shard, node, vol);
+                        }
                     }
                 }
                 // The source is going away: its completion/abort path
@@ -217,7 +189,9 @@ fn apply_actions(
                 if let Some(st) = exec.get_mut(&inv.0) {
                     st.safeguarded = true;
                     let shard = st.shard;
-                    charge_forced(&mut overdraft[shard], sched, shard, node, restored);
+                    if let Some(over) = overdraft.get_mut(shard) {
+                        charge_forced(over, sched, shard, node, restored);
+                    }
                 }
             }
             // OOM rule (§5.1): restart from scratch at the nominal grant.
@@ -227,7 +201,9 @@ fn apply_actions(
                     st.work_left = st.work_total;
                     st.last_settle = Instant::now();
                     let shard = st.shard;
-                    charge_forced(&mut overdraft[shard], sched, shard, node, restored);
+                    if let Some(over) = overdraft.get_mut(shard) {
+                        charge_forced(over, sched, shard, node, restored);
+                    }
                 }
             }
         }
@@ -277,9 +253,10 @@ pub struct LiveResult {
 }
 
 impl LiveResult {
-    /// The p-th latency percentile in workload milliseconds.
+    /// The p-th latency percentile in workload milliseconds (NaN when the
+    /// run produced no records).
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        self.latency_percentiles(&[p])[0]
+        self.latency_percentiles(&[p]).first().copied().unwrap_or(f64::NAN)
     }
 
     /// Several latency percentiles at once, sorting the sample a single time.
@@ -399,7 +376,13 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                     }
                 };
 
-                let node = &nodes[node_id];
+                // The scheduler only answers node ids it was spawned with,
+                // so a miss here means the fleet is misconfigured — treat it
+                // like an expired run rather than unwinding mid-ledger.
+                let Some(node) = nodes.get(node_id) else {
+                    expired.store(true, Ordering::Relaxed);
+                    return;
+                };
                 let node_u32 = node_id as u32;
                 let inv_id = idx as u32;
                 let inv = InvocationId(inv_id);
@@ -457,7 +440,12 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                     let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
                     let eff = g.core.effective_alloc(inv).unwrap_or(req.alloc);
                     let (finished, progress) = {
-                        let me = g.exec.get_mut(&inv_id).expect("own state vanished");
+                        // Own exec state vanishing mid-run would mean another
+                        // worker removed it — bail out like an expired run.
+                        let Some(me) = g.exec.get_mut(&inv_id) else {
+                            expired.store(true, Ordering::Relaxed);
+                            return;
+                        };
                         let now = Instant::now();
                         let elapsed_ms = to_work_ms(now - me.last_settle);
                         me.last_settle = now;
@@ -483,8 +471,13 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
                         let still = g.core.charge(inv).unwrap_or(req.alloc);
                         let actions = g.core.on_complete(inv, now_ms);
                         apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
-                        let me = g.exec.remove(&inv_id).expect("own state vanished");
-                        release_charge(&mut g.overdraft[shard], &sched, shard, node_u32, still);
+                        let Some(me) = g.exec.remove(&inv_id) else {
+                            expired.store(true, Ordering::Relaxed);
+                            return;
+                        };
+                        if let Some(over) = g.overdraft.get_mut(shard) {
+                            release_charge(over, &*sched, shard, node_u32, still);
+                        }
                         drop(g);
 
                         done_count.fetch_add(1, Ordering::Relaxed);
@@ -524,7 +517,7 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
         }
         drop(done_tx);
     })
-    .expect("live worker panicked");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
 
     if expired.load(Ordering::Relaxed) {
         use std::fmt::Write as _;

@@ -22,9 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod accounting;
+pub mod clock;
 pub mod cluster;
 pub mod workload;
 
+pub use accounting::CapacityLedger;
+pub use clock::WallClock;
 pub use cluster::{run_live, LiveChaos, LiveConfig, LiveRecord, LiveResult};
 pub use workload::{mixed_workload, LiveRequest};
 

@@ -25,9 +25,9 @@ pub fn r2_score(pred: &[f64], truth: &[f64]) -> f64 {
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
     let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum();
-    if ss_tot == 0.0 {
+    if ss_tot.abs() < f64::EPSILON {
         // Constant target: perfect iff residuals are zero.
-        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+        return if ss_res.abs() < f64::EPSILON { 1.0 } else { 0.0 };
     }
     1.0 - ss_res / ss_tot
 }

@@ -43,7 +43,7 @@ impl InputPool {
         let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
         let inputs = (0..n)
             .map(|_| {
-                let size = if bias == 1.0 {
+                let size = if (bias - 1.0).abs() < 1e-12 {
                     log_uniform(&mut rng, lo, hi)
                 } else {
                     let u: f64 = rng.gen_range(0.0..1.0f64);

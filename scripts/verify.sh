@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> libra-lint (workspace invariants: determinism, panic-freedom, action exhaustiveness, float equality)"
+cargo run -q -p libra-lint
+
 echo "==> cargo doc (workspace, deny rustdoc warnings)"
 # --exclude libra-cli: its `libra` bin collides with the root `libra` lib in
 # the doc output path (cargo #6313); the CLI has no API docs to gate.

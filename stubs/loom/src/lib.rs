@@ -1,0 +1,231 @@
+//! Offline stub for the `loom` model checker.
+//!
+//! The real loom exhaustively enumerates thread interleavings with DPOR
+//! under `--cfg loom`. This workspace builds without crates.io access, so
+//! this stub keeps loom's API shape — `loom::model`, `loom::thread`,
+//! `loom::sync::{Arc, Mutex, atomic}` — but explores interleavings
+//! *stochastically*: [`model`] re-runs the closure many times, and every
+//! synchronization-point wrapper injects a seeded pseudo-random yield or
+//! micro-sleep before acquiring, perturbing the OS schedule differently on
+//! each iteration. That is a stress explorer, not a proof — it covers the
+//! practically reachable interleavings (including the lock hand-off orders
+//! a plain repeated test almost never hits) without loom's soundness
+//! guarantee.
+//!
+//! Iteration count: `LOOM_MAX_ITER` (default 128). Deterministic given the
+//! seed stream, except for genuine OS-scheduler nondeterminism — which is
+//! the point.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Global schedule-perturbation state: mixed into every sync-point decision.
+static PERTURB: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw a perturbation decision at a synchronization point: ~1/2 of entries
+/// do nothing, ~3/8 yield, ~1/8 sleep 1–4 µs (forces a real reschedule).
+fn perturb() {
+    let x = splitmix(PERTURB.fetch_add(1, StdOrdering::Relaxed));
+    match x % 8 {
+        0..=3 => {}
+        4..=6 => std::thread::yield_now(),
+        _ => std::thread::sleep(std::time::Duration::from_micros(1 + x % 4)),
+    }
+}
+
+/// Run `f` under the stochastic interleaving explorer: `LOOM_MAX_ITER`
+/// iterations (default 128), each with a distinct perturbation seed.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 =
+        std::env::var("LOOM_MAX_ITER").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+    for i in 0..iters {
+        PERTURB.store(splitmix(i.wrapping_mul(0xA24B_AED4_963E_E407)), StdOrdering::Relaxed);
+        f();
+    }
+}
+
+/// `loom::thread`: thread spawning with schedule perturbation on spawn/join.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a thread; the child perturbs the schedule before running.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::perturb();
+        std::thread::spawn(move || {
+            super::perturb();
+            f()
+        })
+    }
+
+    /// Cooperative yield (also a perturbation point).
+    pub fn yield_now() {
+        super::perturb();
+        std::thread::yield_now();
+    }
+}
+
+/// `loom::sync`: Arc, Mutex and atomics with perturbation at every
+/// synchronization point.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Mutex whose `lock` perturbs the schedule first, shuffling hand-off
+    /// order between iterations. Poisoning is unwrapped like loom does.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// New unlocked mutex.
+        pub fn new(t: T) -> Self {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Acquire, injecting a perturbation before contending.
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            super::perturb();
+            self.0.lock()
+        }
+    }
+
+    /// Atomics with perturbation before every RMW (the interesting races).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_wrapper {
+            ($name:ident, $inner:ty, $prim:ty) => {
+                /// Perturbing wrapper over the std atomic.
+                #[derive(Debug, Default)]
+                pub struct $name($inner);
+
+                impl $name {
+                    /// New atomic with `v`.
+                    pub fn new(v: $prim) -> Self {
+                        Self(<$inner>::new(v))
+                    }
+
+                    /// Plain load.
+                    pub fn load(&self, o: Ordering) -> $prim {
+                        self.0.load(o)
+                    }
+
+                    /// Plain store (perturbs: a store is a publication point).
+                    pub fn store(&self, v: $prim, o: Ordering) {
+                        super::super::perturb();
+                        self.0.store(v, o)
+                    }
+
+                    /// Fetch-add RMW (perturbs).
+                    pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                        super::super::perturb();
+                        self.0.fetch_add(v, o)
+                    }
+
+                    /// Compare-exchange RMW (perturbs).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        super::super::perturb();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Perturbing wrapper over `std::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// New atomic bool.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Plain load.
+            pub fn load(&self, o: Ordering) -> bool {
+                self.0.load(o)
+            }
+
+            /// Store (perturbs).
+            pub fn store(&self, v: bool, o: Ordering) {
+                super::super::perturb();
+                self.0.store(v, o)
+            }
+
+            /// Swap RMW (perturbs).
+            pub fn swap(&self, v: bool, o: Ordering) -> bool {
+                super::super::perturb();
+                self.0.swap(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_iterations() {
+        static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        super::model(|| {
+            COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(COUNT.load(std::sync::atomic::Ordering::Relaxed) >= 64);
+    }
+
+    #[test]
+    fn perturbed_mutex_still_excludes() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let a = Arc::clone(&m);
+            let h = super::thread::spawn(move || {
+                for _ in 0..50 {
+                    *a.lock().unwrap() += 1;
+                }
+            });
+            for _ in 0..50 {
+                *m.lock().unwrap() += 1;
+            }
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 100);
+        });
+    }
+
+    #[test]
+    fn perturbed_atomics_count_exactly() {
+        let n = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&n);
+        let h = super::thread::spawn(move || {
+            for _ in 0..100 {
+                a.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..100 {
+            n.fetch_add(1, Ordering::SeqCst);
+        }
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 200);
+    }
+}
