@@ -105,6 +105,20 @@ pub struct Observation {
 /// no timestamps, so traces from different substrates compare directly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
+    /// Admission outcome: the invocation entered the ledger on `node` with
+    /// `nominal` committed. Emitted first for every admission so traces
+    /// carry an explicit admission record even when nothing is harvested —
+    /// networked frontends key their per-invocation accounting off it.
+    /// Drivers that already admitted through their own substrate (the
+    /// scheduler reservation) treat it as bookkeeping.
+    Admitted {
+        /// The admitted invocation.
+        inv: InvocationId,
+        /// The node it was placed on.
+        node: NodeId,
+        /// Its user-defined allocation (the committed admission unit).
+        nominal: ResourceVec,
+    },
     /// Shrink (harvest) an invocation's own grant. `freed = nominal − grant`
     /// is the volume that left the node's committed capacity (and entered
     /// the harvest pool).
@@ -175,7 +189,8 @@ impl Action {
     /// source-side events, the invocation itself otherwise.
     pub fn subject(&self) -> InvocationId {
         match *self {
-            Action::SetGrant { inv, .. }
+            Action::Admitted { inv, .. }
+            | Action::SetGrant { inv, .. }
             | Action::PreemptiveRelease { inv, .. }
             | Action::Requeue { inv, .. } => inv,
             Action::Lend { borrower, .. } | Action::Return { borrower, .. } => borrower,
@@ -357,6 +372,7 @@ impl ControlPlane {
 
     fn admit_inner(&mut self, a: Admission, now: SimTime) -> Vec<Action> {
         let mut out = Vec::new();
+        self.emit(&mut out, Action::Admitted { inv: a.inv, node: a.node, nominal: a.nominal });
         let mut entry = Entry {
             node: a.node,
             func: a.func,
@@ -855,7 +871,8 @@ mod tests {
         let t = SimTime(0);
         // Donor: 4 cores / 2048 MB allocated, predicted to use 1 core / 512.
         let a1 = c.on_admit(adm(1, (4_000, 2_048), Some((1_000, 512, 1_000))), t);
-        assert!(matches!(a1[0], Action::SetGrant { grant, .. }
+        assert!(matches!(a1[0], Action::Admitted { inv: InvocationId(1), .. }));
+        assert!(matches!(a1[1], Action::SetGrant { grant, .. }
             if grant == ResourceVec::new(1_000, 512)));
         // Borrower: wants 3 cores on a 1-core allocation.
         let a2 = c.on_admit(adm(2, (1_000, 512), Some((3_000, 512, 500))), t);

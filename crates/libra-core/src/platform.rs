@@ -233,6 +233,10 @@ impl<S: NodeSelector> LibraPlatform<S> {
     fn apply(&mut self, ctx: &mut SimCtx<'_>, actions: Vec<Action>) {
         for a in actions {
             match a {
+                // The engine admitted through its own scheduler reservation
+                // before `on_admit` ran; the explicit record is for trace
+                // consumers and networked drivers.
+                Action::Admitted { .. } => {}
                 Action::SetGrant { inv, grant, freed } => {
                     ctx.set_own_grant(inv, grant);
                     debug_assert_eq!(

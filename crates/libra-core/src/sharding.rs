@@ -293,6 +293,14 @@ impl ShardedScheduler {
         rx.recv().unwrap_or(false)
     }
 
+    /// A snapshot of `shard`'s free slice per node, read directly from the
+    /// shared slice ledger (works even while the shard is down). Diagnostic:
+    /// quiescence checks assert the slices return to `capacity / shards`
+    /// after a graceful drain.
+    pub fn slice_free(&self, shard: usize) -> Option<Vec<ResourceVec>> {
+        self.slots.get(shard).map(|s| s.state.lock().free.clone())
+    }
+
     /// Push a fresh pool snapshot for `node` to every shard (the broadcast
     /// health ping). Dead shards miss the update — their view goes stale,
     /// like a real partitioned scheduler.

@@ -1,0 +1,130 @@
+//! A minimal blocking client for the gateway: one keep-alive connection,
+//! synchronous invoke/metrics calls. Shared by `gateway_loadgen`, the
+//! integration tests and the three-way fidelity check.
+
+use crate::http::{ClientResponse, Conn, RecvError};
+use crate::wire::{self, WireRecord};
+use libra_live::LiveRequest;
+use std::net::{SocketAddr, TcpStream};
+
+/// What an invoke call came back with.
+#[derive(Clone, Debug)]
+pub enum InvokeOutcome {
+    /// 200: the invocation completed with this record.
+    Done(WireRecord),
+    /// 429: rate or quota rejection; retry after this many seconds.
+    Throttled {
+        /// The `Retry-After` header value (seconds).
+        retry_after_secs: u64,
+        /// The response body (names the exhausted quota).
+        why: String,
+    },
+    /// 503: backpressure or drain; the queue depth if the gate shed us.
+    Overloaded {
+        /// The `X-Queue-Depth` header value, when present.
+        queue_depth: Option<u64>,
+        /// The response body.
+        why: String,
+    },
+    /// Any other status.
+    Failed {
+        /// HTTP status code.
+        status: u16,
+        /// The response body.
+        why: String,
+    },
+}
+
+/// Client-side failure (transport or protocol).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The gateway answered bytes this client cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(why) => write!(f, "protocol: {why}"),
+        }
+    }
+}
+
+/// A blocking keep-alive connection to a gateway.
+pub struct GatewayClient {
+    conn: Conn<TcpStream>,
+}
+
+impl GatewayClient {
+    /// Connect to a gateway.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(GatewayClient { conn: Conn::new(stream) })
+    }
+
+    fn recv(&mut self) -> Result<ClientResponse, ClientError> {
+        match self.conn.recv_response() {
+            Ok(r) => Ok(r),
+            Err(RecvError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Invoke `func` under `tenant`, blocking until the gateway answers.
+    /// `idx` is the caller-chosen stable request index (the invocation id).
+    pub fn invoke(
+        &mut self,
+        tenant: &str,
+        func: u32,
+        idx: usize,
+        req: &LiveRequest,
+    ) -> Result<InvokeOutcome, ClientError> {
+        let body = wire::encode_invoke(idx, req);
+        self.conn
+            .send_request("POST", &format!("/invoke/{tenant}/{func}"), body.as_bytes())
+            .map_err(ClientError::Io)?;
+        let resp = self.recv()?;
+        let text = String::from_utf8_lossy(&resp.body).into_owned();
+        Ok(match resp.status {
+            200 => InvokeOutcome::Done(
+                wire::decode_record(&text).map_err(|e| ClientError::Protocol(e.to_string()))?,
+            ),
+            429 => InvokeOutcome::Throttled {
+                retry_after_secs: resp
+                    .header("retry-after")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1),
+                why: text,
+            },
+            503 => InvokeOutcome::Overloaded {
+                queue_depth: resp.header("x-queue-depth").and_then(|v| v.parse().ok()),
+                why: text,
+            },
+            status => InvokeOutcome::Failed { status, why: text },
+        })
+    }
+
+    /// Scrape `GET /metrics`.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.conn.send_request("GET", "/metrics", b"").map_err(ClientError::Io)?;
+        let resp = self.recv()?;
+        if resp.status != 200 {
+            return Err(ClientError::Protocol(format!("/metrics answered {}", resp.status)));
+        }
+        Ok(String::from_utf8_lossy(&resp.body).into_owned())
+    }
+
+    /// Raw request escape hatch (tests poke edge cases with it).
+    pub fn raw(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        self.conn.send_request(method, target, body).map_err(ClientError::Io)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic per-tenant admission accounting: a token-bucket rate
+//! limiter and a concurrency/memory quota ledger.
+//!
+//! Both are pure state machines over an injected microsecond clock — the
+//! caller passes `now_us` (the gateway derives it from one monotonic
+//! anchor; tests and proptests drive it manually, the same discipline as
+//! [`libra_core::clock`]). No wall-clock read ever happens inside
+//! accounting, so every grant/deny decision replays deterministically.
+//! This module is on the `libra-lint` determinism list.
+
+/// Micro-tokens per token: refill arithmetic is integer-exact at
+/// microsecond granularity (`rate_per_sec` tokens/s × `elapsed_us` µs =
+/// micro-tokens, no rounding), so the bucket can never over-grant.
+const MICRO: u64 = 1_000_000;
+
+/// A token bucket: `rate_per_sec` sustained requests per second with bursts
+/// of up to `burst` requests.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    capacity_micro: u64,
+    micro: u64,
+    last_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full (a fresh tenant may burst immediately).
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let capacity_micro = burst.max(1).saturating_mul(MICRO);
+        TokenBucket { rate_per_sec, capacity_micro, micro: capacity_micro, last_us: 0 }
+    }
+
+    /// Credit tokens for the time since the last observation. Time moving
+    /// backwards (never from the gateway's single monotonic anchor, but
+    /// nothing stops a test) credits nothing.
+    fn refill(&mut self, now_us: u64) {
+        let elapsed_us = now_us.saturating_sub(self.last_us);
+        self.last_us = self.last_us.max(now_us);
+        self.micro = self
+            .capacity_micro
+            .min(self.micro.saturating_add(self.rate_per_sec.saturating_mul(elapsed_us)));
+    }
+
+    /// Take one token at `now_us`, or report how many whole seconds the
+    /// caller should wait before retrying (the `Retry-After` value, ≥ 1).
+    pub fn try_take(&mut self, now_us: u64) -> Result<(), u64> {
+        self.refill(now_us);
+        if self.micro >= MICRO {
+            self.micro -= MICRO;
+            return Ok(());
+        }
+        let needed = MICRO - self.micro;
+        if self.rate_per_sec == 0 {
+            // A zero-rate tenant only ever gets its initial burst back.
+            return Err(3_600);
+        }
+        Err(needed.div_ceil(self.rate_per_sec).div_ceil(MICRO).max(1))
+    }
+
+    /// Whole tokens currently available (diagnostics).
+    pub fn available(&self) -> u64 {
+        self.micro / MICRO
+    }
+}
+
+/// Why the quota ledger denied an admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuotaDenied {
+    /// The tenant is at its in-flight invocation ceiling.
+    Concurrency {
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// Admitting the request would push in-flight memory past the quota.
+    Memory {
+        /// The configured memory quota (MB).
+        quota_mb: u64,
+        /// Memory already committed to in-flight invocations (MB).
+        inflight_mb: u64,
+        /// The request's allocation (MB).
+        requested_mb: u64,
+    },
+}
+
+impl std::fmt::Display for QuotaDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QuotaDenied::Concurrency { limit } => {
+                write!(f, "concurrency quota exhausted (limit {limit})")
+            }
+            QuotaDenied::Memory { quota_mb, inflight_mb, requested_mb } => write!(
+                f,
+                "memory quota exhausted ({inflight_mb} MB in flight + {requested_mb} MB \
+                 requested > {quota_mb} MB quota)"
+            ),
+        }
+    }
+}
+
+/// The per-tenant quota ledger: in-flight invocation count and committed
+/// memory, bounded by the tenant's configured ceilings. Admission and
+/// release must pair exactly — the gateway enforces that with a
+/// drop-releasing permit.
+#[derive(Clone, Debug)]
+pub struct QuotaLedger {
+    max_concurrency: usize,
+    mem_quota_mb: u64,
+    inflight: usize,
+    inflight_mem_mb: u64,
+}
+
+impl QuotaLedger {
+    /// A fresh ledger with everything available.
+    pub fn new(max_concurrency: usize, mem_quota_mb: u64) -> Self {
+        QuotaLedger { max_concurrency, mem_quota_mb, inflight: 0, inflight_mem_mb: 0 }
+    }
+
+    /// Admit a request allocating `mem_mb`, or say which quota it busts.
+    pub fn try_admit(&mut self, mem_mb: u64) -> Result<(), QuotaDenied> {
+        if self.inflight >= self.max_concurrency {
+            return Err(QuotaDenied::Concurrency { limit: self.max_concurrency });
+        }
+        let after = self.inflight_mem_mb.saturating_add(mem_mb);
+        if after > self.mem_quota_mb {
+            return Err(QuotaDenied::Memory {
+                quota_mb: self.mem_quota_mb,
+                inflight_mb: self.inflight_mem_mb,
+                requested_mb: mem_mb,
+            });
+        }
+        self.inflight += 1;
+        self.inflight_mem_mb = after;
+        Ok(())
+    }
+
+    /// Return an admitted request's slot and memory.
+    pub fn release(&mut self, mem_mb: u64) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.inflight_mem_mb = self.inflight_mem_mb.saturating_sub(mem_mb);
+    }
+
+    /// In-flight invocation count.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// In-flight committed memory (MB).
+    pub fn inflight_mem_mb(&self) -> u64 {
+        self.inflight_mem_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_grants_burst_then_throttles() {
+        let mut b = TokenBucket::new(10, 3);
+        assert!(b.try_take(0).is_ok());
+        assert!(b.try_take(0).is_ok());
+        assert!(b.try_take(0).is_ok());
+        let retry = b.try_take(0).expect_err("burst exhausted");
+        assert_eq!(retry, 1, "at 10 rps the next token is < 1 s away");
+    }
+
+    #[test]
+    fn bucket_refills_exactly() {
+        let mut b = TokenBucket::new(10, 1);
+        assert!(b.try_take(0).is_ok());
+        // 10 rps = one token per 100_000 µs; one µs early must still deny.
+        assert!(b.try_take(99_999).is_err());
+        assert!(b.try_take(100_000).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_gets_only_the_burst() {
+        let mut b = TokenBucket::new(0, 2);
+        assert!(b.try_take(0).is_ok());
+        assert!(b.try_take(1).is_ok());
+        assert_eq!(b.try_take(u64::MAX / 2), Err(3_600));
+    }
+
+    #[test]
+    fn ledger_enforces_both_axes() {
+        let mut l = QuotaLedger::new(2, 1_024);
+        assert!(l.try_admit(512).is_ok());
+        assert_eq!(
+            l.try_admit(1_024),
+            Err(QuotaDenied::Memory { quota_mb: 1_024, inflight_mb: 512, requested_mb: 1_024 })
+        );
+        assert!(l.try_admit(512).is_ok());
+        assert_eq!(l.try_admit(0), Err(QuotaDenied::Concurrency { limit: 2 }));
+        l.release(512);
+        assert!(l.try_admit(256).is_ok());
+        assert_eq!(l.inflight(), 2);
+        assert_eq!(l.inflight_mem_mb(), 768);
+    }
+}

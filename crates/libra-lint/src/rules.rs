@@ -24,10 +24,29 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const DETERMINISTIC_CRATES: &[&str] =
     &["libra-core", "libra-sim", "libra-workloads", "libra-chaos"];
 
+/// Individual files outside the deterministic crates whose accounting must
+/// stay clock-free: the gateway's admission pipeline (token bucket, quota
+/// ledger, backpressure gate, wire codec) takes injected `now_us`
+/// parameters so every grant/deny decision replays deterministically.
+/// Socket I/O lives in `server.rs`/`http.rs`/`client.rs`, which are free to
+/// read real clocks.
+pub const DETERMINISTIC_FILES: &[&str] = &[
+    "crates/libra-gateway/src/tenant.rs",
+    "crates/libra-gateway/src/quota.rs",
+    "crates/libra-gateway/src/backpressure.rs",
+    "crates/libra-gateway/src/wire.rs",
+];
+
 /// Files whose non-test code must be panic-free: the control-plane action
-/// paths. A panic mid-revocation would strand loans on the books.
-pub const PANIC_FREE_FILES: &[&str] =
-    &["crates/libra-core/src/controlplane.rs", "crates/libra-live/src/cluster.rs"];
+/// paths, plus the gateway's request parser and body codec — malformed
+/// bytes off the network must surface as 400s, never as a panic that takes
+/// a worker down. A panic mid-revocation would strand loans on the books.
+pub const PANIC_FREE_FILES: &[&str] = &[
+    "crates/libra-core/src/controlplane.rs",
+    "crates/libra-live/src/cluster.rs",
+    "crates/libra-gateway/src/http.rs",
+    "crates/libra-gateway/src/wire.rs",
+];
 
 /// Per-rule allowlist: `(path suffix, rule)` pairs exempted wholesale.
 /// Deliberately empty — prefer the in-source
@@ -193,7 +212,9 @@ fn attr_mentions_test(attr: &[Token]) -> bool {
 /// draw from ambient RNGs, or use hash-ordered containers whose iteration
 /// order could leak into behaviour.
 pub fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !DETERMINISTIC_CRATES.contains(&ctx.krate) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.krate)
+        && !DETERMINISTIC_FILES.iter().any(|f| ctx.path.ends_with(f))
+    {
         return;
     }
     let toks = ctx.tokens();

@@ -56,6 +56,37 @@ fn determinism_ignores_test_code_and_comments() {
 }
 
 #[test]
+fn determinism_covers_gateway_admission_files() {
+    // The gateway crate is not a deterministic crate, but its admission
+    // accounting files are individually listed: clock reads there would make
+    // grant/deny decisions unreplayable.
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    for file in ["tenant.rs", "quota.rs", "backpressure.rs", "wire.rs"] {
+        let path = format!("crates/libra-gateway/src/{file}");
+        assert_eq!(
+            rules_at(&path, src),
+            vec![("determinism".into(), 1)],
+            "{path} must be determinism-checked"
+        );
+    }
+    let hashed = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rules_at("crates/libra-gateway/src/tenant.rs", hashed),
+        vec![("determinism".into(), 1)]
+    );
+}
+
+#[test]
+fn determinism_exempts_gateway_socket_io_files() {
+    // server/http/client do real socket I/O and may read wall clocks.
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    for file in ["server.rs", "http.rs", "client.rs"] {
+        let path = format!("crates/libra-gateway/src/{file}");
+        assert!(rules_at(&path, src).is_empty(), "{path} is free to read clocks");
+    }
+}
+
+#[test]
 fn determinism_clean_source_is_silent() {
     let src =
         "use std::collections::BTreeMap;\npub fn t(c: &dyn Clock) -> u64 { c.now_micros() }\n";
@@ -79,6 +110,24 @@ fn panic_flags_unwrap_expect_and_indexing() {
 fn panic_rule_scoped_to_listed_files_only() {
     let src = "fn a(v: &[u32]) -> u32 { v[0] }\n";
     assert!(rules_at("crates/libra-core/src/pool.rs", src).is_empty());
+    // The gateway's socket loop may index; only the parser/codec are listed.
+    assert!(rules_at("crates/libra-gateway/src/server.rs", src).is_empty());
+}
+
+#[test]
+fn panic_rule_covers_gateway_parser_and_codec() {
+    // Malformed bytes off the network must become 400s, never a panic that
+    // takes a worker thread down — the HTTP parser and the wire codec are
+    // both on the panic-free list.
+    let src = "fn parse(b: &[u8]) -> u8 {\n    let _ = b.first().unwrap();\n    b[0]\n}\n";
+    for file in ["http.rs", "wire.rs"] {
+        let path = format!("crates/libra-gateway/src/{file}");
+        assert_eq!(
+            rules_at(&path, src),
+            vec![("panic".into(), 2), ("panic".into(), 3)],
+            "{path} must be panic-checked"
+        );
+    }
 }
 
 #[test]

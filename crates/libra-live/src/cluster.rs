@@ -13,9 +13,22 @@
 //! crate only supplies the physics: real clocks, real locks, real
 //! message-passing admission, plus a watchdog that turns a wedged run into a
 //! diagnostic panic instead of a hung CI job.
+//!
+//! Two driver surfaces exist over the same machinery:
+//!
+//! * [`run_live`] — the batch harness: submit a whole workload, wait for the
+//!   last completion, return a [`LiveResult`].
+//! * [`LiveCluster`] — the streaming service API used by `libra-gateway`:
+//!   [`LiveCluster::submit`] admits requests one at a time as they arrive
+//!   over the network, and [`LiveCluster::shutdown`] performs a graceful
+//!   drain — stop accepting, flush in-flight work, and *quiesce* whatever
+//!   cannot finish within the grace period through the control plane
+//!   (`on_abort` + charge release) so no harvest loan or scheduler-slice
+//!   charge is ever stranded by shutdown.
 
 use crate::accounting::{charge_forced, release_charge};
 use crate::workload::LiveRequest;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use libra_core::controlplane::{
     Action, Admission, ControlConfig, ControlPlane, LendFailure, Observation,
 };
@@ -29,6 +42,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Live platform configuration.
@@ -50,9 +64,13 @@ pub struct LiveConfig {
     /// Workload-milliseconds that elapse per real millisecond (> 1 runs the
     /// workload faster than nominal).
     pub time_scale: f64,
-    /// Real-time deadline for the whole run: if it passes before every
-    /// invocation completes, [`run_live`] panics with a per-node diagnostic
-    /// dump (ledger, resident threads, shard health) instead of hanging CI.
+    /// Stall deadline: if invocations are in flight but neither an admission
+    /// nor a completion happens for this long, the run is declared wedged —
+    /// [`run_live`] and [`LiveCluster::shutdown`] quiesce the cluster and
+    /// panic with a per-node diagnostic dump (ledger, resident threads,
+    /// shard health) instead of hanging CI. Idle clusters (nothing in
+    /// flight) never trip it, so a long-lived gateway can sit at this
+    /// default indefinitely.
     pub watchdog: Duration,
     /// Record every control-plane action per node (fidelity testing).
     pub record_trace: bool,
@@ -126,16 +144,24 @@ struct NodeShared {
 
 /// Replay control-plane actions against the live substrate: the sharded
 /// scheduler's admission ledger and the per-invocation exec states.
+///
+/// `unwinding` names the invocation whose *whole* charge the caller releases
+/// in one shot after the event (the completion/abort paths): revocations
+/// against that charge are skipped here so it isn't released twice.
 fn apply_actions(
     inner: &mut NodeInner,
     sched: &ShardedScheduler,
     node: u32,
     actions: &[Action],
     now: SimTime,
+    unwinding: Option<InvocationId>,
 ) {
     let NodeInner { core, exec, overdraft } = inner;
     for &a in actions {
         match a {
+            // The scheduler reservation *is* the live admission; the action
+            // is the explicit trace record networked frontends key off.
+            Action::Admitted { .. } => {}
             // Harvest: the freed volume leaves the committed charge.
             Action::SetGrant { inv, freed, .. } => {
                 if let Some(st) = exec.get(&inv.0) {
@@ -179,9 +205,23 @@ fn apply_actions(
                         }
                     }
                 }
-                // The source is going away: its completion/abort path
-                // releases the full pre-revocation charge in one shot.
-                LoanEnd::SourceCompleted | LoanEnd::Crashed => {}
+                // The source is going away: its completion path releases the
+                // full pre-revocation charge in one shot.
+                LoanEnd::SourceCompleted => {}
+                // Drain/crash abort. When the *source* is the invocation
+                // being unwound its wholesale release covers this charge;
+                // but a loan the unwound invocation *borrowed* is charged on
+                // its still-live source's shard and must be released here —
+                // abandoning it would strand slice capacity across a drain.
+                LoanEnd::Crashed => {
+                    if unwinding != Some(source) {
+                        if let Some(src) = exec.get(&source.0) {
+                            if let Some(over) = overdraft.get_mut(src.shard) {
+                                release_charge(over, sched, src.shard, node, vol);
+                            }
+                        }
+                    }
+                }
             },
             // Safeguard (§5.2): the grant is already back at nominal in the
             // ledger; force the substrate charge to match.
@@ -217,6 +257,11 @@ pub struct LiveRecord {
     pub idx: usize,
     /// End-to-end latency in workload milliseconds.
     pub latency_ms: f64,
+    /// Admission queueing: submission → scheduler shard slice found, in
+    /// workload milliseconds (the live analog of the `scheduler` stage of
+    /// the latency breakdown; `latency_ms − sched_ms` is the execution
+    /// stage).
+    pub sched_ms: f64,
     /// Counterfactual latency at the user allocation (queueing excluded).
     pub baseline_exec_ms: f64,
     /// Was it ever accelerated?
@@ -243,6 +288,9 @@ pub struct LiveResult {
     pub safeguard_releases: u64,
     /// OOM restarts across all invocations (§5.1).
     pub oom_restarts: u64,
+    /// Invocations the drain aborted through the control plane because they
+    /// could not finish within the shutdown grace period.
+    pub aborted: u64,
     /// Maximum Σ(own + lent) observed on any node (capacity invariant probe).
     pub peak_committed_cpu: u64,
     /// Scheduler-shard kill/respawn cycles performed by the chaos driver.
@@ -266,270 +314,402 @@ impl LiveResult {
     }
 }
 
-/// Run `workload` on a live cluster under `config`.
+/// Why [`LiveCluster::submit`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The cluster is draining (or was declared wedged): no new admissions.
+    Draining,
+    /// The function id is outside the control plane's deployed range.
+    FuncOutOfRange {
+        /// The offending function id.
+        func: u32,
+        /// Deployed function count the cluster was started with.
+        n_funcs: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::Draining => write!(f, "cluster is draining"),
+            SubmitError::FuncOutOfRange { func, n_funcs } => {
+                write!(f, "function {func} outside deployed range 0..{n_funcs}")
+            }
+        }
+    }
+}
+
+/// Live counters a long-running frontend polls for its observability
+/// endpoint (all monotone except `inflight`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveStats {
+    /// Requests accepted by [`LiveCluster::submit`].
+    pub submitted: usize,
+    /// Invocations completed.
+    pub completed: usize,
+    /// Invocations currently resident (admitted or queued for admission).
+    pub inflight: usize,
+    /// Invocations aborted by drain quiescing.
+    pub aborted: u64,
+    /// Timeliness revocations (loans cut by source completion).
+    pub loans_expired: u64,
+    /// Safeguard preemptive releases.
+    pub safeguard_releases: u64,
+    /// Scheduler-shard kill/respawn cycles (chaos driver).
+    pub shard_kills: u32,
+}
+
+struct ClusterShared {
+    config: LiveConfig,
+    n_funcs: usize,
+    nodes: Vec<Arc<NodeShared>>,
+    sched: Arc<ShardedScheduler>,
+    t0: Instant,
+    /// Stop accepting new submissions (graceful drain in progress).
+    draining: AtomicBool,
+    /// Quiesce: invocation threads abort through the control plane and exit.
+    aborting: AtomicBool,
+    /// The watchdog declared the run wedged (fatal; diagnostic dump follows).
+    expired: AtomicBool,
+    stop_aux: AtomicBool,
+    submitted: AtomicUsize,
+    inflight: AtomicUsize,
+    done_count: AtomicUsize,
+    aborted: AtomicU64,
+    peak_committed: AtomicU64,
+    shard_kills: AtomicU64,
+    records: Mutex<Vec<LiveRecord>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    aux: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the in-flight gauge when an invocation thread exits, however
+/// it exits (completion, drain abort, or a propagating panic).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running live cluster: the streaming driver surface behind
+/// [`run_live`] and the `libra-gateway` admission frontend.
 ///
-/// # Panics
-///
-/// When the [`LiveConfig::watchdog`] deadline passes before every invocation
-/// completes — the panic message carries a per-node diagnostic dump.
-pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
-    let n_funcs = workload.iter().map(|r| r.func as usize + 1).max().unwrap_or(1);
-    let nodes: Vec<Arc<NodeShared>> = (0..config.nodes)
-        .map(|_| {
-            let mut core = ControlPlane::new(config.control.clone(), n_funcs, 1);
-            core.set_record_trace(config.record_trace);
-            Arc::new(NodeShared {
-                inner: Mutex::new(NodeInner {
-                    core,
-                    exec: HashMap::new(),
-                    overdraft: vec![ResourceVec::ZERO; config.shards],
-                }),
+/// Requests enter one at a time through [`submit`](LiveCluster::submit) and
+/// run on their own OS thread; [`shutdown`](LiveCluster::shutdown) performs
+/// the graceful drain. The cluster owns a progress watchdog: if work is in
+/// flight but nothing is admitted or completed for
+/// [`LiveConfig::watchdog`], the run is declared wedged and `shutdown`
+/// panics with a diagnostic dump *after* quiescing the control plane.
+pub struct LiveCluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl LiveCluster {
+    /// Start a cluster under `config` with `n_funcs` deployed functions
+    /// (sizes the control plane's per-function safeguard history; requests
+    /// must carry `func < n_funcs`).
+    pub fn start(config: LiveConfig, n_funcs: usize) -> Self {
+        let n_funcs = n_funcs.max(1);
+        let nodes: Vec<Arc<NodeShared>> = (0..config.nodes)
+            .map(|_| {
+                let mut core = ControlPlane::new(config.control.clone(), n_funcs, 1);
+                core.set_record_trace(config.record_trace);
+                Arc::new(NodeShared {
+                    inner: Mutex::new(NodeInner {
+                        core,
+                        exec: HashMap::new(),
+                        overdraft: vec![ResourceVec::ZERO; config.shards],
+                    }),
+                })
             })
-        })
-        .collect();
-    let sched =
-        Arc::new(ShardedScheduler::spawn(config.shards, config.nodes, config.capacity, 0.9));
-    let peak_committed = Arc::new(AtomicU64::new(0));
-    let expired = Arc::new(AtomicBool::new(false));
-    let done_count = Arc::new(AtomicUsize::new(0));
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<LiveRecord>();
+            .collect();
+        let sched =
+            Arc::new(ShardedScheduler::spawn(config.shards, config.nodes, config.capacity, 0.9));
+        let shared = Arc::new(ClusterShared {
+            n_funcs,
+            nodes,
+            sched,
+            t0: Instant::now(),
+            draining: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
+            expired: AtomicBool::new(false),
+            stop_aux: AtomicBool::new(false),
+            submitted: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            done_count: AtomicUsize::new(0),
+            aborted: AtomicU64::new(0),
+            peak_committed: AtomicU64::new(0),
+            shard_kills: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            aux: Mutex::new(Vec::new()),
+            config,
+        });
 
-    let t0 = Instant::now();
-    let scale = config.time_scale;
-    let to_work_ms = move |d: Duration| d.as_secs_f64() * 1e3 * scale;
-    let total = workload.len();
-
-    let shard_kills = Arc::new(AtomicU64::new(0));
-    crossbeam::scope(|s| {
         // Watchdog: a wedged run (dead shard, starved admission, logic bug)
-        // must fail loudly with state attached, not hang CI.
+        // must fail loudly with state attached, not hang CI. Progress-based:
+        // trips only when invocations are resident but neither submissions
+        // nor completions move for the whole deadline.
         {
-            let expired = Arc::clone(&expired);
-            let done_count = Arc::clone(&done_count);
-            let deadline = config.watchdog;
-            s.spawn(move |_| {
-                while done_count.load(Ordering::Relaxed) < total {
-                    if t0.elapsed() > deadline {
-                        expired.store(true, Ordering::Relaxed);
+            let sh = Arc::clone(&shared);
+            let deadline = sh.config.watchdog;
+            let h = std::thread::spawn(move || {
+                let mut last = (0usize, 0usize);
+                let mut stamp = Instant::now();
+                loop {
+                    if sh.stop_aux.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let cur =
+                        (sh.done_count.load(Ordering::SeqCst), sh.submitted.load(Ordering::SeqCst));
+                    if cur != last {
+                        last = cur;
+                        stamp = Instant::now();
+                    }
+                    if sh.inflight.load(Ordering::SeqCst) > 0 && stamp.elapsed() > deadline {
+                        sh.expired.store(true, Ordering::SeqCst);
                         return;
                     }
                     std::thread::sleep(Duration::from_millis(2));
                 }
             });
+            shared.aux.lock().push(h);
         }
-        // Chaos driver: a bounded number of kill/respawn cycles, so the
-        // scope always joins.
-        if let Some(chaos) = config.chaos.clone() {
-            let sched = Arc::clone(&sched);
-            let shard_kills = Arc::clone(&shard_kills);
-            let shards = config.shards as u64;
-            s.spawn(move |_| {
+        // Chaos driver: a bounded number of kill/respawn cycles, so shutdown
+        // always joins.
+        if let Some(chaos) = shared.config.chaos.clone() {
+            let sched = Arc::clone(&shared.sched);
+            let shard_kills = Arc::clone(&shared);
+            let shards = shared.config.shards as u64;
+            let h = std::thread::spawn(move || {
                 let mut rng = chaos.seed;
                 for _ in 0..chaos.kills {
                     std::thread::sleep(chaos.gap);
                     rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     let victim = ((rng >> 33) % shards) as usize;
                     sched.kill(victim);
-                    shard_kills.fetch_add(1, Ordering::Relaxed);
+                    shard_kills.shard_kills.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(chaos.downtime);
                     sched.respawn(victim);
                 }
             });
+            shared.aux.lock().push(h);
         }
-        for (idx, req) in workload.iter().enumerate() {
-            let req = *req;
-            let nodes = nodes.clone();
-            let sched = Arc::clone(&sched);
-            let done_tx = done_tx.clone();
-            let done_count = Arc::clone(&done_count);
-            let expired = Arc::clone(&expired);
-            let peak_committed = Arc::clone(&peak_committed);
-            let config = config.clone();
-            s.spawn(move |_| {
-                // Arrive on schedule (workload ms → real ms).
-                let arrive_real = Duration::from_secs_f64(req.at_ms as f64 / 1e3 / scale);
-                let since = t0.elapsed();
-                if arrive_real > since {
-                    std::thread::sleep(arrive_real - since);
-                }
-                let submitted = Instant::now();
+        LiveCluster { shared }
+    }
 
-                // Admission: retry until a shard slice fits the allocation.
-                let (shard, node_id) = loop {
-                    if expired.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let shard = idx % config.shards;
-                    let d = sched.schedule_on(
-                        shard,
-                        ScheduleRequest {
-                            nominal: req.alloc,
-                            extra: ResourceVec::ZERO,
-                            func: req.func,
-                            duration: SimDuration::from_millis(req.base_duration_ms()),
-                            now: SimTime::ZERO,
-                        },
-                    );
-                    match d.node {
-                        Some(n) => break (shard, n as usize),
-                        None => std::thread::sleep(config.quantum),
-                    }
-                };
-
-                // The scheduler only answers node ids it was spawned with,
-                // so a miss here means the fleet is misconfigured — treat it
-                // like an expired run rather than unwinding mid-ledger.
-                let Some(node) = nodes.get(node_id) else {
-                    expired.store(true, Ordering::Relaxed);
-                    return;
-                };
-                let node_u32 = node_id as u32;
-                let inv_id = idx as u32;
-                let inv = InvocationId(inv_id);
-
-                // Start: install physics state, then let the control plane
-                // harvest and accelerate (pool priority = predicted expiry —
-                // the timeliness law's bookkeeping).
-                let harvested;
-                {
-                    let mut g = node.inner.lock();
-                    g.exec.insert(
-                        inv_id,
-                        ExecState {
-                            shard,
-                            demand_cpu: req.demand_cpu_millis,
-                            demand_mem: req.demand_mem_mb,
-                            work_total: req.work_mcore_ms as f64,
-                            work_left: req.work_mcore_ms as f64,
-                            last_settle: Instant::now(),
-                            accelerated: false,
-                            safeguarded: false,
-                            oom_restarts: 0,
-                        },
-                    );
-                    let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
-                    let pred = if config.harvesting { req.pred } else { None };
-                    let actions = g.core.on_admit(
-                        Admission {
-                            inv,
-                            node: NodeId(0),
-                            func: req.func as usize,
-                            nominal: req.alloc,
-                            mem_floor_mb: req.mem_floor_mb,
-                            pred,
-                        },
-                        now_ms,
-                    );
-                    harvested = actions.iter().any(|a| matches!(a, Action::SetGrant { .. }));
-                    apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
-                }
-
-                // Execute: settle progress each quantum, feed the control
-                // plane an observation, replay whatever it decides.
-                loop {
-                    std::thread::sleep(config.quantum);
-                    if expired.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let mut g = node.inner.lock();
-
-                    // Capacity probe: Σ(own + lent) must stay within capacity.
-                    let committed = g.core.committed_on(NodeId(0));
-                    peak_committed.fetch_max(committed.cpu_millis, Ordering::Relaxed);
-
-                    let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
-                    let eff = g.core.effective_alloc(inv).unwrap_or(req.alloc);
-                    let (finished, progress) = {
-                        // Own exec state vanishing mid-run would mean another
-                        // worker removed it — bail out like an expired run.
-                        let Some(me) = g.exec.get_mut(&inv_id) else {
-                            expired.store(true, Ordering::Relaxed);
-                            return;
-                        };
-                        let now = Instant::now();
-                        let elapsed_ms = to_work_ms(now - me.last_settle);
-                        me.last_settle = now;
-                        let rate = exec_rate_millis(
-                            eff.cpu_millis,
-                            eff.mem_mb,
-                            me.demand_cpu,
-                            me.demand_mem,
-                            req.alloc.mem_mb,
-                        );
-                        me.work_left -= rate as f64 * elapsed_ms;
-                        let frac = if me.work_total > 0.0 {
-                            ((me.work_total - me.work_left) / me.work_total).clamp(0.0, 1.0)
-                        } else {
-                            1.0
-                        };
-                        (me.work_left <= 0.0, frac)
-                    };
-
-                    if finished {
-                        // Charge on the books *before* completion unwinds it:
-                        // own grant + everything still lent out.
-                        let still = g.core.charge(inv).unwrap_or(req.alloc);
-                        let actions = g.core.on_complete(inv, now_ms);
-                        apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
-                        let Some(me) = g.exec.remove(&inv_id) else {
-                            expired.store(true, Ordering::Relaxed);
-                            return;
-                        };
-                        if let Some(over) = g.overdraft.get_mut(shard) {
-                            release_charge(over, &*sched, shard, node_u32, still);
-                        }
-                        drop(g);
-
-                        done_count.fetch_add(1, Ordering::Relaxed);
-                        let latency_ms = to_work_ms(submitted.elapsed());
-                        let _ = done_tx.send(LiveRecord {
-                            idx,
-                            latency_ms,
-                            baseline_exec_ms: req.alloc_duration_ms() as f64,
-                            accelerated: me.accelerated,
-                            harvested,
-                            safeguarded: me.safeguarded,
-                            oom_restarts: me.oom_restarts,
-                        });
-                        break;
-                    }
-
-                    // The OOM rule (§5.1): a footprint within the user
-                    // allocation crossed a harvested grant.
-                    let mem_used = mem_usage_model(req.demand_mem_mb, progress);
-                    if req.demand_mem_mb <= req.alloc.mem_mb && mem_used > eff.mem_mb {
-                        let actions = g.core.on_oom(inv, now_ms);
-                        apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
-                        continue;
-                    }
-
-                    // Monitor path: safeguard, trimming, continuous
-                    // acceleration — all decided by the shared core.
-                    let obs = Observation {
-                        cpu_busy_millis: eff.cpu_millis.min(req.demand_cpu_millis),
-                        mem_used_mb: mem_used,
-                        cpu_throttled: req.demand_cpu_millis > eff.cpu_millis,
-                    };
-                    let actions = g.core.on_observe(inv, obs, now_ms);
-                    apply_actions(&mut g, &sched, node_u32, &actions, now_ms);
-                }
-            });
+    /// Admit one request. `idx` is the caller's stable request index: it
+    /// becomes the invocation id (`InvocationId(idx)`), keys the scheduler
+    /// shard (`idx % shards`), and must be unique among in-flight requests.
+    /// Returns a one-shot receiver that yields the completion record; if the
+    /// invocation is drained away before completing, the sender is dropped
+    /// and the receiver reports disconnection instead.
+    pub fn submit(
+        &self,
+        idx: usize,
+        req: LiveRequest,
+    ) -> Result<Receiver<LiveRecord>, SubmitError> {
+        let sh = &self.shared;
+        if sh.draining.load(Ordering::SeqCst) || sh.aborting.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
         }
-        drop(done_tx);
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        if req.func as usize >= sh.n_funcs {
+            return Err(SubmitError::FuncOutOfRange { func: req.func, n_funcs: sh.n_funcs });
+        }
+        sh.inflight.fetch_add(1, Ordering::SeqCst);
+        sh.submitted.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        let shared = Arc::clone(sh);
+        let h = std::thread::spawn(move || run_invocation(&shared, idx, req, tx));
+        let mut handles = sh.handles.lock();
+        // Reap finished threads opportunistically so a long-lived service
+        // doesn't accumulate one parked JoinHandle per request ever served.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles.get(i).is_some_and(|h| h.is_finished()) {
+                let done = handles.swap_remove(i);
+                if let Err(payload) = done.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        handles.push(h);
+        Ok(rx)
+    }
 
-    if expired.load(Ordering::Relaxed) {
+    /// Completed-invocation count.
+    pub fn completed(&self) -> usize {
+        self.shared.done_count.load(Ordering::SeqCst)
+    }
+
+    /// Currently resident invocations (admitted or queued for admission).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Whether the watchdog has declared the run wedged. Frontends blocked
+    /// on a completion receiver poll this to fail their request instead of
+    /// waiting forever.
+    pub fn is_expired(&self) -> bool {
+        self.shared.expired.load(Ordering::SeqCst)
+    }
+
+    /// Observability counters for a metrics endpoint.
+    pub fn stats(&self) -> LiveStats {
+        let sh = &self.shared;
+        let (mut loans_expired, mut safeguard_releases) = (0, 0);
+        for n in &sh.nodes {
+            let g = n.inner.lock();
+            loans_expired += g.core.counters().loans_expired;
+            safeguard_releases += g.core.safeguard().triggers();
+        }
+        LiveStats {
+            submitted: sh.submitted.load(Ordering::SeqCst),
+            completed: sh.done_count.load(Ordering::SeqCst),
+            inflight: sh.inflight.load(Ordering::SeqCst),
+            aborted: sh.aborted.load(Ordering::SeqCst),
+            loans_expired,
+            safeguard_releases,
+            shard_kills: sh.shard_kills.load(Ordering::Relaxed) as u32,
+        }
+    }
+
+    /// Graceful drain: stop accepting, flush in-flight invocations for up to
+    /// `grace`, then quiesce whatever remains through the control plane
+    /// (`on_abort`: loans revoked, ledger unwound, scheduler-slice charges
+    /// released) and join every thread.
+    ///
+    /// # Panics
+    ///
+    /// When the progress watchdog declared the run wedged — the panic
+    /// message carries the per-node diagnostic dump captured *before* the
+    /// quiesce (so it shows the wedged state), but the quiesce still runs
+    /// first so even a wedged shutdown conserves loans.
+    pub fn shutdown(&self, grace: Duration) -> LiveResult {
+        let sh = &self.shared;
+        sh.draining.store(true, Ordering::SeqCst);
+        let t = Instant::now();
+        while sh.inflight.load(Ordering::SeqCst) > 0
+            && !sh.expired.load(Ordering::SeqCst)
+            && t.elapsed() < grace
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Capture the wedged state for the diagnostic panic *before*
+        // quiescing cleans the ledgers up.
+        let dump =
+            if sh.expired.load(Ordering::SeqCst) { Some(self.diagnostic_dump()) } else { None };
+        sh.aborting.store(true, Ordering::SeqCst);
+        loop {
+            let drained = std::mem::take(&mut *sh.handles.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        sh.stop_aux.store(true, Ordering::SeqCst);
+        for h in std::mem::take(&mut *sh.aux.lock()) {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        if let Some(dump) = dump {
+            panic!("{dump}");
+        }
+
+        let mut records: Vec<LiveRecord> = sh.records.lock().clone();
+        records.sort_by_key(|r| r.idx);
+        let (mut loans_expired, mut safeguard_releases) = (0, 0);
+        let mut actions_by_node = Vec::with_capacity(sh.nodes.len());
+        for n in &sh.nodes {
+            let g = n.inner.lock();
+            loans_expired += g.core.counters().loans_expired;
+            safeguard_releases += g.core.safeguard().triggers();
+            actions_by_node.push(g.core.action_trace().to_vec());
+        }
+        let scale = sh.config.time_scale;
+        LiveResult {
+            oom_restarts: records.iter().map(|r| r.oom_restarts as u64).sum(),
+            records,
+            makespan_ms: sh.t0.elapsed().as_secs_f64() * 1e3 * scale,
+            loans_expired,
+            safeguard_releases,
+            aborted: sh.aborted.load(Ordering::SeqCst),
+            peak_committed_cpu: sh.peak_committed.load(Ordering::Relaxed),
+            shard_kills: sh.shard_kills.load(Ordering::Relaxed) as u32,
+            actions_by_node,
+        }
+    }
+
+    /// Post-drain quiescence check: every node's control-plane ledger must
+    /// be empty and conserved, every exec table empty, every overdraft
+    /// repaid, and every scheduler-shard slice back at `capacity / shards` —
+    /// i.e. no harvest loan or admission charge survived the drain.
+    pub fn conservation_report(&self) -> Result<(), String> {
+        let sh = &self.shared;
+        for (i, n) in sh.nodes.iter().enumerate() {
+            let g = n.inner.lock();
+            g.core.check_conservation().map_err(|e| format!("node {i}: {e}"))?;
+            if g.core.ledger_len() != 0 {
+                return Err(format!(
+                    "node {i}: {} ledger entries survive drain",
+                    g.core.ledger_len()
+                ));
+            }
+            if !g.exec.is_empty() {
+                return Err(format!("node {i}: {} exec states survive drain", g.exec.len()));
+            }
+            let committed = g.core.committed_on(NodeId(0));
+            if !committed.is_zero() {
+                return Err(format!("node {i}: committed {committed:?} after drain"));
+            }
+        }
+        let slice = sh.config.capacity.div(sh.config.shards as u64);
+        for shard in 0..sh.config.shards {
+            let Some(free) = sh.sched.slice_free(shard) else {
+                return Err(format!("shard {shard}: no slice ledger"));
+            };
+            for (node, f) in free.iter().enumerate() {
+                let over = sh
+                    .nodes
+                    .get(node)
+                    .map(|n| {
+                        n.inner.lock().overdraft.get(shard).copied().unwrap_or(ResourceVec::ZERO)
+                    })
+                    .unwrap_or(ResourceVec::ZERO);
+                let restored = *f + over;
+                if restored != slice {
+                    return Err(format!(
+                        "shard {shard} node {node}: slice {restored:?} != {slice:?} after drain \
+                         (free {f:?}, overdraft {over:?})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn diagnostic_dump(&self) -> String {
         use std::fmt::Write as _;
-        let done = done_count.load(Ordering::Relaxed);
+        let sh = &self.shared;
+        let done = sh.done_count.load(Ordering::SeqCst);
+        let total = sh.submitted.load(Ordering::SeqCst);
         let mut dump = format!(
             "run_live watchdog expired after {:?}: {done}/{total} invocations completed\n",
-            config.watchdog
+            sh.config.watchdog
         );
-        for shard in 0..config.shards {
-            let _ = writeln!(dump, "shard {shard}: alive={}", sched.is_alive(shard));
+        for shard in 0..sh.config.shards {
+            let _ = writeln!(dump, "shard {shard}: alive={}", sh.sched.is_alive(shard));
         }
-        for (i, n) in nodes.iter().enumerate() {
+        for (i, n) in sh.nodes.iter().enumerate() {
             let g = n.inner.lock();
             let _ = writeln!(
                 dump,
@@ -549,29 +729,253 @@ pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
             }
             dump.push_str(&g.core.dump());
         }
-        panic!("{dump}");
+        dump
+    }
+}
+
+/// Unwind one invocation through the control plane at drain time: charge
+/// captured, `on_abort` unwinds the loan ledger, the emitted revocations are
+/// replayed, and the wholesale charge is released back to the shard slice.
+fn quiesce_abort(
+    g: &mut NodeInner,
+    sched: &ShardedScheduler,
+    node: u32,
+    inv: InvocationId,
+    shard: usize,
+    now: SimTime,
+) {
+    let Some(still) = g.core.charge(inv) else {
+        g.exec.remove(&inv.0);
+        return;
+    };
+    let actions = g.core.on_abort(inv, now);
+    apply_actions(g, sched, node, &actions, now, Some(inv));
+    g.exec.remove(&inv.0);
+    if let Some(over) = g.overdraft.get_mut(shard) {
+        release_charge(over, sched, shard, node, still);
+    }
+}
+
+/// One invocation's whole life, on its own OS thread.
+fn run_invocation(
+    shared: &Arc<ClusterShared>,
+    idx: usize,
+    req: LiveRequest,
+    reply: Sender<LiveRecord>,
+) {
+    let _guard = InflightGuard(&shared.inflight);
+    let config = &shared.config;
+    let sched = &shared.sched;
+    let t0 = shared.t0;
+    let scale = config.time_scale;
+    let to_work_ms = |d: Duration| d.as_secs_f64() * 1e3 * scale;
+
+    // Arrive on schedule (workload ms → real ms). Network-driven requests
+    // arrive with `at_ms` already in the past and start immediately. The
+    // wait is abort-aware so a far-future arrival never pins a drain.
+    let arrive_real = Duration::from_secs_f64(req.at_ms as f64 / 1e3 / scale);
+    while t0.elapsed() < arrive_real {
+        if shared.aborting.load(Ordering::SeqCst) {
+            shared.aborted.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(arrive_real.saturating_sub(t0.elapsed()).min(config.quantum));
+    }
+    let submitted = Instant::now();
+
+    // Admission: retry until a shard slice fits the allocation.
+    let (shard, node_id) = loop {
+        if shared.aborting.load(Ordering::SeqCst) {
+            shared.aborted.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        let shard = idx % config.shards;
+        let d = sched.schedule_on(
+            shard,
+            ScheduleRequest {
+                nominal: req.alloc,
+                extra: ResourceVec::ZERO,
+                func: req.func,
+                duration: SimDuration::from_millis(req.base_duration_ms()),
+                now: SimTime::ZERO,
+            },
+        );
+        match d.node {
+            Some(n) => break (shard, n as usize),
+            None => std::thread::sleep(config.quantum),
+        }
+    };
+    let sched_ms = to_work_ms(submitted.elapsed());
+
+    // The scheduler only answers node ids it was spawned with, so a miss
+    // here means the fleet is misconfigured — treat it like a wedged run
+    // rather than unwinding mid-ledger.
+    let Some(node) = shared.nodes.get(node_id) else {
+        shared.expired.store(true, Ordering::SeqCst);
+        return;
+    };
+    let node_u32 = node_id as u32;
+    let inv_id = idx as u32;
+    let inv = InvocationId(inv_id);
+
+    // Start: install physics state, then let the control plane harvest and
+    // accelerate (pool priority = predicted expiry — the timeliness law's
+    // bookkeeping).
+    let harvested;
+    {
+        let mut g = node.inner.lock();
+        g.exec.insert(
+            inv_id,
+            ExecState {
+                shard,
+                demand_cpu: req.demand_cpu_millis,
+                demand_mem: req.demand_mem_mb,
+                work_total: req.work_mcore_ms as f64,
+                work_left: req.work_mcore_ms as f64,
+                last_settle: Instant::now(),
+                accelerated: false,
+                safeguarded: false,
+                oom_restarts: 0,
+            },
+        );
+        let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+        let pred = if config.harvesting { req.pred } else { None };
+        let actions = g.core.on_admit(
+            Admission {
+                inv,
+                node: NodeId(0),
+                func: req.func as usize,
+                nominal: req.alloc,
+                mem_floor_mb: req.mem_floor_mb,
+                pred,
+            },
+            now_ms,
+        );
+        harvested = actions.iter().any(|a| matches!(a, Action::SetGrant { .. }));
+        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
     }
 
-    let mut records: Vec<LiveRecord> = done_rx.iter().collect();
-    records.sort_by_key(|r| r.idx);
-    let (mut loans_expired, mut safeguard_releases) = (0, 0);
-    let mut actions_by_node = Vec::with_capacity(nodes.len());
-    for n in &nodes {
-        let g = n.inner.lock();
-        loans_expired += g.core.counters().loans_expired;
-        safeguard_releases += g.core.safeguard().triggers();
-        actions_by_node.push(g.core.action_trace().to_vec());
+    // Execute: settle progress each quantum, feed the control plane an
+    // observation, replay whatever it decides.
+    loop {
+        std::thread::sleep(config.quantum);
+        let mut g = node.inner.lock();
+        if shared.aborting.load(Ordering::SeqCst) {
+            // Drain quiesce: unwind through the control plane so loans and
+            // slice charges are conserved, not abandoned.
+            let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+            quiesce_abort(&mut g, sched, node_u32, inv, shard, now_ms);
+            shared.aborted.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+
+        // Capacity probe: Σ(own + lent) must stay within capacity.
+        let committed = g.core.committed_on(NodeId(0));
+        shared.peak_committed.fetch_max(committed.cpu_millis, Ordering::Relaxed);
+
+        let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+        let eff = g.core.effective_alloc(inv).unwrap_or(req.alloc);
+        let (finished, progress) = {
+            // Own exec state vanishing mid-run would mean another worker
+            // removed it — declare the run wedged and bail out.
+            let Some(me) = g.exec.get_mut(&inv_id) else {
+                shared.expired.store(true, Ordering::SeqCst);
+                return;
+            };
+            let now = Instant::now();
+            let elapsed_ms = to_work_ms(now - me.last_settle);
+            me.last_settle = now;
+            let rate = exec_rate_millis(
+                eff.cpu_millis,
+                eff.mem_mb,
+                me.demand_cpu,
+                me.demand_mem,
+                req.alloc.mem_mb,
+            );
+            me.work_left -= rate as f64 * elapsed_ms;
+            let frac = if me.work_total > 0.0 {
+                ((me.work_total - me.work_left) / me.work_total).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            (me.work_left <= 0.0, frac)
+        };
+
+        if finished {
+            // Charge on the books *before* completion unwinds it: own grant
+            // + everything still lent out.
+            let still = g.core.charge(inv).unwrap_or(req.alloc);
+            let actions = g.core.on_complete(inv, now_ms);
+            apply_actions(&mut g, sched, node_u32, &actions, now_ms, Some(inv));
+            let Some(me) = g.exec.remove(&inv_id) else {
+                shared.expired.store(true, Ordering::SeqCst);
+                return;
+            };
+            if let Some(over) = g.overdraft.get_mut(shard) {
+                release_charge(over, &**sched, shard, node_u32, still);
+            }
+            drop(g);
+
+            let latency_ms = to_work_ms(submitted.elapsed());
+            let record = LiveRecord {
+                idx,
+                latency_ms,
+                sched_ms,
+                baseline_exec_ms: req.alloc_duration_ms() as f64,
+                accelerated: me.accelerated,
+                harvested,
+                safeguarded: me.safeguarded,
+                oom_restarts: me.oom_restarts,
+            };
+            shared.records.lock().push(record);
+            shared.done_count.fetch_add(1, Ordering::SeqCst);
+            let _ = reply.send(record);
+            return;
+        }
+
+        // The OOM rule (§5.1): a footprint within the user allocation
+        // crossed a harvested grant.
+        let mem_used = mem_usage_model(req.demand_mem_mb, progress);
+        if req.demand_mem_mb <= req.alloc.mem_mb && mem_used > eff.mem_mb {
+            let actions = g.core.on_oom(inv, now_ms);
+            apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
+            continue;
+        }
+
+        // Monitor path: safeguard, trimming, continuous acceleration — all
+        // decided by the shared core.
+        let obs = Observation {
+            cpu_busy_millis: eff.cpu_millis.min(req.demand_cpu_millis),
+            mem_used_mb: mem_used,
+            cpu_throttled: req.demand_cpu_millis > eff.cpu_millis,
+        };
+        let actions = g.core.on_observe(inv, obs, now_ms);
+        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
     }
-    LiveResult {
-        oom_restarts: records.iter().map(|r| r.oom_restarts as u64).sum(),
-        records,
-        makespan_ms: to_work_ms(t0.elapsed()),
-        loans_expired,
-        safeguard_releases,
-        peak_committed_cpu: peak_committed.load(Ordering::Relaxed),
-        shard_kills: shard_kills.load(Ordering::Relaxed) as u32,
-        actions_by_node,
+}
+
+/// Run `workload` on a live cluster under `config`: submit everything, wait
+/// for the last completion, drain, return.
+///
+/// # Panics
+///
+/// When the progress watchdog ([`LiveConfig::watchdog`]) trips before every
+/// invocation completes — the panic message carries a per-node diagnostic
+/// dump.
+pub fn run_live(workload: &[LiveRequest], config: &LiveConfig) -> LiveResult {
+    let n_funcs = workload.iter().map(|r| r.func as usize + 1).max().unwrap_or(1);
+    let cluster = LiveCluster::start(config.clone(), n_funcs);
+    for (idx, req) in workload.iter().enumerate() {
+        // A fresh, non-draining cluster accepts every in-range request; the
+        // workload's funcs bound `n_funcs` above, so this cannot refuse.
+        if cluster.submit(idx, *req).is_err() {
+            break;
+        }
     }
+    while cluster.completed() < workload.len() && !cluster.is_expired() {
+        std::thread::sleep(config.quantum);
+    }
+    cluster.shutdown(Duration::ZERO)
 }
 
 #[cfg(test)]
@@ -601,6 +1005,7 @@ mod tests {
         let r = run_live(&w, &cfg(true));
         assert_eq!(r.records.len(), 40);
         assert!(r.makespan_ms > 0.0);
+        assert_eq!(r.aborted, 0);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod workload;
 
 pub use accounting::CapacityLedger;
 pub use clock::WallClock;
-pub use cluster::{run_live, LiveChaos, LiveConfig, LiveRecord, LiveResult};
+pub use cluster::{
+    run_live, LiveChaos, LiveCluster, LiveConfig, LiveRecord, LiveResult, LiveStats, SubmitError,
+};
 pub use workload::{mixed_workload, LiveRequest};
 
 // The live driver replays these; re-exported so trace consumers need not

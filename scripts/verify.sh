@@ -27,6 +27,11 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> gateway smoke (500 seeded requests over loopback, scrape /metrics)"
+# gateway_loadgen exits nonzero on any 5xx-from-bugs, dropped request, or
+# missing metrics series; seeded traffic keeps the run reproducible.
+cargo run --release -q -p libra-gateway --bin gateway_loadgen -- --seed 42 --requests 500
+
 echo "==> pool-bench smoke (emits BENCH_pool.json)"
 cargo run --release -p libra-bench --bin bench_pool
 

@@ -12,7 +12,9 @@
 //!   demand coverage, decentralized sharding scheduler,
 //! * [`baselines`] — OpenWhisk default, the Freyr stand-in, RR/JSQ/MWS,
 //! * [`chaos`] — deterministic fault-injection plans for resilience testing,
-//! * [`live`] — the real-thread sharded control plane.
+//! * [`live`] — the real-thread sharded control plane,
+//! * [`gateway`] — the multi-tenant HTTP admission frontend over [`live`]:
+//!   quotas, rate limits, backpressure, graceful drain and `/metrics`.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and DESIGN.md for the
 //! system inventory.
@@ -20,6 +22,7 @@
 pub use libra_baselines as baselines;
 pub use libra_chaos as chaos;
 pub use libra_core as core;
+pub use libra_gateway as gateway;
 pub use libra_live as live;
 pub use libra_ml as ml;
 pub use libra_sim as sim;

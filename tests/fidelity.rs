@@ -1,9 +1,11 @@
-//! Cross-substrate fidelity: the deterministic simulator and the live
-//! threaded runtime are both thin drivers of the *same*
+//! Cross-substrate fidelity: the deterministic simulator, the live threaded
+//! runtime, and the networked gateway are all thin drivers of the *same*
 //! `libra_core::controlplane::ControlPlane`, so one deterministic workload
-//! driven through both substrates must produce the same per-invocation
+//! driven through all three substrates must produce the same per-invocation
 //! action traces — harvest grants, loans (CPU *and* memory), the safeguard's
 //! preemptive release and the timeliness revocation, with identical volumes.
+//! (Admission-layer rejections are excluded by construction: the gateway
+//! tenant is quota'd generously enough to admit everything.)
 //!
 //! The scenario (one 16-core/16-GB node, four invocations):
 //!
@@ -182,23 +184,105 @@ fn live_trace() -> (Vec<Action>, libra::live::LiveResult) {
     (r.actions_by_node[0].clone(), r)
 }
 
+/// Drive the same scenario through the gateway over loopback HTTP: four
+/// pre-connected clients send simultaneously; arrival pacing is enforced by
+/// the cluster itself (requests carry `at_ms`), so network jitter only has
+/// to stay under the 100 ms inter-arrival margin.
+fn gateway_trace() -> Vec<Action> {
+    use libra::gateway::client::{GatewayClient, InvokeOutcome};
+    use libra::gateway::server::{Gateway, GatewayConfig};
+    use libra::gateway::tenant::TenantQuota;
+    use std::sync::Barrier;
+
+    let cfg = LiveConfig {
+        nodes: 1,
+        capacity: ResourceVec::from_cores_mb(16, 16 * 1024),
+        shards: 1,
+        harvesting: true,
+        quantum: Duration::from_millis(1),
+        time_scale: 4.0,
+        record_trace: true,
+        ..LiveConfig::default()
+    };
+    let gw = Gateway::start(GatewayConfig {
+        workers: 8,
+        admission_capacity: 16,
+        max_funcs: 1,
+        tenants: vec![TenantQuota::generous("fidelity")],
+        live: cfg,
+        drain_grace: Duration::from_secs(30),
+        ..GatewayConfig::default()
+    })
+    .expect("bind on loopback");
+    let addr = gw.local_addr();
+
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = ACTORS
+        .iter()
+        .zip(ARRIVALS_MS)
+        .enumerate()
+        .map(|(idx, (a, at_ms))| {
+            let req = LiveRequest {
+                at_ms,
+                func: 0,
+                alloc: ResourceVec::new(a.alloc.0, a.alloc.1),
+                demand_cpu_millis: a.demand.0,
+                demand_mem_mb: a.demand.1,
+                mem_floor_mb: 64,
+                work_mcore_ms: a.demand.0 * a.demand.2,
+                pred: Some(prediction(a.pred)),
+            };
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = GatewayClient::connect(addr).expect("connect");
+                barrier.wait();
+                client.invoke("fidelity", 0, idx, &req).expect("transport")
+            })
+        })
+        .collect();
+    for (idx, h) in handles.into_iter().enumerate() {
+        let InvokeOutcome::Done(rec) = h.join().expect("no panic") else {
+            panic!("gateway invocation {idx} must complete with a record");
+        };
+        assert_eq!(rec.idx, idx as u64);
+    }
+    let report = gw.shutdown();
+    assert_eq!(report.live.records.len(), 4, "all gateway invocations must complete");
+    report.live.actions_by_node.first().cloned().unwrap_or_default()
+}
+
 fn project(trace: &[Action], inv: u32) -> Vec<Action> {
     trace.iter().copied().filter(|a| a.subject() == InvocationId(inv)).collect()
 }
 
 #[test]
-fn sim_and_live_action_traces_match() {
+fn sim_live_and_gateway_action_traces_match() {
     let sim = sim_trace();
     let (live, result) = live_trace();
+    let gateway = gateway_trace();
 
     // Same control plane, same inputs → identical per-invocation decisions,
-    // down to the exact volumes. (Projection by subject makes the comparison
-    // robust to cross-invocation interleaving, which real threads reorder.)
+    // down to the exact volumes — whether the driver is the simulator, the
+    // in-process live harness, or HTTP clients over loopback. (Projection
+    // by subject makes the comparison robust to cross-invocation
+    // interleaving, which real threads reorder.)
     for inv in 0..4u32 {
         assert_eq!(
             project(&sim, inv),
             project(&live, inv),
-            "substrates diverged for invocation {inv}\n sim: {sim:#?}\nlive: {live:#?}"
+            "sim/live diverged for invocation {inv}\n sim: {sim:#?}\nlive: {live:#?}"
+        );
+        assert_eq!(
+            project(&live, inv),
+            project(&gateway, inv),
+            "live/gateway diverged for invocation {inv}\nlive: {live:#?}\ngateway: {gateway:#?}"
+        );
+        // Byte-identical, not just structurally equal: the gateway's wire
+        // hop must not perturb a single volume or reason in the trace.
+        assert_eq!(
+            format!("{:?}", project(&sim, inv)),
+            format!("{:?}", project(&gateway, inv)),
+            "sim/gateway debug traces diverged for invocation {inv}"
         );
     }
 
