@@ -22,18 +22,19 @@
 //!
 //! Policies ([`Platform`]) only make decisions; they cannot bend physics.
 
+use crate::arena::InvArena;
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::function::FunctionSpec;
 use crate::ids::{FunctionId, InvocationId, NodeId};
 use crate::invocation::{Actuals, InvState, Invocation, Loan};
-use crate::metrics::{InvRecord, RunResult, UtilSample};
+use crate::metrics::{InvRecord, MetricsMode, RunResult, RunSummary, UtilSample};
 use crate::node::Node;
 use crate::platform::{LoanEnd, Platform, PlatformOverheads};
 use crate::resources::ResourceVec;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Trace;
-use std::collections::VecDeque;
+use crate::trace::{Trace, TraceEntry};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Engine tuning knobs (cluster-level, not policy-level).
 #[derive(Clone, Debug)]
@@ -62,6 +63,9 @@ pub struct SimConfig {
     pub crash_max_retries: u32,
     /// Base re-admission backoff after a crash/abort; doubles per requeue.
     pub crash_backoff: SimDuration,
+    /// How measurements are aggregated: full record streams (default) or
+    /// constant-space online summaries for huge traces.
+    pub metrics: MetricsMode,
 }
 
 impl Default for SimConfig {
@@ -78,6 +82,7 @@ impl Default for SimConfig {
             max_sim_time: SimDuration::from_secs(48 * 3600),
             crash_max_retries: 3,
             crash_backoff: SimDuration::from_secs(1),
+            metrics: MetricsMode::Full,
         }
     }
 }
@@ -142,12 +147,14 @@ pub struct World {
     pub config: SimConfig,
     funcs: Vec<FunctionSpec>,
     nodes: Vec<Node>,
-    invs: Vec<Invocation>,
-    cpu_peak_obs: Vec<u64>,
+    /// In-flight invocations. Completed / terminally aborted ones are
+    /// retired, so memory tracks concurrency, not trace length.
+    invs: InvArena,
     shards: Vec<Shard>,
     queue: EventQueue,
     records: Vec<InvRecord>,
     util: Vec<UtilSample>,
+    summary: RunSummary,
     completed: usize,
     first_arrival: Option<SimTime>,
     last_completion: SimTime,
@@ -156,7 +163,6 @@ pub struct World {
     overheads: PlatformOverheads,
     // Fault-injection state. All of it stays at its zero value in clean runs,
     // so the fault-free path is byte-identical to a build without a plan.
-    fault_plan: FaultPlan,
     aborted: usize,
     requeue_total: u64,
     faults_fired: u64,
@@ -196,9 +202,26 @@ impl World {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// One invocation record.
+    /// One invocation record. Panics if the invocation has not arrived yet
+    /// or was retired (completed / terminally aborted) — policies only hold
+    /// ids of in-flight invocations.
     pub fn inv(&self, i: InvocationId) -> &Invocation {
-        &self.invs[i.idx()]
+        self.invs.get(self.slot(i))
+    }
+
+    /// Arena slot of a live invocation; panics when absent. Engine paths
+    /// that must only ever see live invocations use this.
+    fn slot(&self, id: InvocationId) -> usize {
+        match self.invs.slot_of(id) {
+            Some(s) => s,
+            None => panic!("{id:?} is not in flight (not yet arrived, or retired)"),
+        }
+    }
+
+    /// Arena slot of a live invocation, or `None` — the staleness check for
+    /// lazy-cancelled events referencing retired invocations.
+    fn try_slot(&self, id: InvocationId) -> Option<usize> {
+        self.invs.slot_of(id)
     }
 
     /// Number of scheduler shards.
@@ -218,8 +241,9 @@ impl World {
 
     /// A usage observation for a running invocation (what cgroups would say).
     pub fn usage(&self, i: InvocationId) -> UsageSample {
-        let inv = &self.invs[i.idx()];
-        let busy = self.busy_cpu(i.idx());
+        let idx = self.slot(i);
+        let inv = self.invs.get(idx);
+        let busy = self.busy_cpu(idx);
         let eff = inv.effective_alloc();
         UsageSample {
             cpu_busy_millis: busy,
@@ -237,9 +261,13 @@ impl World {
     }
 
     /// Volume of `source`'s entitlement that is currently idle and lendable:
-    /// `nominal − own grant − already lent out`.
+    /// `nominal − own grant − already lent out`. A retired (completed or
+    /// aborted) source has nothing left to lend.
     pub fn harvestable(&self, source: InvocationId) -> ResourceVec {
-        let inv = &self.invs[source.idx()];
+        let Some(idx) = self.try_slot(source) else {
+            return ResourceVec::ZERO;
+        };
+        let inv = self.invs.get(idx);
         inv.nominal.saturating_sub(&inv.own_grant).saturating_sub(&inv.lent_out)
     }
 
@@ -253,8 +281,9 @@ impl World {
 
     /// Effective work-accumulation rate in millicores (shared physics; the
     /// live runtime uses the same [`crate::invocation::exec_rate_millis`]).
+    /// `idx` is an arena slot, as in every per-invocation physics helper.
     fn effective_rate(&self, idx: usize) -> u64 {
-        let inv = &self.invs[idx];
+        let inv = self.invs.get(idx);
         let eff = inv.effective_alloc();
         let scale = inv.node.map_or(1.0, |n| self.node_cpu_scale(n.idx()));
         let usable = (eff.cpu_millis as f64 * scale) as u64;
@@ -271,7 +300,7 @@ impl World {
     /// up to `self.clock`, using the rate in force since `last_update`.
     fn update_progress(&mut self, idx: usize) {
         let now = self.clock;
-        let inv = &mut self.invs[idx];
+        let inv = self.invs.get_mut(idx);
         if inv.state == InvState::Running {
             let dt = now.since(inv.last_update).as_micros();
             if dt > 0 {
@@ -286,8 +315,8 @@ impl World {
         }
         inv.last_update = now;
         let busy = self.busy_cpu(idx);
-        let peak = &mut self.cpu_peak_obs[idx];
-        *peak = (*peak).max(busy);
+        let inv = self.invs.get_mut(idx);
+        inv.cpu_peak_obs = inv.cpu_peak_obs.max(busy);
     }
 
     /// Recompute the rate and (re)schedule the Finish event. Must be called
@@ -295,7 +324,7 @@ impl World {
     /// been called with the *old* allocation.
     fn reschedule_finish(&mut self, idx: usize) {
         let rate = self.effective_rate(idx);
-        let inv = &mut self.invs[idx];
+        let inv = self.invs.get_mut(idx);
         inv.rate_millis = rate;
         if inv.state != InvState::Running {
             return;
@@ -310,13 +339,70 @@ impl World {
 
     /// Σ effective CPU allocation of *running* invocations on a node.
     fn node_running_eff_cpu(&self, node_idx: usize) -> u64 {
-        self.nodes[node_idx]
-            .resident
-            .iter()
-            .map(|i| &self.invs[i.idx()])
-            .filter(|inv| inv.state == InvState::Running)
-            .map(|inv| inv.effective_alloc().cpu_millis)
-            .sum()
+        let mut total = 0u64;
+        let mut cur = self.nodes[node_idx].resident_head;
+        while let Some(id) = cur {
+            let inv = self.invs.get(self.slot(id));
+            cur = inv.res_next;
+            if inv.state == InvState::Running {
+                total += inv.effective_alloc().cpu_millis;
+            }
+        }
+        total
+    }
+
+    /// Append `id` to `node`'s intrusive resident list (admission order).
+    fn resident_push(&mut self, node_idx: usize, id: InvocationId) {
+        let tail = self.nodes[node_idx].resident_tail;
+        let slot = self.slot(id);
+        let inv = self.invs.get_mut(slot);
+        debug_assert!(inv.res_prev.is_none() && inv.res_next.is_none());
+        inv.res_prev = tail;
+        inv.res_next = None;
+        match tail {
+            Some(t) => {
+                let ts = self.slot(t);
+                self.invs.get_mut(ts).res_next = Some(id);
+            }
+            None => self.nodes[node_idx].resident_head = Some(id),
+        }
+        self.nodes[node_idx].resident_tail = Some(id);
+        self.nodes[node_idx].resident_len += 1;
+    }
+
+    /// Unlink `id` from `node`'s resident list in O(1), preserving the
+    /// relative order of everyone else (the crash sweep and the Finish-event
+    /// tie-break both depend on that order).
+    fn resident_unlink(&mut self, node_idx: usize, id: InvocationId) {
+        let slot = self.slot(id);
+        let (prev, next) = {
+            let inv = self.invs.get_mut(slot);
+            let links = (inv.res_prev, inv.res_next);
+            inv.res_prev = None;
+            inv.res_next = None;
+            links
+        };
+        match prev {
+            Some(p) => {
+                let ps = self.slot(p);
+                self.invs.get_mut(ps).res_next = next;
+            }
+            None => {
+                debug_assert_eq!(self.nodes[node_idx].resident_head, Some(id));
+                self.nodes[node_idx].resident_head = next;
+            }
+        }
+        match next {
+            Some(n) => {
+                let ns = self.slot(n);
+                self.invs.get_mut(ns).res_prev = prev;
+            }
+            None => {
+                debug_assert_eq!(self.nodes[node_idx].resident_tail, Some(id));
+                self.nodes[node_idx].resident_tail = prev;
+            }
+        }
+        self.nodes[node_idx].resident_len -= 1;
     }
 
     /// Proportional-share CPU scale for a node: 1.0 while allocations fit;
@@ -334,7 +420,7 @@ impl World {
 
     /// Busy millicores of one invocation right now (CPU-share scaled).
     fn busy_cpu(&self, idx: usize) -> u64 {
-        let inv = &self.invs[idx];
+        let inv = self.invs.get(idx);
         if inv.state != InvState::Running {
             return 0;
         }
@@ -348,11 +434,15 @@ impl World {
     }
 
     /// Bring progress up to date for every running invocation on a node
-    /// (using the rates in force until now).
+    /// (using the rates in force until now). Allocation-free: walks the
+    /// intrusive list, reading each `res_next` before touching the entry
+    /// (neither `update_progress` nor `reschedule_finish` unlinks).
     fn settle_node(&mut self, node_idx: usize) {
-        let ids: Vec<usize> = self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
-        for idx in ids {
-            if self.invs[idx].state == InvState::Running {
+        let mut cur = self.nodes[node_idx].resident_head;
+        while let Some(id) = cur {
+            let idx = self.slot(id);
+            cur = self.invs.get(idx).res_next;
+            if self.invs.get(idx).state == InvState::Running {
                 self.update_progress(idx);
             }
         }
@@ -361,9 +451,11 @@ impl World {
     /// Recompute rates and reschedule finishes for every running invocation
     /// on a node.
     fn reschedule_node(&mut self, node_idx: usize) {
-        let ids: Vec<usize> = self.nodes[node_idx].resident.iter().map(|i| i.idx()).collect();
-        for idx in ids {
-            if self.invs[idx].state == InvState::Running {
+        let mut cur = self.nodes[node_idx].resident_head;
+        while let Some(id) = cur {
+            let idx = self.slot(id);
+            cur = self.invs.get(idx).res_next;
+            if self.invs.get(idx).state == InvState::Running {
                 self.reschedule_finish(idx);
             }
         }
@@ -398,7 +490,7 @@ impl World {
     /// (own grant + lent out) changed, and wake parked invocations when the
     /// change freed capacity.
     fn charge_updated(&mut self, idx: usize, old: ResourceVec) {
-        let inv = &self.invs[idx];
+        let inv = self.invs.get(idx);
         let new = inv.charge();
         if new == old {
             return;
@@ -428,9 +520,22 @@ impl World {
             // may transiently exceed the slice after a safeguard/OOM restore
             // — that is by design; the proportional CPU scale absorbs it.)
             let mut per_shard = vec![ResourceVec::ZERO; node.shards()];
-            for &iid in &node.resident {
-                let inv = &self.invs[iid.idx()];
+            let mut walked = 0usize;
+            let mut cur = node.resident_head;
+            while let Some(iid) = cur {
+                let Some(slot) = self.invs.slot_of(iid) else {
+                    return Err(format!("{:?} resident list holds retired {:?}", node.id, iid));
+                };
+                let inv = self.invs.get(slot);
+                cur = inv.res_next;
+                walked += 1;
                 per_shard[inv.shard.ok_or("resident without shard")?] += inv.charge();
+            }
+            if walked != node.resident_len {
+                return Err(format!(
+                    "{:?} resident list length drift: walked {walked}, recorded {}",
+                    node.id, node.resident_len
+                ));
             }
             for (s, want) in per_shard.iter().enumerate() {
                 let got = node.reserved_in(s);
@@ -443,20 +548,21 @@ impl World {
             }
         }
         // Per-source loan conservation: lent_out must equal the sum of loans
-        // recorded by borrowers.
-        let mut lent_by_source = vec![ResourceVec::ZERO; self.invs.len()];
-        for inv in &self.invs {
-            for l in &inv.borrowed_in {
-                lent_by_source[l.source.idx()] += l.res;
+        // recorded by borrowers. Only live invocations can hold or grant
+        // loans (both ends are unwound before retirement).
+        let mut lent_by_source: BTreeMap<u32, ResourceVec> = BTreeMap::new();
+        for slot in self.invs.live_slots() {
+            for l in &self.invs.get(slot).borrowed_in {
+                *lent_by_source.entry(l.source.0).or_insert(ResourceVec::ZERO) += l.res;
             }
         }
-        for inv in &self.invs {
-            if lent_by_source[inv.id.idx()] != inv.lent_out {
+        for slot in self.invs.live_slots() {
+            let inv = self.invs.get(slot);
+            let recorded = lent_by_source.get(&inv.id.0).copied().unwrap_or(ResourceVec::ZERO);
+            if recorded != inv.lent_out {
                 return Err(format!(
                     "{:?} lent_out {:?} disagrees with borrowers' records {:?}",
-                    inv.id,
-                    inv.lent_out,
-                    lent_by_source[inv.id.idx()]
+                    inv.id, inv.lent_out, recorded
                 ));
             }
             let committed = inv.own_grant + inv.lent_out;
@@ -467,7 +573,10 @@ impl World {
                 ));
             }
             for loan in &inv.borrowed_in {
-                let src = &self.invs[loan.source.idx()];
+                let Some(sslot) = self.invs.slot_of(loan.source) else {
+                    return Err(format!("{:?} holds loan from retired {:?}", inv.id, loan.source));
+                };
+                let src = self.invs.get(sslot);
                 if src.state != InvState::Running {
                     return Err(format!("{:?} holds loan from non-running {:?}", inv.id, src.id));
                 }
@@ -522,11 +631,11 @@ impl<'a> SimCtx<'a> {
     /// the engine enforces the OOM memory floor of §5.1 and never lets a
     /// grant cut into resources already on loan.
     pub fn set_own_grant(&mut self, i: InvocationId, want: ResourceVec) {
-        let idx = i.idx();
-        let node = self.w.invs[idx].node.expect("set_own_grant before placement").idx();
-        let floor_mb = self.w.func(self.w.invs[idx].func).mem_floor_mb;
+        let idx = self.w.slot(i);
+        let node = self.w.invs.get(idx).node.expect("set_own_grant before placement").idx();
+        let floor_mb = self.w.func(self.w.invs.get(idx).func).mem_floor_mb;
         self.w.with_alloc_change(node, &[idx], |w| {
-            let inv = &mut w.invs[idx];
+            let inv = w.invs.get_mut(idx);
             assert!(
                 matches!(inv.state, InvState::Running | InvState::ColdStarting),
                 "set_own_grant on {:?} in state {:?}",
@@ -553,11 +662,18 @@ impl<'a> SimCtx<'a> {
         if res.is_zero() || source == borrower {
             return false;
         }
-        let (si, bi) = (source.idx(), borrower.idx());
-        if self.w.invs[si].node != self.w.invs[bi].node || self.w.invs[si].node.is_none() {
+        // A retired end means the loan target is gone — same answer the old
+        // state checks gave for completed invocations.
+        let (Some(si), Some(bi)) = (self.w.try_slot(source), self.w.try_slot(borrower)) else {
+            return false;
+        };
+        if self.w.invs.get(si).node != self.w.invs.get(bi).node
+            || self.w.invs.get(si).node.is_none()
+        {
             return false;
         }
-        if self.w.invs[si].state != InvState::Running || self.w.invs[bi].state != InvState::Running
+        if self.w.invs.get(si).state != InvState::Running
+            || self.w.invs.get(bi).state != InvState::Running
         {
             return false;
         }
@@ -566,18 +682,18 @@ impl<'a> SimCtx<'a> {
         }
         // Lending re-commits previously harvested (uncommitted) volume, so
         // it must still fit the node: admission may have consumed it.
-        let node = self.w.invs[si].node.expect("checked above").idx();
-        let shard = self.w.invs[si].shard.expect("resident without shard");
+        let node = self.w.invs.get(si).node.expect("checked above").idx();
+        let shard = self.w.invs.get(si).shard.expect("resident without shard");
         if !res.fits_within(&self.w.nodes[node].free_in_shard(shard)) {
             return false;
         }
         let now = self.w.clock;
         self.w.with_alloc_change(node, &[bi], |w| {
             let loan = Loan { source, borrower, res, created: now };
-            let old = w.invs[si].charge();
-            w.invs[si].lent_out += res;
-            w.invs[bi].borrowed_in.push(loan);
-            w.invs[bi].flags.accelerated = true;
+            let old = w.invs.get(si).charge();
+            w.invs.get_mut(si).lent_out += res;
+            w.invs.get_mut(bi).borrowed_in.push(loan);
+            w.invs.get_mut(bi).flags.accelerated = true;
             w.charge_updated(si, old);
         });
         true
@@ -593,14 +709,16 @@ impl<'a> SimCtx<'a> {
         source: InvocationId,
         res: ResourceVec,
     ) -> ResourceVec {
-        let bi = borrower.idx();
-        let Some(node) = self.w.invs[bi].node.map(|n| n.idx()) else {
+        let Some(bi) = self.w.try_slot(borrower) else {
+            return ResourceVec::ZERO;
+        };
+        let Some(node) = self.w.invs.get(bi).node.map(|n| n.idx()) else {
             return ResourceVec::ZERO;
         };
         let mut returned = ResourceVec::ZERO;
         self.w.with_alloc_change(node, &[bi], |w| {
             let mut remaining = res;
-            for loan in w.invs[bi].borrowed_in.iter_mut() {
+            for loan in w.invs.get_mut(bi).borrowed_in.iter_mut() {
                 if loan.source != source || remaining.is_zero() {
                     continue;
                 }
@@ -609,10 +727,16 @@ impl<'a> SimCtx<'a> {
                 remaining -= take;
                 returned += take;
             }
-            w.invs[bi].borrowed_in.retain(|l| !l.res.is_zero());
-            let old = w.invs[source.idx()].charge();
-            w.invs[source.idx()].lent_out -= returned;
-            w.charge_updated(source.idx(), old);
+            w.invs.get_mut(bi).borrowed_in.retain(|l| !l.res.is_zero());
+            // A live borrower can only hold loans from live sources, so the
+            // slot exists whenever anything was actually returned.
+            if let Some(si) = w.try_slot(source) {
+                let old = w.invs.get(si).charge();
+                w.invs.get_mut(si).lent_out -= returned;
+                w.charge_updated(si, old);
+            } else {
+                debug_assert!(returned.is_zero(), "returned volume to a retired source");
+            }
         });
         returned
     }
@@ -622,14 +746,16 @@ impl<'a> SimCtx<'a> {
     /// Returns the revoked loans so the policy can fix up its pool
     /// bookkeeping synchronously.
     pub fn preemptive_release(&mut self, source: InvocationId) -> Vec<Loan> {
-        let si = source.idx();
         let broken = self.revoke_loans_from(source);
-        let Some(node) = self.w.invs[si].node.map(|n| n.idx()) else {
+        let Some(si) = self.w.try_slot(source) else {
+            return broken;
+        };
+        let Some(node) = self.w.invs.get(si).node.map(|n| n.idx()) else {
             return broken;
         };
         self.w.with_alloc_change(node, &[si], |w| {
-            let old = w.invs[si].charge();
-            let inv = &mut w.invs[si];
+            let old = w.invs.get(si).charge();
+            let inv = w.invs.get_mut(si);
             inv.own_grant = inv.nominal;
             inv.flags.safeguarded = true;
             w.charge_updated(si, old);
@@ -640,30 +766,43 @@ impl<'a> SimCtx<'a> {
     /// Revoke every outgoing loan of `source` without touching its grant.
     /// Used internally and by `preemptive_release`.
     pub(crate) fn revoke_loans_from(&mut self, source: InvocationId) -> Vec<Loan> {
-        let si = source.idx();
-        let borrowers: Vec<Loan> = {
-            let mut all = Vec::new();
-            for inv in &self.w.invs {
-                for l in &inv.borrowed_in {
-                    if l.source == source {
-                        all.push(*l);
-                    }
+        let Some(si) = self.w.try_slot(source) else {
+            return Vec::new(); // retired sources had their loans unwound already
+        };
+        let Some(node) = self.w.invs.get(si).node.map(|n| n.idx()) else {
+            // Loans require a running (hence placed) source.
+            debug_assert!(self
+                .w
+                .invs
+                .live_slots()
+                .all(|s| { self.w.invs.get(s).borrowed_in.iter().all(|l| l.source != source) }));
+            return Vec::new();
+        };
+        // Loans are intra-node, so every borrower lives on the source's node:
+        // walk its resident list instead of scanning the whole arena. The old
+        // implementation collected in ascending-borrower-id order; a stable
+        // sort by borrower id reproduces that byte-for-byte (per-borrower
+        // loan order is `borrowed_in` order either way).
+        let mut borrowers: Vec<Loan> = Vec::new();
+        let mut cur = self.w.nodes[node].resident_head;
+        while let Some(id) = cur {
+            let inv = self.w.invs.get(self.w.slot(id));
+            cur = inv.res_next;
+            for l in &inv.borrowed_in {
+                if l.source == source {
+                    borrowers.push(*l);
                 }
             }
-            all
-        };
-        let Some(node) = self.w.invs[si].node.map(|n| n.idx()) else {
-            debug_assert!(borrowers.is_empty());
-            return borrowers;
-        };
-        let touched: Vec<usize> = borrowers.iter().map(|l| l.borrower.idx()).collect();
+        }
+        borrowers.sort_by_key(|l| l.borrower.0);
+        let touched: Vec<usize> = borrowers.iter().map(|l| self.w.slot(l.borrower)).collect();
         self.w.with_alloc_change(node, &touched, |w| {
             for loan in &borrowers {
-                let bi = loan.borrower.idx();
-                w.invs[bi].borrowed_in.retain(|l| l.source != source);
+                let bi = w.slot(loan.borrower);
+                w.invs.get_mut(bi).borrowed_in.retain(|l| l.source != source);
             }
-            let old = w.invs[si].charge();
-            w.invs[si].lent_out = ResourceVec::ZERO;
+            let old = w.invs.get(si).charge();
+            w.invs.get_mut(si).lent_out = ResourceVec::ZERO;
             w.charge_updated(si, old);
         });
         borrowers
@@ -691,19 +830,18 @@ impl Simulation {
                 clock: SimTime::ZERO,
                 funcs,
                 nodes,
-                invs: Vec::new(),
-                cpu_peak_obs: Vec::new(),
+                invs: InvArena::with_id_capacity(0),
                 shards,
                 queue: EventQueue::new(),
                 records: Vec::new(),
                 util: Vec::new(),
+                summary: RunSummary::default(),
                 completed: 0,
                 first_arrival: None,
                 last_completion: SimTime::ZERO,
                 decision_delay_sum_us: 0,
                 decisions: 0,
                 overheads: PlatformOverheads::default(),
-                fault_plan: FaultPlan::empty(),
                 aborted: 0,
                 requeue_total: 0,
                 faults_fired: 0,
@@ -739,15 +877,17 @@ impl Simulation {
     ) -> RunResult {
         let w = &mut self.world;
         w.overheads = platform.overheads();
-        w.fault_plan = faults.clone();
         w.drop_pings = vec![0; w.nodes.len()];
         w.delay_ping = vec![None; w.nodes.len()];
-        // Seed invocations and arrival events.
-        let trace = trace.clone().sorted();
+        // Stable argsort of the trace by arrival time: the same permutation
+        // `Trace::sorted` would produce, without cloning the entries. An
+        // invocation's id is still its position in sorted order.
+        let mut order: Vec<u32> = (0..trace.entries.len() as u32).collect();
+        order.sort_by_key(|&i| trace.entries[i as usize].at);
         let max_slice =
             w.nodes.iter().map(Node::shard_capacity).fold(ResourceVec::ZERO, |a, c| a.max(&c));
-        for e in &trace.entries {
-            let id = InvocationId(w.invs.len() as u32);
+        for &i in &order {
+            let e = &trace.entries[i as usize];
             let spec = &w.funcs[e.func.idx()];
             assert!(
                 spec.user_alloc.fits_within(&max_slice),
@@ -757,15 +897,12 @@ impl Simulation {
                 spec.user_alloc,
                 max_slice
             );
-            let demand = spec.model.demand(&e.input);
-            w.invs.push(Invocation::new(id, e.func, e.input, demand, spec.user_alloc, e.at));
-            w.cpu_peak_obs.push(0);
-            w.queue.push(e.at, Event::Arrival(id));
         }
-        let total = w.invs.len();
+        let total = order.len();
         if total == 0 {
             return RunResult { platform: platform.name(), ..RunResult::default() };
         }
+        w.invs = InvArena::with_id_capacity(total);
         // Periodic events.
         w.queue.push(SimTime::ZERO, Event::UtilizationSample);
         for n in 0..w.nodes.len() {
@@ -773,12 +910,36 @@ impl Simulation {
                 .push(SimTime::ZERO + w.config.ping_interval, Event::HealthPing(NodeId(n as u32)));
         }
         // Injected faults (none in the common case).
-        for (i, f) in w.fault_plan.events().iter().enumerate() {
-            w.queue.push(f.at, Event::Fault(i));
+        for f in faults.events() {
+            w.queue.push(f.at, Event::Fault(f.kind));
         }
         platform.init(w);
 
+        // Arrivals are *streamed* from the sorted trace, not pre-seeded as
+        // events, so the queue holds only the dynamic future. Under the old
+        // eager seeding every arrival carried a lower sequence number than
+        // any dynamic event, so an arrival due at or before the queue head
+        // always won the tie — the `<=` below reproduces that order exactly.
+        let mut next = 0usize;
         while w.completed + w.aborted < total {
+            let arrival_due = next < total && {
+                let at = trace.entries[order[next] as usize].at;
+                w.queue.peek_time().is_none_or(|q| at <= q)
+            };
+            if arrival_due {
+                let e = &trace.entries[order[next] as usize];
+                debug_assert!(e.at >= w.clock, "time went backwards");
+                assert!(
+                    e.at.since(SimTime::ZERO) <= w.config.max_sim_time,
+                    "simulation exceeded max_sim_time with {}/{total} complete — \
+                     is some invocation permanently unplaceable?",
+                    w.completed
+                );
+                w.clock = e.at;
+                Self::on_arrival(w, platform, InvocationId(next as u32), e);
+                next += 1;
+                continue;
+            }
             let (at, ev) = w.queue.pop().unwrap_or_else(|| {
                 panic!(
                     "event queue drained with {} completed + {} aborted of {total} invocations",
@@ -806,10 +967,16 @@ impl Simulation {
             cold += c;
         }
         let first = w.first_arrival.unwrap_or(SimTime::ZERO);
+        let mut summary = std::mem::take(&mut w.summary);
+        summary.peak_live_invocations = w.invs.peak_live();
+        let (event_pushes, event_pops) = w.queue.ops();
         RunResult {
             platform: platform.name(),
             records: std::mem::take(&mut w.records),
             util: std::mem::take(&mut w.util),
+            summary,
+            event_pushes,
+            event_pops,
             completion_time: w.last_completion.since(first),
             warm_hits: warm,
             cold_starts: cold,
@@ -823,7 +990,6 @@ impl Simulation {
 
     fn dispatch(w: &mut World, platform: &mut dyn Platform, ev: Event, total: usize) {
         match ev {
-            Event::Arrival(id) => Self::on_arrival(w, platform, id),
             Event::DecisionDone { shard } => Self::on_decision_done(w, platform, shard),
             Event::StartExec { inv, attempt } => Self::on_start_exec(w, platform, inv, attempt),
             Event::Finish { inv, generation } => Self::on_finish(w, platform, inv, generation),
@@ -865,24 +1031,31 @@ impl Simulation {
                 let blocked: Vec<_> = std::mem::take(&mut w.shards[shard].blocked);
                 let now = w.clock;
                 for id in blocked.into_iter().rev() {
-                    w.invs[id.idx()].state = InvState::AwaitingDecision;
+                    let idx = w.slot(id);
+                    w.invs.get_mut(idx).state = InvState::AwaitingDecision;
                     w.shards[shard].queue.push_front((id, now));
                 }
                 Self::kick_shard(w, shard);
             }
-            Event::Fault(i) => Self::on_fault(w, platform, i),
+            Event::Fault(kind) => Self::on_fault(w, platform, kind),
             Event::Requeue(id) => Self::on_requeue(w, id),
         }
     }
 
-    fn on_arrival(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
+    /// Admit the next trace entry: materialize its [`Invocation`] (demand
+    /// models are pure, so computing the demand here instead of upfront
+    /// yields bit-identical values) and hand it to a scheduler shard.
+    fn on_arrival(w: &mut World, platform: &mut dyn Platform, id: InvocationId, e: &TraceEntry) {
         let now = w.clock;
         w.first_arrival = Some(w.first_arrival.map_or(now, |f| f.min(now)));
-        let idx = id.idx();
-        w.invs[idx].state = InvState::AwaitingDecision;
+        let spec = &w.funcs[e.func.idx()];
+        let demand = spec.model.demand(&e.input);
+        let idx =
+            w.invs.insert(Invocation::new(id, e.func, e.input, demand, spec.user_alloc, e.at));
+        w.invs.get_mut(idx).state = InvState::AwaitingDecision;
         let pred = platform.predict(w, id);
         let ovh = w.overheads;
-        let inv = &mut w.invs[idx];
+        let inv = w.invs.get_mut(idx);
         inv.pred = pred;
         inv.breakdown.frontend = ovh.frontend;
         let mut ready = now + ovh.frontend;
@@ -914,35 +1087,37 @@ impl Simulation {
     fn on_decision_done(w: &mut World, platform: &mut dyn Platform, shard: usize) {
         let (id, _) = w.shards[shard].busy.take().expect("DecisionDone without busy shard");
         let now = w.clock;
-        let idx = id.idx();
+        let idx = w.slot(id);
         match platform.select_node(w, shard, id) {
             Some(node)
                 if {
-                    let nominal = w.invs[idx].nominal;
+                    let nominal = w.invs.get(idx).nominal;
                     w.nodes[node.idx()].try_reserve(shard, nominal)
                 } =>
             {
-                let inv = &mut w.invs[idx];
+                let inv = w.invs.get_mut(idx);
                 inv.decided_at = Some(now);
                 inv.node = Some(node);
                 inv.breakdown.scheduler =
                     now.since(inv.arrival + inv.breakdown.frontend + inv.breakdown.profiler);
                 inv.breakdown.pool = w.overheads.pool;
                 let func = inv.func;
-                w.nodes[node.idx()].resident.push(id);
+                w.resident_push(node.idx(), id);
                 let warm = w.nodes[node.idx()].warm.acquire(func, now).is_some();
                 let mut start_at = now + w.overheads.pool;
                 if !warm {
-                    w.invs[idx].cold_start = true;
-                    w.invs[idx].breakdown.container_init = w.config.cold_start;
+                    let inv = w.invs.get_mut(idx);
+                    inv.cold_start = true;
+                    inv.breakdown.container_init = w.config.cold_start;
                     start_at += w.config.cold_start;
                 }
-                w.invs[idx].state = InvState::ColdStarting;
-                let attempt = w.invs[idx].requeues;
+                let inv = w.invs.get_mut(idx);
+                inv.state = InvState::ColdStarting;
+                let attempt = inv.requeues;
                 w.queue.push(start_at, Event::StartExec { inv: id, attempt });
             }
             _ => {
-                w.invs[idx].state = InvState::Blocked;
+                w.invs.get_mut(idx).state = InvState::Blocked;
                 w.shards[shard].blocked.push(id);
             }
         }
@@ -951,23 +1126,28 @@ impl Simulation {
 
     fn on_start_exec(w: &mut World, platform: &mut dyn Platform, id: InvocationId, attempt: u32) {
         let now = w.clock;
-        let idx = id.idx();
-        if w.invs[idx].requeues != attempt || w.invs[idx].state != InvState::ColdStarting {
+        let Some(idx) = w.try_slot(id) else {
+            return; // retired: the invocation aborted terminally before this fired
+        };
+        if w.invs.get(idx).requeues != attempt || w.invs.get(idx).state != InvState::ColdStarting {
             return; // stale start from a crashed attempt
         }
-        let first_start = w.invs[idx].exec_start.is_none();
-        if first_start {
-            w.invs[idx].exec_start = Some(now);
+        let first_start = w.invs.get(idx).exec_start.is_none();
+        {
+            let inv = w.invs.get_mut(idx);
+            if first_start {
+                inv.exec_start = Some(now);
+            }
+            inv.state = InvState::Running;
+            inv.last_update = now;
         }
-        w.invs[idx].state = InvState::Running;
-        w.invs[idx].last_update = now;
-        if first_start && w.invs[idx].restarts == 0 {
+        if first_start && w.invs.get(idx).restarts == 0 {
             let mut ctx = SimCtx { w };
             platform.on_start(&mut ctx, id);
         }
         // Joining the running set changes the node's CPU-share balance when
         // it is oversubscribed; refresh everyone.
-        let node = w.invs[idx].node.expect("exec without node").idx();
+        let node = w.invs.get(idx).node.expect("exec without node").idx();
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.monitor_interval;
@@ -975,11 +1155,13 @@ impl Simulation {
     }
 
     fn on_monitor_tick(w: &mut World, platform: &mut dyn Platform, id: InvocationId, attempt: u32) {
-        let idx = id.idx();
-        if w.invs[idx].requeues != attempt {
+        let Some(idx) = w.try_slot(id) else {
+            return; // retired: nothing left to monitor
+        };
+        if w.invs.get(idx).requeues != attempt {
             return; // monitor loop of a crashed attempt
         }
-        match w.invs[idx].state {
+        match w.invs.get(idx).state {
             InvState::Running => {}
             InvState::ColdStarting => {
                 // restarting after OOM: keep the tick chain alive
@@ -996,7 +1178,7 @@ impl Simulation {
         }
         // OOM rule: only the provider's harvesting can kill an invocation;
         // user under-provisioning degrades speed instead (spill model).
-        let inv = &w.invs[idx];
+        let inv = w.invs.get(idx);
         if inv.state == InvState::Running
             && inv.true_demand.mem_peak_mb <= inv.nominal.mem_mb
             && inv.mem_usage_mb() > inv.effective_alloc().mem_mb
@@ -1010,7 +1192,7 @@ impl Simulation {
     }
 
     fn on_oom(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
-        let idx = id.idx();
+        let idx = w.slot(id);
         // The dying invocation needs its lent-out memory back, and its
         // borrowed-in loans are dropped for a clean restart.
         let broken = {
@@ -1021,17 +1203,18 @@ impl Simulation {
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceOom);
         }
-        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        let returned: Vec<Loan> = w.invs.get_mut(idx).borrowed_in.drain(..).collect();
         for loan in &returned {
-            let old = w.invs[loan.source.idx()].charge();
-            w.invs[loan.source.idx()].lent_out -= loan.res;
-            w.charge_updated(loan.source.idx(), old);
+            let si = w.slot(loan.source);
+            let old = w.invs.get(si).charge();
+            w.invs.get_mut(si).lent_out -= loan.res;
+            w.charge_updated(si, old);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
         }
         let now = w.clock;
-        let old_charge = w.invs[idx].charge();
-        let inv = &mut w.invs[idx];
+        let old_charge = w.invs.get(idx).charge();
+        let inv = w.invs.get_mut(idx);
         inv.flags.oomed = true;
         inv.restarts += 1;
         inv.progress = 0;
@@ -1040,19 +1223,18 @@ impl Simulation {
         inv.finish_gen += 1;
         inv.breakdown.container_init += w.config.cold_start;
         w.charge_updated(idx, old_charge);
-        let node = w.invs[idx].node.expect("oom without node").idx();
+        let node = w.invs.get(idx).node.expect("oom without node").idx();
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.cold_start;
-        let attempt = w.invs[idx].requeues;
+        let attempt = w.invs.get(idx).requeues;
         w.queue.push(at, Event::StartExec { inv: id, attempt });
         let mut ctx = SimCtx { w };
         platform.on_oom(&mut ctx, id);
     }
 
-    /// Replay one fault from the plan.
-    fn on_fault(w: &mut World, platform: &mut dyn Platform, i: usize) {
-        let kind = w.fault_plan.events()[i].kind;
+    /// Replay one injected fault.
+    fn on_fault(w: &mut World, platform: &mut dyn Platform, kind: FaultKind) {
         w.faults_fired += 1;
         let now = w.clock;
         match kind {
@@ -1064,10 +1246,13 @@ impl Simulation {
                 // the whole sweep, then kill every resident attempt. Loans
                 // are intra-node, so both ends of every affected loan die
                 // here; the sweep still runs the full revocation protocol so
-                // the ledger (and the platform's books) stay exact.
+                // the ledger (and the platform's books) stay exact. The walk
+                // reads each victim's successor before the kill unlinks it —
+                // a kill only ever removes its own id from the list.
                 w.nodes[n.idx()].fail();
-                let victims = w.nodes[n.idx()].resident.clone();
-                for id in victims {
+                let mut cur = w.nodes[n.idx()].resident_head;
+                while let Some(id) = cur {
+                    cur = w.invs.get(w.slot(id)).res_next;
                     Self::kill_attempt(w, platform, id);
                 }
                 let mut ctx = SimCtx { w };
@@ -1087,10 +1272,9 @@ impl Simulation {
                 }
             }
             FaultKind::AbortInvocation(id) => {
-                let placed = w
-                    .invs
-                    .get(id.idx())
-                    .is_some_and(|i| matches!(i.state, InvState::ColdStarting | InvState::Running));
+                let placed = w.try_slot(id).is_some_and(|s| {
+                    matches!(w.invs.get(s).state, InvState::ColdStarting | InvState::Running)
+                });
                 if placed {
                     Self::kill_attempt(w, platform, id);
                 }
@@ -1127,10 +1311,10 @@ impl Simulation {
     /// reservation, then requeue it with exponential backoff — or terminally
     /// abort it once the retry budget is spent.
     fn kill_attempt(w: &mut World, platform: &mut dyn Platform, id: InvocationId) {
-        let idx = id.idx();
-        debug_assert!(matches!(w.invs[idx].state, InvState::ColdStarting | InvState::Running));
+        let idx = w.slot(id);
+        debug_assert!(matches!(w.invs.get(idx).state, InvState::ColdStarting | InvState::Running));
         let now = w.clock;
-        if w.invs[idx].state == InvState::Running {
+        if w.invs.get(idx).state == InvState::Running {
             // The attempt's work is lost, but the usage integrals stay honest.
             w.update_progress(idx);
         }
@@ -1144,11 +1328,12 @@ impl Simulation {
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
         }
         // Incoming loans: the volumes return to their sources' books.
-        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        let returned: Vec<Loan> = w.invs.get_mut(idx).borrowed_in.drain(..).collect();
         for loan in &returned {
-            let old = w.invs[loan.source.idx()].charge();
-            w.invs[loan.source.idx()].lent_out -= loan.res;
-            w.charge_updated(loan.source.idx(), old);
+            let si = w.slot(loan.source);
+            let old = w.invs.get(si).charge();
+            w.invs.get_mut(si).lent_out -= loan.res;
+            w.charge_updated(si, old);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
         }
@@ -1157,14 +1342,14 @@ impl Simulation {
             let mut ctx = SimCtx { w };
             platform.on_abort(&mut ctx, id);
         }
-        let node = w.invs[idx].node.expect("killed attempt without node");
-        let shard = w.invs[idx].shard.expect("killed attempt without shard");
-        let charge = w.invs[idx].charge();
+        let node = w.invs.get(idx).node.expect("killed attempt without node");
+        let shard = w.invs.get(idx).shard.expect("killed attempt without shard");
+        let charge = w.invs.get(idx).charge();
         w.nodes[node.idx()].release(shard, charge);
-        w.nodes[node.idx()].resident.retain(|&r| r != id);
+        w.resident_unlink(node.idx(), id);
 
         let max_retries = w.config.crash_max_retries;
-        let inv = &mut w.invs[idx];
+        let inv = w.invs.get_mut(idx);
         inv.flags.crashed = true;
         inv.finish_gen += 1; // cancels in-flight Finish events
         inv.requeues += 1; // cancels in-flight StartExec/MonitorTick events
@@ -1197,18 +1382,25 @@ impl Simulation {
                 }
             }
         }
+        // A terminal abort leaves the simulation for good: retire the slot so
+        // any straggling StartExec/MonitorTick/Finish events read as stale.
+        if terminal {
+            w.invs.retire(id);
+        }
     }
 
     /// A crash victim's backoff expired: re-admit it through its scheduler
     /// shard like a fresh arrival (cold-start rules apply again).
     fn on_requeue(w: &mut World, id: InvocationId) {
-        let idx = id.idx();
-        if w.invs[idx].state != InvState::Pending {
+        let Some(idx) = w.try_slot(id) else {
+            return; // terminally aborted (and retired) before the backoff fired
+        };
+        if w.invs.get(idx).state != InvState::Pending {
             return;
         }
         let now = w.clock;
         let ovh = w.overheads;
-        let inv = &mut w.invs[idx];
+        let inv = w.invs.get_mut(idx);
         inv.state = InvState::AwaitingDecision;
         inv.breakdown.frontend += ovh.frontend; // passes the front end again
         let ready = now + ovh.frontend;
@@ -1219,12 +1411,14 @@ impl Simulation {
     }
 
     fn on_finish(w: &mut World, platform: &mut dyn Platform, id: InvocationId, generation: u64) {
-        let idx = id.idx();
-        if w.invs[idx].state != InvState::Running || w.invs[idx].finish_gen != generation {
+        let Some(idx) = w.try_slot(id) else {
+            return; // retired: a stale event outlived its invocation
+        };
+        if w.invs.get(idx).state != InvState::Running || w.invs.get(idx).finish_gen != generation {
             return; // stale (lazy-cancelled) event
         }
         w.update_progress(idx);
-        if w.invs[idx].remaining_work() > 0 {
+        if w.invs.get(idx).remaining_work() > 0 {
             w.reschedule_finish(idx);
             return;
         }
@@ -1240,16 +1434,17 @@ impl Simulation {
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceCompleted);
         }
         // Re-harvest opportunity (§5.1): loans it held return to their sources.
-        let returned: Vec<Loan> = w.invs[idx].borrowed_in.drain(..).collect();
+        let returned: Vec<Loan> = w.invs.get_mut(idx).borrowed_in.drain(..).collect();
         for loan in &returned {
-            let old = w.invs[loan.source.idx()].charge();
-            w.invs[loan.source.idx()].lent_out -= loan.res;
-            w.charge_updated(loan.source.idx(), old);
+            let si = w.slot(loan.source);
+            let old = w.invs.get(si).charge();
+            w.invs.get_mut(si).lent_out -= loan.res;
+            w.charge_updated(si, old);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
         }
 
-        let inv = &mut w.invs[idx];
+        let inv = w.invs.get_mut(idx);
         inv.state = InvState::Completed;
         inv.end = Some(now);
         let exec = now.since(inv.exec_start.expect("completed without exec start"));
@@ -1258,21 +1453,22 @@ impl Simulation {
                 - if inv.cold_start { w.config.cold_start.as_micros() } else { 0 },
         ));
 
+        let inv = w.invs.get(idx);
         let actuals = Actuals {
-            cpu_peak_millis: w.cpu_peak_obs[idx],
-            mem_peak_mb: w.invs[idx].true_demand.mem_peak_mb,
+            cpu_peak_millis: inv.cpu_peak_obs,
+            mem_peak_mb: inv.true_demand.mem_peak_mb,
             exec_duration: exec,
-            input_size: w.invs[idx].input.size,
+            input_size: inv.input.size,
         };
 
         // Release the node reservation (the invocation's current charge:
         // loans were already unwound above) and recycle the container.
-        let node = w.invs[idx].node.expect("completed without node");
-        let shard = w.invs[idx].shard.expect("completed without shard");
-        let charge = w.invs[idx].charge();
-        let func = w.invs[idx].func;
+        let node = inv.node.expect("completed without node");
+        let shard = inv.shard.expect("completed without shard");
+        let charge = inv.charge();
+        let func = inv.func;
         w.nodes[node.idx()].release(shard, charge);
-        w.nodes[node.idx()].resident.retain(|&r| r != id);
+        w.resident_unlink(node.idx(), id);
         let pin_mem = charge.mem_mb;
         w.nodes[node.idx()].park_warm(func, shard, pin_mem, now);
         // The departure may lift an oversubscribed node's CPU scale.
@@ -1286,6 +1482,9 @@ impl Simulation {
         }
         w.completed += 1;
         w.last_completion = now;
+        // The books are settled and the platform has seen the completion:
+        // retire the slot so arena memory tracks concurrency, not trace length.
+        w.invs.retire(id);
         #[cfg(debug_assertions)]
         w.check_invariants().expect("invariants violated at completion");
 
@@ -1301,8 +1500,8 @@ impl Simulation {
     /// The counterfactual response latency with user-defined resources
     /// (t_user in Eq. 1): identical overheads, execution at nominal rate.
     fn record_completion(w: &mut World, id: InvocationId, exec: SimDuration) {
-        let idx = id.idx();
-        let inv = &w.invs[idx];
+        let idx = w.slot(id);
+        let inv = w.invs.get(idx);
         let latency = inv.latency().expect("recording incomplete invocation");
         let busy = inv.nominal.cpu_millis.min(inv.true_demand.cpu_peak_millis).max(1);
         let peak_mem = inv.true_demand.mem_peak_mb;
@@ -1320,6 +1519,11 @@ impl Simulation {
         } else {
             (baseline.as_secs_f64() - latency.as_secs_f64()) / baseline.as_secs_f64()
         };
+        w.summary.observe_completion(latency.as_secs_f64(), speedup);
+        if w.config.metrics != MetricsMode::Full {
+            return; // streaming mode: the online summary is the whole record
+        }
+        let inv = w.invs.get(idx);
         let rec = InvRecord {
             inv: id,
             func: inv.func,
@@ -1336,7 +1540,7 @@ impl Simulation {
             mem_reassigned_mb_sec: inv.mem_reassigned as f64 / 1e6,   // MB·µs → MB·s
             breakdown: inv.breakdown,
             pred: inv.pred,
-            cpu_peak_obs: w.cpu_peak_obs[idx],
+            cpu_peak_obs: inv.cpu_peak_obs,
             mem_peak_obs: inv.mem_usage_mb(),
             restarts: inv.restarts,
             requeues: inv.requeues,
@@ -1345,24 +1549,23 @@ impl Simulation {
     }
 
     fn sample_utilization(w: &mut World) {
-        let running: Vec<usize> = w
-            .invs
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.state == InvState::Running)
-            .map(|(idx, _)| idx)
-            .collect();
+        // Slot order differs from id order, but progress updates are
+        // per-invocation and the sums below are order-independent integer
+        // folds, so the sample is identical either way.
+        let running: Vec<usize> =
+            w.invs.live_slots().filter(|&s| w.invs.get(s).state == InvState::Running).collect();
         for idx in &running {
             w.update_progress(*idx);
         }
         let (mut cpu_used, mut mem_used) = (0u64, 0u64);
         for idx in &running {
-            cpu_used += w.invs[*idx].cpu_usage_millis();
-            mem_used += w.invs[*idx].mem_usage_mb();
+            let inv = w.invs.get(*idx);
+            cpu_used += inv.cpu_usage_millis();
+            mem_used += inv.mem_usage_mb();
         }
         let alloc = w.nodes.iter().fold(ResourceVec::ZERO, |a, n| a + n.total_reserved());
         let cap = w.total_capacity();
-        w.util.push(UtilSample {
+        let sample = UtilSample {
             at: w.clock,
             cpu_used_millis: cpu_used,
             mem_used_mb: mem_used,
@@ -1370,7 +1573,11 @@ impl Simulation {
             mem_alloc_mb: alloc.mem_mb,
             cpu_capacity_millis: cap.cpu_millis,
             mem_capacity_mb: cap.mem_mb,
-        });
+        };
+        w.summary.observe_util(&sample);
+        if w.config.metrics == MetricsMode::Full {
+            w.util.push(sample);
+        }
     }
 }
 

@@ -11,16 +11,20 @@
 //! matches are ignored when popped. This is the standard lazy-deletion
 //! technique for reschedulable timers.
 
+use crate::fault::FaultKind;
 use crate::ids::{InvocationId, NodeId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulated cluster.
+///
+/// Trace arrivals are *not* events: the engine streams them from the sorted
+/// trace, admitting each one when its arrival time is due, so the queue only
+/// ever holds the dynamic future — its size tracks in-flight work, not trace
+/// length.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
-    /// A function invocation arrives at the front end.
-    Arrival(InvocationId),
     /// A sharded scheduler finished its decision service time for the
     /// invocation at the head of its queue.
     DecisionDone {
@@ -63,9 +67,10 @@ pub enum Event {
         /// Scheduler shard index.
         shard: usize,
     },
-    /// An injected fault fires. Carries the index into the run's
-    /// [`FaultPlan`](crate::fault::FaultPlan).
-    Fault(usize),
+    /// An injected fault fires, carrying the fault itself — the engine does
+    /// not need to keep the whole [`FaultPlan`](crate::fault::FaultPlan)
+    /// alive to look it up by index.
+    Fault(FaultKind),
     /// A crash/abort victim's backoff expired; re-admit it to a scheduler.
     Requeue(InvocationId),
 }
@@ -102,6 +107,7 @@ impl Ord for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    pops: u64,
 }
 
 impl EventQueue {
@@ -119,7 +125,16 @@ impl EventQueue {
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        let popped = self.heap.pop().map(|s| (s.at, s.event));
+        self.pops += u64::from(popped.is_some());
+        popped
+    }
+
+    /// Lifetime operation counters `(pushes, pops)` — the denominator for
+    /// the benchmark's events/sec figure. Pushes equal the total sequence
+    /// numbers handed out; pops count successful removals only.
+    pub fn ops(&self) -> (u64, u64) {
+        (self.next_seq, self.pops)
     }
 
     /// Time of the next event without removing it.
@@ -149,11 +164,12 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(30), Event::Arrival(inv(3)));
-        q.push(SimTime::from_millis(10), Event::Arrival(inv(1)));
-        q.push(SimTime::from_millis(20), Event::Arrival(inv(2)));
+        q.push(SimTime::from_millis(30), Event::Requeue(inv(3)));
+        q.push(SimTime::from_millis(10), Event::Requeue(inv(1)));
+        q.push(SimTime::from_millis(20), Event::Requeue(inv(2)));
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_micros()).collect();
         assert_eq!(order, vec![10_000, 20_000, 30_000]);
+        assert_eq!(q.ops(), (3, 3));
     }
 
     #[test]
@@ -161,11 +177,11 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_millis(5);
         for i in 0..10 {
-            q.push(t, Event::Arrival(inv(i)));
+            q.push(t, Event::Requeue(inv(i)));
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
-                Event::Arrival(i) => i.0,
+                Event::Requeue(i) => i.0,
                 _ => unreachable!(),
             })
             .collect();

@@ -217,6 +217,16 @@ pub struct Invocation {
     pub rate_millis: u64,
     /// Generation counter for lazy-cancelled Finish events.
     pub finish_gen: u64,
+    /// Highest busy-CPU observation (millicores) so far — the `cpu_peak`
+    /// a cgroups monitor would have recorded.
+    pub cpu_peak_obs: u64,
+
+    /// Previous entry in the node's intrusive resident list (`None` = head
+    /// or not resident). Maintained by the engine only.
+    pub res_prev: Option<InvocationId>,
+    /// Next entry in the node's intrusive resident list (`None` = tail or
+    /// not resident). Maintained by the engine only.
+    pub res_next: Option<InvocationId>,
 
     /// Lifecycle state.
     pub state: InvState,
@@ -272,6 +282,9 @@ impl Invocation {
             last_update: arrival,
             rate_millis: 0,
             finish_gen: 0,
+            cpu_peak_obs: 0,
+            res_prev: None,
+            res_next: None,
             state: InvState::Pending,
             cold_start: false,
             restarts: 0,

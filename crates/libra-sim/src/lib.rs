@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod container;
 pub mod demand;
 pub mod engine;
@@ -54,6 +55,7 @@ pub mod trace;
 
 /// One-stop imports for simulator users.
 pub mod prelude {
+    pub use crate::arena::InvArena;
     pub use crate::demand::{ConstantDemand, DemandModel, FnDemand, InputMeta, TrueDemand};
     pub use crate::engine::{NullPlatform, SimConfig, SimCtx, Simulation, UsageSample, World};
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
@@ -63,7 +65,8 @@ pub mod prelude {
         Actuals, InvFlags, InvState, Invocation, Loan, Prediction, PredictionPath, StageBreakdown,
     };
     pub use crate::metrics::{
-        cdf, mean, percentile, InvCategory, InvRecord, RunResult, UtilSample,
+        cdf, mean, percentile, InvCategory, InvRecord, MetricsMode, OnlineStats, QuantileSketch,
+        RunResult, RunSummary, UtilSample,
     };
     pub use crate::platform::{LoanEnd, Platform, PlatformOverheads, PlatformReport};
     pub use crate::resources::{ResourceVec, MILLIS_PER_CORE};

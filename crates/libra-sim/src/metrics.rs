@@ -112,15 +112,221 @@ impl UtilSample {
     }
 }
 
+/// How the engine aggregates measurements during a run.
+///
+/// `Full` keeps every per-invocation record and utilization sample — right
+/// for the paper-scale experiments whose figures need the raw streams.
+/// `Streaming` keeps only the constant-space [`RunSummary`]: at
+/// million-invocation traces the record vector alone would pin hundreds of
+/// MB (every record carries a `func_name` String), so the benchmark tier
+/// folds each completion into online aggregates instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub enum MetricsMode {
+    /// Record everything (the default; matches historical behaviour).
+    #[default]
+    Full,
+    /// Keep only bounded-memory aggregates; `records` and `util` stay empty.
+    Streaming,
+}
+
+/// Numerically stable online mean/variance/min/max (Welford's algorithm).
+/// Constant space regardless of how many samples are pushed.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl OnlineStats {
+    /// Fold one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (NaN when empty, like [`mean_slice`]).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (NaN when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Capacity of a [`QuantileSketch`]'s reservoir. Exact percentiles up to
+/// this many samples; a uniform subsample beyond it.
+pub const SKETCH_CAPACITY: usize = 4096;
+
+/// Bounded-memory percentile estimator: a deterministic Algorithm-R
+/// reservoir. While `seen ≤ capacity` it holds every sample, so quantiles
+/// are *exact* (the proptest oracle relies on this); past the capacity each
+/// new sample replaces a uniformly chosen slot, giving an unbiased uniform
+/// subsample whose percentile error shrinks as `1/√capacity`.
+///
+/// The replacement stream comes from an internal splitmix64 counter, never a
+/// global RNG: pushing the same sequence always yields the same sketch.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QuantileSketch {
+    buf: Vec<f64>,
+    seen: u64,
+    state: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch { buf: Vec::new(), seen: 0, state: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+/// splitmix64 step — tiny, seedable, and dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl QuantileSketch {
+    /// Fold one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.buf.len() < SKETCH_CAPACITY {
+            self.buf.push(x);
+            return;
+        }
+        // Algorithm R: keep each of the `seen` samples with equal probability
+        // by overwriting a uniformly drawn index < capacity (when the draw
+        // lands past the reservoir, the sample is simply not kept).
+        let j = (splitmix64(&mut self.state) % self.seen) as usize;
+        if let Some(slot) = self.buf.get_mut(j) {
+            *slot = x;
+        }
+    }
+
+    /// Total samples pushed (not the reservoir size).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// True while the reservoir still holds every pushed sample, making
+    /// [`QuantileSketch::quantile`] exactly equal to [`percentile`].
+    pub fn is_exact(&self) -> bool {
+        self.seen <= SKETCH_CAPACITY as u64
+    }
+
+    /// The p-th percentile estimate (p in \[0,100\]; NaN when empty).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let mut out = self.quantiles(&[p]);
+        out.pop().unwrap_or(f64::NAN)
+    }
+
+    /// Several percentile estimates, sorting the reservoir once.
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<f64> {
+        percentiles(&self.buf, ps)
+    }
+}
+
+/// Constant-space aggregate view of one run, maintained incrementally by the
+/// engine in *both* metrics modes. In [`MetricsMode::Streaming`] it is the
+/// only completion/utilization output; in `Full` it coexists with the raw
+/// record streams (and must agree with them — the proptests check this).
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct RunSummary {
+    /// Completions folded in (excludes terminal aborts).
+    pub completed: u64,
+    /// Response-latency stats, in seconds.
+    pub latency: OnlineStats,
+    /// Response-latency percentile sketch, in seconds.
+    pub latency_sketch: QuantileSketch,
+    /// Speedup (Eq. 1) stats.
+    pub speedup: OnlineStats,
+    /// Per-sample cluster CPU utilization (Eq. 2) stats.
+    pub cpu_util: OnlineStats,
+    /// Per-sample cluster memory utilization (Eq. 2) stats.
+    pub mem_util: OnlineStats,
+    /// High-water mark of concurrently in-flight invocations (arena slots).
+    pub peak_live_invocations: usize,
+}
+
+impl RunSummary {
+    /// Fold in one completion.
+    pub fn observe_completion(&mut self, latency_sec: f64, speedup: f64) {
+        self.completed += 1;
+        self.latency.push(latency_sec);
+        self.latency_sketch.push(latency_sec);
+        self.speedup.push(speedup);
+    }
+
+    /// Fold in one utilization sample.
+    pub fn observe_util(&mut self, s: &UtilSample) {
+        self.cpu_util.push(s.cpu_util());
+        self.mem_util.push(s.mem_util());
+    }
+}
+
 /// Full result of one simulated run.
 #[derive(Clone, Debug, Default, serde::Serialize)]
 pub struct RunResult {
     /// Platform under test.
     pub platform: String,
-    /// Per-invocation completion records, in completion order.
+    /// Per-invocation completion records, in completion order. Empty in
+    /// [`MetricsMode::Streaming`].
     pub records: Vec<InvRecord>,
-    /// Periodic utilization samples.
+    /// Periodic utilization samples. Empty in [`MetricsMode::Streaming`].
     pub util: Vec<UtilSample>,
+    /// Constant-space aggregates, populated in both metrics modes.
+    pub summary: RunSummary,
+    /// Events pushed onto the engine's queue over the run.
+    pub event_pushes: u64,
+    /// Events popped from the engine's queue over the run.
+    pub event_pops: u64,
     /// First arrival → last completion (workload completion time, §8.4).
     pub completion_time: SimDuration,
     /// Warm container hits.
@@ -199,31 +405,38 @@ impl RunResult {
 
 /// The p-th percentile (linear interpolation, p in \[0,100\]) of unsorted data.
 pub fn percentile(data: &[f64], p: f64) -> f64 {
-    percentiles(data, &[p])[0]
+    percentiles(data, &[p]).pop().unwrap_or(f64::NAN)
 }
 
 /// Several percentiles of unsorted data, sorting it only once. Returns one
 /// value per requested `p` (NaN for every entry when `data` is empty).
+///
+/// NaN inputs are tolerated: `total_cmp` sorts them after every finite value
+/// (and +inf), so low percentiles of a partially-NaN sample stay meaningful
+/// and high percentiles degrade to NaN instead of aborting the run.
 pub fn percentiles(data: &[f64], ps: &[f64]) -> Vec<f64> {
     if data.is_empty() {
         return vec![f64::NAN; ps.len()];
     }
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(f64::total_cmp);
     ps.iter().map(|&p| percentile_sorted(&v, p)).collect()
 }
 
 /// The p-th percentile of data already sorted ascending.
 fn percentile_sorted(v: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 100.0);
-    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let rank = p / 100.0 * v.len().saturating_sub(1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let (Some(&a), Some(&b)) = (v.get(lo), v.get(hi)) else {
+        return f64::NAN;
+    };
     if lo == hi {
-        v[lo]
+        a
     } else {
         let w = rank - lo as f64;
-        v[lo] * (1.0 - w) + v[hi] * w
+        a * (1.0 - w) + b * w
     }
 }
 
@@ -253,7 +466,7 @@ pub fn mean_slice(data: &[f64]) -> f64 {
 /// Empirical CDF points `(value, cumulative fraction)` for plotting.
 pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
 }
@@ -289,6 +502,22 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_tolerate_nan_input() {
+        // A NaN sample (e.g. a speedup with a zero baseline) must degrade
+        // gracefully, never abort the whole run's reporting.
+        let data = [f64::NAN, 1.0, 3.0, 2.0];
+        let out = percentiles(&data, &[0.0, 50.0, 100.0]);
+        assert_eq!(out.len(), 3);
+        // total_cmp sorts NaN last, so low percentiles stay meaningful…
+        assert_eq!(out[0], 1.0);
+        // …and the max degrades to NaN rather than panicking.
+        assert!(out[2].is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+        // cdf over NaN-bearing data must not panic either.
+        assert_eq!(cdf(&data).len(), 4);
+    }
+
+    #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(std::iter::empty()), 0.0);
         assert!((mean([1.0, 2.0, 3.0].into_iter()) - 2.0).abs() < 1e-12);
@@ -307,6 +536,87 @@ mod tests {
         assert_eq!(c[0], (1.0, 1.0 / 3.0));
         assert_eq!(c[2], (3.0, 1.0));
         assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn online_stats_match_exact_moments() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::default();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean_slice(&data)).abs() < 1e-12);
+        let exact_var =
+            data.iter().map(|x| (x - mean_slice(&data)).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.variance() - exact_var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert!(OnlineStats::default().mean().is_nan());
+        assert!(OnlineStats::default().min().is_nan());
+    }
+
+    #[test]
+    fn sketch_is_exact_below_capacity() {
+        let mut sk = QuantileSketch::default();
+        let data: Vec<f64> = (0..1000).map(|i| (i * 7 % 1000) as f64).collect();
+        for &x in &data {
+            sk.push(x);
+        }
+        assert!(sk.is_exact());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(sk.quantile(p), percentile(&data, p), "p{p}");
+        }
+        assert!(QuantileSketch::default().quantile(50.0).is_nan());
+    }
+
+    #[test]
+    fn sketch_stays_bounded_and_close_past_capacity() {
+        // 100k samples uniform over [0, 1): the reservoir subsample's median
+        // must land near 0.5 and memory must stay at the capacity.
+        let mut sk = QuantileSketch::default();
+        let mut state = 42u64;
+        for _ in 0..100_000 {
+            let x = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            sk.push(x);
+        }
+        assert!(!sk.is_exact());
+        assert_eq!(sk.seen(), 100_000);
+        let med = sk.quantile(50.0);
+        assert!((med - 0.5).abs() < 0.05, "median estimate {med}");
+        let p99 = sk.quantile(99.0);
+        assert!((p99 - 0.99).abs() < 0.02, "p99 estimate {p99}");
+        // Determinism: an identical stream yields an identical sketch.
+        let mut sk2 = QuantileSketch::default();
+        let mut state2 = 42u64;
+        for _ in 0..100_000 {
+            let x = (splitmix64(&mut state2) >> 11) as f64 / (1u64 << 53) as f64;
+            sk2.push(x);
+        }
+        assert_eq!(sk.quantiles(&[1.0, 50.0, 99.0]), sk2.quantiles(&[1.0, 50.0, 99.0]));
+    }
+
+    #[test]
+    fn run_summary_folds_completions_and_util() {
+        let mut s = RunSummary::default();
+        s.observe_completion(1.0, 0.1);
+        s.observe_completion(3.0, -0.2);
+        assert_eq!(s.completed, 2);
+        assert!((s.latency.mean() - 2.0).abs() < 1e-12);
+        assert!((s.speedup.min() - -0.2).abs() < 1e-12);
+        assert_eq!(s.latency_sketch.seen(), 2);
+        let u = UtilSample {
+            at: SimTime::ZERO,
+            cpu_used_millis: 16_000,
+            mem_used_mb: 8_192,
+            cpu_alloc_millis: 32_000,
+            mem_alloc_mb: 16_384,
+            cpu_capacity_millis: 32_000,
+            mem_capacity_mb: 32_768,
+        };
+        s.observe_util(&u);
+        assert!((s.cpu_util.mean() - 0.5).abs() < 1e-12);
+        assert!((s.mem_util.mean() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -23,8 +23,17 @@ pub struct Node {
     pub capacity: ResourceVec,
     /// Per-shard nominal reservations (one slot per scheduler shard).
     reserved: Vec<ResourceVec>,
-    /// Invocations currently assigned here (cold-starting or running).
-    pub resident: Vec<InvocationId>,
+    /// Head of the intrusive resident list (invocations assigned here,
+    /// cold-starting or running), in admission order. The links live in
+    /// `Invocation::{res_prev, res_next}`; the engine maintains both ends.
+    /// An intrusive list keeps membership updates O(1) — the old `Vec` +
+    /// `retain` made every completion O(residents) — while preserving the
+    /// insertion order the deterministic crash sweep depends on.
+    pub resident_head: Option<InvocationId>,
+    /// Tail of the intrusive resident list (for O(1) append).
+    pub resident_tail: Option<InvocationId>,
+    /// Number of entries in the resident list.
+    pub resident_len: usize,
     /// Idle warm containers.
     pub warm: WarmPool,
     /// False while the node is crashed (fault injection). A dead node
@@ -40,7 +49,9 @@ impl Node {
             id,
             capacity,
             reserved: vec![ResourceVec::ZERO; shards],
-            resident: Vec::new(),
+            resident_head: None,
+            resident_tail: None,
+            resident_len: 0,
             warm: WarmPool::new(keepalive),
             alive: true,
         }
@@ -154,7 +165,7 @@ impl Node {
 
     /// Number of invocations currently resident.
     pub fn load(&self) -> usize {
-        self.resident.len()
+        self.resident_len
     }
 }
 

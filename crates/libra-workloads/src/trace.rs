@@ -63,19 +63,28 @@ impl TraceGen {
     }
 
     /// Poisson-arrival trace: `n` invocations at `rpm` requests per minute.
+    ///
+    /// Arrival times are accumulated in integer microseconds: each
+    /// exponential inter-arrival gap is rounded once and added to a `u64`
+    /// clock. Accumulating in f64 and truncating per event (the old scheme)
+    /// loses mantissa precision as `t` grows and biases every gap early by
+    /// its truncated fraction — at million-event traces the tail silently
+    /// skews by whole seconds.
     pub fn poisson(&self, n: usize, rpm: f64) -> Trace {
         assert!(rpm > 0.0, "rpm must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mean_gap_us = 60e6 / rpm;
-        let mut t = 0.0f64;
+        let mut t_us = 0u64;
         let mut trace = Trace::new();
         for _ in 0..n {
-            // Exponential inter-arrival.
+            // Exponential inter-arrival, rounded to whole microseconds
+            // while still small — never after accumulation.
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            t += -mean_gap_us * u.ln();
+            let gap_us = (-mean_gap_us * u.ln()).round() as u64;
+            t_us = t_us.saturating_add(gap_us);
             let f = self.pick_function(&mut rng);
             let input = self.pools[f].sample(&mut rng);
-            trace.push(SimTime(t as u64), FunctionId(f as u32), input);
+            trace.push(SimTime(t_us), FunctionId(f as u32), input);
         }
         trace
     }
@@ -139,6 +148,146 @@ impl TraceGen {
             trace.push(SimTime::ZERO, FunctionId(f as u32), input);
         }
         trace
+    }
+
+    /// Large-catalogue generator: `functions` synthetic functions cycling
+    /// through [`ALL_APPS`](crate::apps::ALL_APPS), with popularity drawn
+    /// from a seeded Zipf(`s`) over function rank — the heavy-tailed shape
+    /// of the Azure traces ("a few hot functions, a long cold tail") at
+    /// catalogue sizes where the 10-app suites are unrealistically flat.
+    /// Input pools are salted per function index so clones of the same app
+    /// kind still see distinct input mixes.
+    pub fn zipf_catalogue(functions: usize, seed: u64, s: f64) -> Self {
+        use crate::apps::ALL_APPS;
+        assert!(functions > 0, "catalogue needs at least one function");
+        let kinds: Vec<AppKind> = (0..functions).map(|i| ALL_APPS[i % ALL_APPS.len()]).collect();
+        let pools = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                InputPool::generate(k, 100, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            })
+            .collect();
+        let weights = (0..functions).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        TraceGen { kinds, pools, weights, seed }
+    }
+
+    /// Poisson-arrival trace like [`TraceGen::poisson`], but with function
+    /// picks served from a cumulative-weight table in O(log m) instead of a
+    /// linear scan of the weights. At the `huge` tier (hundreds of functions
+    /// × a million arrivals) the scan is the dominant generation cost; at
+    /// ten functions it is noise, which is why the original generators keep
+    /// their (byte-pinned) sampling loop.
+    pub fn poisson_indexed(&self, n: usize, rpm: f64) -> Trace {
+        assert!(rpm > 0.0, "rpm must be positive");
+        let mut cum: Vec<f64> = Vec::with_capacity(self.weights.len());
+        let mut acc = 0.0;
+        for w in &self.weights {
+            acc += w;
+            cum.push(acc);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mean_gap_us = 60e6 / rpm;
+        let mut t_us = 0u64;
+        let mut trace = Trace::new();
+        trace.entries.reserve(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap_us = (-mean_gap_us * u.ln()).round() as u64;
+            t_us = t_us.saturating_add(gap_us);
+            let x = rng.gen_range(0.0..acc);
+            let f = cum.partition_point(|&c| c <= x).min(self.weights.len() - 1);
+            let input = self.pools[f].sample(&mut rng);
+            trace.push(SimTime(t_us), FunctionId(f as u32), input);
+        }
+        trace
+    }
+}
+
+/// The `huge` benchmark tier: everything a driver needs to reproduce the
+/// million-invocation, thousand-node stress workload (`bench_sim`). The
+/// tier exists to make the simulator's scale limits measurable — at this
+/// size the engine must stream arrivals, recycle invocation slots and keep
+/// metrics online, or it simply does not finish.
+#[derive(Clone, Debug)]
+pub struct HugeTier {
+    /// The trace generator (Zipf catalogue over cycled app kinds).
+    pub gen: TraceGen,
+    /// Number of invocations in the trace.
+    pub invocations: usize,
+    /// Poisson arrival rate, requests per minute.
+    pub rpm: f64,
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub node_cores: u64,
+    /// Memory per node (MB).
+    pub node_mem_mb: u64,
+    /// Scheduler shards.
+    pub shards: usize,
+}
+
+impl HugeTier {
+    /// The full tier: 1M invocations at 20k RPM across 400 functions
+    /// (Zipf s = 1.1), on 1,000 nodes of 48 cores / 192 GB sliced into 4
+    /// scheduler shards (≈50 simulated minutes of load).
+    pub fn standard(seed: u64) -> Self {
+        HugeTier {
+            gen: TraceGen::zipf_catalogue(400, seed, 1.1),
+            invocations: 1_000_000,
+            rpm: 20_000.0,
+            nodes: 1_000,
+            node_cores: 48,
+            node_mem_mb: 196_608,
+            shards: 4,
+        }
+    }
+
+    /// A proportionally scaled-down tier (~20k invocations on 100 nodes)
+    /// for CI smoke runs: same catalogue shape, same per-node load, a
+    /// hundredth of the wall time.
+    pub fn smoke(seed: u64) -> Self {
+        HugeTier {
+            gen: TraceGen::zipf_catalogue(400, seed, 1.1),
+            invocations: 20_000,
+            rpm: 2_000.0,
+            nodes: 100,
+            node_cores: 48,
+            node_mem_mb: 196_608,
+            shards: 4,
+        }
+    }
+
+    /// Generate the tier's trace.
+    pub fn trace(&self) -> Trace {
+        self.gen.poisson_indexed(self.invocations, self.rpm)
+    }
+
+    /// Per-node capacities for [`Simulation::new`](libra_sim::engine::Simulation).
+    pub fn node_caps(&self) -> Vec<libra_sim::resources::ResourceVec> {
+        vec![
+            libra_sim::resources::ResourceVec::from_cores_mb(self.node_cores, self.node_mem_mb);
+            self.nodes
+        ]
+    }
+
+    /// Function specs for the whole catalogue (one per generator kind, in
+    /// `FunctionId` order, uniquely named `"<APP>-<rank>"`).
+    pub fn suite(&self) -> Vec<libra_sim::function::FunctionSpec> {
+        use crate::apps::AppModel;
+        use std::sync::Arc;
+        self.gen
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                libra_sim::function::FunctionSpec::new(
+                    format!("{}-{i}", kind.name()),
+                    kind.user_alloc(),
+                    Arc::new(AppModel { kind }),
+                )
+            })
+            .collect()
     }
 }
 
@@ -212,6 +361,23 @@ mod tests {
     }
 
     #[test]
+    fn poisson_large_n_span_is_unbiased() {
+        // One million arrivals at 60k RPM (1 ms mean gap) must span very
+        // close to n·gap ≈ 1,000 s. With the old f64-accumulate-then-
+        // truncate scheme every event lost its fractional microsecond,
+        // skewing the tail; integer accumulation keeps the span within the
+        // statistical noise of the exponential sum (σ ≈ 1 s here).
+        let t = gen().poisson(1_000_000, 60_000.0);
+        let (first, last) = t.span().unwrap();
+        let span_us = (last.as_micros() - first.as_micros()) as f64;
+        let expected_us = 1_000_000.0 * 1_000.0;
+        let rel = (span_us - expected_us).abs() / expected_us;
+        assert!(rel < 0.01, "span {span_us:.0}µs vs expected {expected_us:.0}µs (rel {rel:.4})");
+        // Arrival times must be monotone non-decreasing as generated.
+        assert!(t.entries.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
     fn traces_are_deterministic_per_seed() {
         let a = TraceGen::standard(&ALL_APPS, 7).single_set();
         let b = TraceGen::standard(&ALL_APPS, 7).single_set();
@@ -239,6 +405,50 @@ mod tests {
             counts[e.func.idx()] += 1;
         }
         assert!(counts[0] > counts[9], "rank-0 function must be hotter than rank-9: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_catalogue_is_heavy_tailed_and_deterministic() {
+        let g = TraceGen::zipf_catalogue(400, 11, 1.1);
+        assert_eq!(g.kinds.len(), 400);
+        let t = g.poisson_indexed(20_000, 2_000.0);
+        assert_eq!(t.len(), 20_000);
+        let mut counts = vec![0usize; 400];
+        for e in &t.entries {
+            counts[e.func.idx()] += 1;
+        }
+        // Zipf(1.1): the hot head dominates, the tail is long but populated.
+        assert!(counts[0] > counts[50] && counts[50] >= counts[399], "{:?}", &counts[..5]);
+        assert!(counts[0] > t.len() / 20, "rank-0 should take a large share: {}", counts[0]);
+        let tail_hit = counts[200..].iter().filter(|&&c| c > 0).count();
+        assert!(tail_hit > 50, "cold tail must still be exercised: {tail_hit}");
+        // Same seed → byte-identical trace; different seed → different.
+        let t2 = TraceGen::zipf_catalogue(400, 11, 1.1).poisson_indexed(20_000, 2_000.0);
+        assert_eq!(t.entries, t2.entries);
+        let t3 = TraceGen::zipf_catalogue(400, 12, 1.1).poisson_indexed(20_000, 2_000.0);
+        assert_ne!(t.entries, t3.entries);
+    }
+
+    #[test]
+    fn huge_tier_shapes_are_consistent() {
+        let tier = HugeTier::standard(1);
+        assert_eq!(tier.invocations, 1_000_000);
+        assert_eq!(tier.nodes, 1_000);
+        assert_eq!(tier.suite().len(), tier.gen.kinds.len());
+        assert_eq!(tier.node_caps().len(), tier.nodes);
+        // Every function must fit a shard slice or the engine rejects it.
+        let slice = libra_sim::resources::ResourceVec::from_cores_mb(
+            tier.node_cores / tier.shards as u64,
+            tier.node_mem_mb / tier.shards as u64,
+        );
+        for spec in tier.suite() {
+            assert!(spec.user_alloc.fits_within(&slice), "{} won't place", spec.name);
+        }
+        let smoke = HugeTier::smoke(1);
+        // Same per-node pressure: rpm/nodes ratio preserved.
+        let full_rate = tier.rpm / tier.nodes as f64;
+        let smoke_rate = smoke.rpm / smoke.nodes as f64;
+        assert!((full_rate - smoke_rate).abs() < 1e-9);
     }
 
     #[test]

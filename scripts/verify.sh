@@ -35,4 +35,9 @@ cargo run --release -q -p libra-gateway --bin gateway_loadgen -- --seed 42 --req
 echo "==> pool-bench smoke (emits BENCH_pool.json)"
 cargo run --release -p libra-bench --bin bench_pool
 
+echo "==> sim-scale smoke (emits BENCH_sim.json, 2x regression gate vs committed baseline)"
+# Scaled-down huge tier (~20k invocations, 100 nodes); fails if wall-clock
+# invocations/sec drop below half of benchmarks/BENCH_sim.baseline.json.
+cargo run --release -p libra-bench --bin bench_sim -- --smoke --check benchmarks/BENCH_sim.baseline.json
+
 echo "verify: all green"

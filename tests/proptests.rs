@@ -309,3 +309,82 @@ proptest! {
         prop_assert_eq!(ids.len(), r.records.len(), "duplicate completion records");
     }
 }
+
+proptest! {
+    /// Below its capacity the streaming percentile sketch holds every
+    /// sample, so its quantiles must agree bit-for-bit with the exact
+    /// `percentiles` oracle over the same data — at every probe point,
+    /// for arbitrary (finite) sample streams.
+    #[test]
+    fn quantile_sketch_matches_exact_oracle_below_capacity(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..600),
+        ps in prop::collection::vec(0.0f64..=100.0, 1..8),
+    ) {
+        use libra::sim::metrics::{percentiles, QuantileSketch};
+        let mut sketch = QuantileSketch::default();
+        for &x in &xs {
+            sketch.push(x);
+        }
+        prop_assert!(sketch.is_exact());
+        let exact = percentiles(&xs, &ps);
+        let approx = sketch.quantiles(&ps);
+        prop_assert_eq!(exact, approx);
+    }
+
+    /// Past the capacity the reservoir is a subsample: quantiles stay inside
+    /// the true data range, the estimator is deterministic (two identical
+    /// streams yield identical sketches), and `seen` keeps exact count.
+    #[test]
+    fn quantile_sketch_is_bounded_and_deterministic_past_capacity(
+        seed in 0u64..1_000,
+        extra in 1usize..4_000,
+    ) {
+        use libra::sim::metrics::{QuantileSketch, SKETCH_CAPACITY};
+        let n = SKETCH_CAPACITY + extra;
+        // Deterministic pseudo-stream (no external RNG in the oracle).
+        let stream = |k: u64| -> f64 {
+            let mut z = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+            z ^= z >> 30;
+            (z % 100_000) as f64 / 7.0
+        };
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for k in 0..n as u64 {
+            let x = stream(k);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            a.push(x);
+            b.push(x);
+        }
+        prop_assert!(!a.is_exact());
+        prop_assert_eq!(a.seen(), n as u64);
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            let qa = a.quantile(p);
+            let qb = b.quantile(p);
+            prop_assert_eq!(qa, qb, "sketch must be deterministic at p{}", p);
+            prop_assert!((lo..=hi).contains(&qa), "p{} = {} outside [{}, {}]", p, qa, lo, hi);
+        }
+    }
+
+    /// Welford online moments agree with the naive two-pass computation to
+    /// floating-point tolerance, and min/max/count are exact.
+    #[test]
+    fn online_stats_match_two_pass_moments(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..500),
+    ) {
+        use libra::sim::metrics::OnlineStats;
+        let mut s = OnlineStats::default();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+}
