@@ -1,0 +1,6 @@
+//! Standalone driver for the keep-alive policy x harvester sweep; see
+//! `libra_bench::experiments::keepalive`.
+
+fn main() {
+    libra_bench::experiments::keepalive::run();
+}

@@ -49,6 +49,7 @@ fn main() {
     let _ = e::fig16::run();
     e::overheads::run();
     e::ablations::run();
+    let _ = e::keepalive::run();
     let _ = e::chaos::run();
     println!("\nAll experiments complete. CSV artifacts are under results/.");
 }

@@ -17,6 +17,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod keepalive;
 pub mod overheads;
 pub mod table1;
 pub mod table2;

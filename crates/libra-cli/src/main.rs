@@ -12,6 +12,7 @@ mod csvio;
 mod opts;
 
 use libra_baselines::{Freyr, OpenWhiskDefault};
+use libra_core::keepalive::{PolicyKind, WithKeepAlive};
 use libra_core::{LibraConfig, LibraPlatform};
 use libra_sim::engine::{SimConfig, Simulation};
 use libra_sim::metrics::RunResult;
@@ -69,8 +70,8 @@ fn make_trace(opts: &Opts) -> Result<Trace, String> {
     })
 }
 
-fn build_platform(name: &str) -> Result<Box<dyn Platform>, String> {
-    Ok(match name {
+fn build_platform(name: &str, keepalive: PolicyKind) -> Result<Box<dyn Platform>, String> {
+    let inner: Box<dyn Platform> = match name {
         "default" => Box::new(OpenWhiskDefault),
         "freyr" => Box::new(Freyr::new()),
         "libra" => Box::new(LibraPlatform::new(LibraConfig::libra())),
@@ -78,7 +79,10 @@ fn build_platform(name: &str) -> Result<Box<dyn Platform>, String> {
         "np" => Box::new(LibraPlatform::new(LibraConfig::np())),
         "nsp" => Box::new(LibraPlatform::new(LibraConfig::nsp())),
         other => return Err(format!("unknown platform `{other}`")),
-    })
+    };
+    // The default fixed-60 policy is observationally identical to the bare
+    // engine, so wrapping unconditionally is safe (and pinned by tests).
+    Ok(Box::new(WithKeepAlive::new(inner, keepalive.build())))
 }
 
 fn cluster(opts: &Opts) -> Vec<libra_sim::resources::ResourceVec> {
@@ -112,7 +116,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let trace = make_trace(opts)?;
-    let mut platform = build_platform(&opts.platform)?;
+    let mut platform = build_platform(&opts.platform, opts.keepalive)?;
     let result = execute(opts, platform.as_mut(), &trace);
     summarize(&result);
     if let Some(path) = &opts.out {
@@ -138,7 +142,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         for rep in 0..opts.reps {
             let rep_opts = Opts { seed: opts.seed + rep, ..opts.clone() };
             let trace = make_trace(&rep_opts)?;
-            let mut platform = build_platform(name)?;
+            let mut platform = build_platform(name, opts.keepalive)?;
             let r = execute(&rep_opts, platform.as_mut(), &trace);
             let ps = r.latency_percentiles(&[50.0, 99.0]);
             p50 += ps[0];
@@ -175,4 +179,5 @@ fn summarize(r: &RunResult) {
     let a = r.records.iter().filter(|x| x.flags.accelerated).count();
     let s = r.records.iter().filter(|x| x.flags.safeguarded).count();
     println!("harvested/accelerated/safeguarded: {h}/{a}/{s}");
+    println!("warm/cold/prewarm: {}/{}/{}", r.warm_hits, r.cold_starts, r.prewarms);
 }

@@ -1,6 +1,8 @@
 //! Hand-rolled option parsing (the workspace's dependency policy admits no
 //! argument-parsing crate; the grammar is small and fixed).
 
+use libra_core::keepalive::PolicyKind;
+
 /// Usage text for `libra help` and errors.
 pub const USAGE: &str = "\
 libra — the Libra (HPDC '23) reproduction CLI
@@ -9,13 +11,16 @@ USAGE:
   libra trace   --kind single|multi:<rpm>|poisson:<n>:<rpm> [--seed S] [--out FILE]
   libra run     --platform default|freyr|libra|ns|np|nsp
                 [--cluster single|multi|jetstream:<n>] [--shards K]
+                [--keepalive fixed[:secs]|histogram|concurrency]
                 [--trace FILE | --kind ...] [--seed S] [--out FILE]
   libra compare [--cluster ...] [--kind ...] [--seed S] [--reps R]
+                [--keepalive ...]
   libra help
 
 EXAMPLES:
   libra trace --kind single --seed 7 --out single.csv
   libra run --platform libra --trace single.csv --out libra.csv
+  libra run --platform libra --keepalive histogram --kind multi:120
   libra compare --kind poisson:120:180 --reps 3";
 
 /// Which trace to generate.
@@ -64,6 +69,8 @@ pub struct Opts {
     pub out: Option<String>,
     /// `--reps`
     pub reps: u64,
+    /// `--keepalive` (warm-container lifecycle policy)
+    pub keepalive: PolicyKind,
 }
 
 impl Default for Opts {
@@ -77,6 +84,7 @@ impl Default for Opts {
             seed: 42,
             out: None,
             reps: 1,
+            keepalive: PolicyKind::default(),
         }
     }
 }
@@ -96,6 +104,7 @@ impl Opts {
                 "--shards" => o.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
                 "--out" => o.out = Some(value()?.clone()),
                 "--trace" => o.trace_file = Some(value()?.clone()),
+                "--keepalive" => o.keepalive = PolicyKind::parse(value()?)?,
                 "--cluster" => {
                     let v = value()?;
                     o.cluster = match v.split_once(':') {
@@ -175,5 +184,23 @@ mod tests {
         assert!(Opts::parse(&args("--seed")).is_err(), "missing value");
         assert!(Opts::parse(&args("--shards 0")).is_err());
         assert!(Opts::parse(&args("--cluster jetstream:x")).is_err());
+        assert!(Opts::parse(&args("--keepalive bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_keepalive_policies() {
+        assert_eq!(Opts::parse(&[]).unwrap().keepalive, PolicyKind::default());
+        assert_eq!(
+            Opts::parse(&args("--keepalive fixed:10")).unwrap().keepalive.label(),
+            "fixed10"
+        );
+        assert!(matches!(
+            Opts::parse(&args("--keepalive histogram")).unwrap().keepalive,
+            PolicyKind::Histogram(_)
+        ));
+        assert!(matches!(
+            Opts::parse(&args("--keepalive concurrency")).unwrap().keepalive,
+            PolicyKind::Concurrency(_)
+        ));
     }
 }

@@ -260,6 +260,14 @@ pub struct ControlPlane {
     counters: ControlCounters,
     record_trace: bool,
     trace: Vec<Action>,
+    /// Per-node idle-warm pin gauges (memory pinned by idle warm
+    /// containers), published by the substrates' keep-alive drivers via
+    /// [`ControlPlane::note_idle_warm`]. Pure telemetry: it feeds the
+    /// harvestable-supply view and never influences harvest decisions, so
+    /// publishing it cannot perturb recorded action traces.
+    idle_warm_mb: Vec<u64>,
+    /// When each gauge was last refreshed (staleness diagnostic).
+    idle_warm_at: Vec<SimTime>,
 }
 
 impl ControlPlane {
@@ -274,6 +282,8 @@ impl ControlPlane {
             counters: ControlCounters::default(),
             record_trace: false,
             trace: Vec::new(),
+            idle_warm_mb: vec![0; n_nodes],
+            idle_warm_at: vec![SimTime::ZERO; n_nodes],
         }
     }
 
@@ -761,6 +771,43 @@ impl ControlPlane {
     /// An unknown node id yields an empty snapshot.
     pub fn snapshot(&self, node: NodeId, now: SimTime) -> PoolSnapshot {
         self.pools.get(node.idx()).map(|p| p.snapshot(now)).unwrap_or_default()
+    }
+
+    /// Record one node's current idle-warm pin gauge: how much memory that
+    /// node's idle warm containers pin right now, as decided by whatever
+    /// keep-alive policy the substrate runs. Emits no [`Action`]s — it is a
+    /// telemetry write, so enabling the supply view cannot change traces.
+    /// Unknown node ids are ignored.
+    pub fn note_idle_warm(&mut self, node: NodeId, pinned_mb: u64, now: SimTime) {
+        if let Some(g) = self.idle_warm_mb.get_mut(node.idx()) {
+            *g = pinned_mb;
+        }
+        if let Some(t) = self.idle_warm_at.get_mut(node.idx()) {
+            *t = now;
+        }
+    }
+
+    /// The last idle-warm pin gauge published for `node` (0 when never
+    /// published or the node id is unknown).
+    pub fn idle_warm_mb(&self, node: NodeId) -> u64 {
+        self.idle_warm_mb.get(node.idx()).copied().unwrap_or(0)
+    }
+
+    /// When `node`'s idle-warm gauge was last refreshed (`SimTime::ZERO`
+    /// when never published).
+    pub fn idle_warm_published_at(&self, node: NodeId) -> SimTime {
+        self.idle_warm_at.get(node.idx()).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The harvestable-supply view for one node: the pooled idle entitlement
+    /// volume harvesters can borrow today, alongside the keep-alive-policy-
+    /// dependent idle-warm memory — the supply a warm-pin-aware harvester
+    /// *would* see. `exp_keepalive` sweeps policies against exactly this
+    /// split.
+    pub fn harvestable_supply(&self, node: NodeId) -> (ResourceVec, u64) {
+        let pooled =
+            self.pools.get(node.idx()).map(|p| p.total_idle()).unwrap_or(ResourceVec::ZERO);
+        (pooled, self.idle_warm_mb(node))
     }
 
     /// The safeguard (trigger counts, per-function blacklist state).

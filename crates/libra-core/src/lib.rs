@@ -29,7 +29,11 @@
 //!   Hist / ML) as configuration presets,
 //! * [`batch`] — the paper's acknowledged limitation made measurable: a
 //!   batch-optimal assigner against which the greedy scheduler's optimality
-//!   gap (and cost) can be quantified.
+//!   gap (and cost) can be quantified,
+//! * [`keepalive`] — the keep-alive / autoscaling policy layer: pure,
+//!   clock-free [`keepalive::KeepAlivePolicy`] implementations (fixed TTL,
+//!   histogram prewarm, concurrency autoscaling) that decide when idle warm
+//!   containers die — and therefore how much idle memory harvesters see.
 
 #![warn(missing_docs)]
 
@@ -38,6 +42,7 @@ pub mod batch;
 pub mod clock;
 pub mod controlplane;
 pub mod coverage;
+pub mod keepalive;
 pub mod platform;
 pub mod pool;
 pub mod profiler;
@@ -51,6 +56,9 @@ pub use controlplane::{
     Action, Admission, ControlConfig, ControlCounters, ControlPlane, LendFailure, Observation,
 };
 pub use coverage::{coverage_1d, demand_coverage};
+pub use keepalive::{
+    ConcurrencyPolicy, FixedTtl, HistogramPolicy, KeepAlivePolicy, PolicyKind, WithKeepAlive,
+};
 pub use platform::{LibraConfig, LibraPlatform};
 pub use pool::{GetOrder, HarvestResourcePool, PoolEntryStatus, PoolSnapshot};
 pub use profiler::{ModelChoice, ModelScores, Profiler, ProfilerConfig, WorkloadDuplicator};

@@ -46,6 +46,7 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
 /// that took hours to simulate.
 pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/libra-core/src/controlplane.rs",
+    "crates/libra-core/src/keepalive.rs",
     "crates/libra-live/src/cluster.rs",
     "crates/libra-gateway/src/http.rs",
     "crates/libra-gateway/src/wire.rs",

@@ -131,6 +131,36 @@ fn panic_rule_covers_gateway_parser_and_codec() {
 }
 
 #[test]
+fn panic_rule_covers_keepalive_policies() {
+    // Keep-alive policies run on every arrival/completion in both
+    // substrates; a panicking lookup there would take the live cluster's
+    // node thread down mid-invocation.
+    let src =
+        "fn a(m: &std::collections::BTreeMap<u32, u32>) -> u32 {\n    *m.get(&1).unwrap()\n}\n";
+    assert_eq!(
+        rules_at("crates/libra-core/src/keepalive.rs", src),
+        vec![("panic".into(), 2)],
+        "keepalive.rs must be panic-checked"
+    );
+}
+
+#[test]
+fn determinism_covers_keepalive_policies() {
+    // keepalive.rs rides on the libra-core crate-wide determinism rule:
+    // clock reads or hash-ordered state would desync the substrates.
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(
+        rules_at("crates/libra-core/src/keepalive.rs", src),
+        vec![("determinism".into(), 1)]
+    );
+    let hashed = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rules_at("crates/libra-core/src/keepalive.rs", hashed),
+        vec![("determinism".into(), 1)]
+    );
+}
+
+#[test]
 fn panic_ignores_test_code_and_non_panicking_lookalikes() {
     let in_test = "#[test]\nfn t() { Vec::<u32>::new().pop().unwrap(); }\n";
     assert!(rules_at(PANIC_PATH, in_test).is_empty());

@@ -32,8 +32,9 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use libra_core::controlplane::{
     Action, Admission, ControlConfig, ControlPlane, LendFailure, Observation,
 };
+use libra_core::keepalive::{publish_idle_warm, KeepAlivePolicy, PolicyKind};
 use libra_core::sharding::{ScheduleRequest, ShardedScheduler};
-use libra_sim::ids::{InvocationId, NodeId};
+use libra_sim::ids::{FunctionId, InvocationId, NodeId};
 use libra_sim::invocation::{exec_rate_millis, mem_usage_model};
 use libra_sim::platform::LoanEnd;
 use libra_sim::resources::ResourceVec;
@@ -74,6 +75,11 @@ pub struct LiveConfig {
     pub watchdog: Duration,
     /// Record every control-plane action per node (fidelity testing).
     pub record_trace: bool,
+    /// Keep-alive / autoscaling policy driving each node's warm-container
+    /// registry — the same [`PolicyKind`] the simulator threads through
+    /// `Platform::warm_keep`, so both substrates retire idle containers by
+    /// identical rules (and publish identical idle-warm supply gauges).
+    pub keepalive: PolicyKind,
     /// Optional chaos driver: kill and respawn scheduler shards while the
     /// workload runs. `None` (the default) injects nothing.
     pub chaos: Option<LiveChaos>,
@@ -107,6 +113,7 @@ impl Default for LiveConfig {
             time_scale: 4.0,
             watchdog: Duration::from_secs(60),
             record_trace: false,
+            keepalive: PolicyKind::default(),
             chaos: None,
         }
     }
@@ -136,6 +143,33 @@ struct NodeInner {
     /// reserve), so when the shard slice cannot cover the charge it is
     /// tracked here and repaid by the next releases on that shard.
     overdraft: Vec<ResourceVec>,
+    /// Idle warm containers `(func, pinned MB, keep-until)` — the live
+    /// analog of the simulator's `WarmPool`, with every deadline stamped by
+    /// the keep-alive policy below.
+    warm: Vec<(u32, u64, SimTime)>,
+    /// This node's keep-alive policy instance ([`LiveConfig::keepalive`]).
+    policy: Box<dyn KeepAlivePolicy>,
+}
+
+impl NodeInner {
+    /// Prune expired warm containers and publish the node's idle-warm pin
+    /// gauge to the control plane's harvestable-supply view.
+    fn refresh_warm(&mut self, now: SimTime) {
+        self.warm.retain(|&(_, _, keep_until)| now <= keep_until);
+        let pinned: u64 = self.warm.iter().map(|&(_, mb, _)| mb).sum();
+        publish_idle_warm(&mut self.core, NodeId(0), pinned, now);
+    }
+
+    /// Consume one live warm container for `func`, if any (a warm hit).
+    fn take_warm(&mut self, func: u32, now: SimTime) -> bool {
+        match self.warm.iter().position(|&(f, _, keep_until)| f == func && now <= keep_until) {
+            Some(pos) => {
+                self.warm.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 struct NodeShared {
@@ -156,7 +190,7 @@ fn apply_actions(
     now: SimTime,
     unwinding: Option<InvocationId>,
 ) {
-    let NodeInner { core, exec, overdraft } = inner;
+    let NodeInner { core, exec, overdraft, .. } = inner;
     for &a in actions {
         match a {
             // The scheduler reservation *is* the live admission; the action
@@ -295,6 +329,10 @@ pub struct LiveResult {
     pub peak_committed_cpu: u64,
     /// Scheduler-shard kill/respawn cycles performed by the chaos driver.
     pub shard_kills: u32,
+    /// Admissions served by a policy-kept warm container.
+    pub warm_hits: u64,
+    /// Admissions that found no live warm container for their function.
+    pub cold_starts: u64,
     /// Per-node control-plane action traces (only populated when
     /// [`LiveConfig::record_trace`] is set).
     pub actions_by_node: Vec<Vec<Action>>,
@@ -378,6 +416,8 @@ struct ClusterShared {
     aborted: AtomicU64,
     peak_committed: AtomicU64,
     shard_kills: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_starts: AtomicU64,
     records: Mutex<Vec<LiveRecord>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     aux: Mutex<Vec<JoinHandle<()>>>,
@@ -421,6 +461,8 @@ impl LiveCluster {
                         core,
                         exec: HashMap::new(),
                         overdraft: vec![ResourceVec::ZERO; config.shards],
+                        warm: Vec::new(),
+                        policy: config.keepalive.build(),
                     }),
                 })
             })
@@ -442,6 +484,8 @@ impl LiveCluster {
             aborted: AtomicU64::new(0),
             peak_committed: AtomicU64::new(0),
             shard_kills: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            cold_starts: AtomicU64::new(0),
             records: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
             aux: Mutex::new(Vec::new()),
@@ -645,6 +689,8 @@ impl LiveCluster {
             aborted: sh.aborted.load(Ordering::SeqCst),
             peak_committed_cpu: sh.peak_committed.load(Ordering::Relaxed),
             shard_kills: sh.shard_kills.load(Ordering::Relaxed) as u32,
+            warm_hits: sh.warm_hits.load(Ordering::Relaxed),
+            cold_starts: sh.cold_starts.load(Ordering::Relaxed),
             actions_by_node,
         }
     }
@@ -839,6 +885,15 @@ fn run_invocation(
             },
         );
         let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
+        // Warm-lifecycle: the policy sees the arrival, then the admission
+        // consumes a live warm container if the registry holds one.
+        g.policy.on_arrival(FunctionId(req.func), now_ms);
+        if g.take_warm(req.func, now_ms) {
+            shared.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.cold_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        g.refresh_warm(now_ms);
         let pred = if config.harvesting { req.pred } else { None };
         let actions = g.core.on_admit(
             Admission {
@@ -914,6 +969,19 @@ fn run_invocation(
             if let Some(over) = g.overdraft.get_mut(shard) {
                 release_charge(over, &**sched, shard, node_u32, still);
             }
+            // Warm-lifecycle: the policy decides whether (and until when)
+            // this container's memory stays pinned as an idle warm container.
+            g.policy.on_complete(FunctionId(req.func), now_ms);
+            let idle_peers = g
+                .warm
+                .iter()
+                .filter(|&&(f, _, keep_until)| f == req.func && now_ms <= keep_until)
+                .count();
+            if let Some(keep_until) = g.policy.keep_until(FunctionId(req.func), idle_peers, now_ms)
+            {
+                g.warm.push((req.func, req.alloc.mem_mb, keep_until));
+            }
+            g.refresh_warm(now_ms);
             drop(g);
 
             let latency_ms = to_work_ms(submitted.elapsed());
@@ -995,6 +1063,7 @@ mod tests {
             time_scale: 8.0,
             watchdog: Duration::from_secs(30),
             record_trace: false,
+            keepalive: PolicyKind::default(),
             chaos: None,
         }
     }

@@ -161,6 +161,12 @@ pub struct World {
     decision_delay_sum_us: u64,
     decisions: u64,
     overheads: PlatformOverheads,
+    /// Last node+shard each function completed on — the target site for
+    /// policy-directed prewarms (a real platform prewarms where the
+    /// function's image is already cached).
+    last_site: BTreeMap<FunctionId, (NodeId, usize)>,
+    /// Containers spun up by prewarm directives (not by arrivals).
+    prewarms: u64,
     // Fault-injection state. All of it stays at its zero value in clean runs,
     // so the fault-free path is byte-identical to a build without a plan.
     aborted: usize,
@@ -822,7 +828,7 @@ impl Simulation {
         let nodes = node_caps
             .into_iter()
             .enumerate()
-            .map(|(i, cap)| Node::new(NodeId(i as u32), cap, config.shards, config.keepalive))
+            .map(|(i, cap)| Node::new(NodeId(i as u32), cap, config.shards))
             .collect();
         let shards = (0..config.shards).map(|_| Shard::new()).collect();
         Simulation {
@@ -842,6 +848,8 @@ impl Simulation {
                 decision_delay_sum_us: 0,
                 decisions: 0,
                 overheads: PlatformOverheads::default(),
+                last_site: BTreeMap::new(),
+                prewarms: 0,
                 aborted: 0,
                 requeue_total: 0,
                 faults_fired: 0,
@@ -980,6 +988,7 @@ impl Simulation {
             completion_time: w.last_completion.since(first),
             warm_hits: warm,
             cold_starts: cold,
+            prewarms: w.prewarms,
             mean_sched_delay: SimDuration(w.decision_delay_sum_us / w.decisions.max(1)),
             aborted: w.aborted as u64,
             crash_requeues: w.requeue_total,
@@ -1039,6 +1048,38 @@ impl Simulation {
             }
             Event::Fault(kind) => Self::on_fault(w, platform, kind),
             Event::Requeue(id) => Self::on_requeue(w, id),
+            Event::Prewarm { func, node, shard } => {
+                Self::on_prewarm(w, platform, func, node, shard)
+            }
+        }
+    }
+
+    /// A policy's prewarm directive fires: park an idle warm container for
+    /// `func` on its last execution site, charged at the function's user
+    /// allocation, with a fresh policy-assigned deadline. Skipped when the
+    /// node is down, a warm container already exists (the arrival the
+    /// prewarm anticipated may have been served already), the policy
+    /// declines to keep it, or the slice has no room.
+    fn on_prewarm(
+        w: &mut World,
+        platform: &mut dyn Platform,
+        func: FunctionId,
+        node: NodeId,
+        shard: usize,
+    ) {
+        let now = w.clock;
+        let idx = node.idx();
+        if !w.nodes[idx].is_alive() || w.nodes[idx].warm.count_at(func, now) > 0 {
+            return;
+        }
+        let Some(keep_until) = platform.warm_keep(w, func, 0) else {
+            return;
+        };
+        let mem = w.funcs[func.idx()].user_alloc.mem_mb;
+        let before = w.nodes[idx].warm.pinned_for(shard);
+        w.nodes[idx].park_warm(func, shard, mem, now, keep_until);
+        if w.nodes[idx].warm.pinned_for(shard) > before {
+            w.prewarms += 1;
         }
     }
 
@@ -1067,6 +1108,16 @@ impl Simulation {
         inv.shard = Some(shard);
         w.shards[shard].queue.push_back((id, ready));
         Self::kick_shard(w, shard);
+        // Warm-lifecycle hook: the policy sees every arrival and may direct
+        // a prewarm at the function's last execution site. The default
+        // returns `None`, so no event is pushed and sequence numbers — and
+        // therefore golden traces — are unchanged.
+        if let Some(delay) = platform.prewarm_after_arrival(w, e.func) {
+            if let Some(&(pnode, pshard)) = w.last_site.get(&e.func) {
+                w.queue
+                    .push(now + delay, Event::Prewarm { func: e.func, node: pnode, shard: pshard });
+            }
+        }
     }
 
     fn kick_shard(w: &mut World, shard: usize) {
@@ -1470,7 +1521,14 @@ impl Simulation {
         w.nodes[node.idx()].release(shard, charge);
         w.resident_unlink(node.idx(), id);
         let pin_mem = charge.mem_mb;
-        w.nodes[node.idx()].park_warm(func, shard, pin_mem, now);
+        // Warm-lifecycle hook: the keep-alive policy assigns this idle
+        // container's deadline (`None` tears it down immediately). The
+        // default reproduces the classic fixed window byte-for-byte.
+        w.last_site.insert(func, (node, shard));
+        let idle_peers = w.nodes[node.idx()].warm.count_at(func, now);
+        if let Some(keep_until) = platform.warm_keep(w, func, idle_peers) {
+            w.nodes[node.idx()].park_warm(func, shard, pin_mem, now, keep_until);
+        }
         // The departure may lift an oversubscribed node's CPU scale.
         w.settle_node(node.idx());
         w.reschedule_node(node.idx());
@@ -1575,6 +1633,9 @@ impl Simulation {
             mem_capacity_mb: cap.mem_mb,
         };
         w.summary.observe_util(&sample);
+        let now = w.clock;
+        let warm_pinned: u64 = w.nodes.iter().map(|n| n.warm.pinned_mem_mb(now)).sum();
+        w.summary.observe_warm_pinned(warm_pinned);
         if w.config.metrics == MetricsMode::Full {
             w.util.push(sample);
         }

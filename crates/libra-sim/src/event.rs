@@ -73,6 +73,20 @@ pub enum Event {
     Fault(FaultKind),
     /// A crash/abort victim's backoff expired; re-admit it to a scheduler.
     Requeue(InvocationId),
+    /// A keep-alive policy's prewarm directive fires: spin up a warm
+    /// container for the function at its last execution site (if the node
+    /// is alive and the slice has room). Only pushed when
+    /// [`Platform::prewarm_after_arrival`](crate::platform::Platform::prewarm_after_arrival)
+    /// returns `Some` — the default policy never schedules one, keeping
+    /// event sequence numbers (and therefore golden traces) unchanged.
+    Prewarm {
+        /// Function to prewarm.
+        func: crate::ids::FunctionId,
+        /// Node to place the warm container on.
+        node: NodeId,
+        /// Scheduler shard whose slice carries the pin.
+        shard: usize,
+    },
 }
 
 #[derive(Clone, Debug)]

@@ -291,6 +291,10 @@ pub struct RunSummary {
     pub cpu_util: OnlineStats,
     /// Per-sample cluster memory utilization (Eq. 2) stats.
     pub mem_util: OnlineStats,
+    /// Per-sample memory pinned by idle warm containers, cluster-wide (MB) —
+    /// the keep-alive policy's standing cost, and exactly the supply a
+    /// harvester could tap if warm pins were lendable.
+    pub warm_pinned_mb: OnlineStats,
     /// High-water mark of concurrently in-flight invocations (arena slots).
     pub peak_live_invocations: usize,
 }
@@ -308,6 +312,11 @@ impl RunSummary {
     pub fn observe_util(&mut self, s: &UtilSample) {
         self.cpu_util.push(s.cpu_util());
         self.mem_util.push(s.mem_util());
+    }
+
+    /// Fold in one warm-pin gauge reading (taken with each util sample).
+    pub fn observe_warm_pinned(&mut self, mb: u64) {
+        self.warm_pinned_mb.push(mb as f64);
     }
 }
 
@@ -333,6 +342,9 @@ pub struct RunResult {
     pub warm_hits: u64,
     /// Cold starts.
     pub cold_starts: u64,
+    /// Warm containers spun up by keep-alive policy prewarm directives
+    /// (0 for policies that never prewarm, including the default).
+    pub prewarms: u64,
     /// Mean scheduler decision queueing+service delay per invocation.
     pub mean_sched_delay: SimDuration,
     /// Invocations terminally aborted after exhausting crash retries.

@@ -13,7 +13,7 @@
 use crate::container::WarmPool;
 use crate::ids::{InvocationId, NodeId};
 use crate::resources::ResourceVec;
-use crate::time::{SimDuration, SimTime};
+use crate::time::SimTime;
 
 /// One worker node.
 pub struct Node {
@@ -43,7 +43,10 @@ pub struct Node {
 
 impl Node {
     /// Create a node with `capacity`, sharded across `shards` schedulers.
-    pub fn new(id: NodeId, capacity: ResourceVec, shards: usize, keepalive: SimDuration) -> Self {
+    /// Warm-container lifetimes are not fixed per node: each parked
+    /// container carries the keep-until deadline its policy assigned
+    /// (see [`Node::park_warm`]).
+    pub fn new(id: NodeId, capacity: ResourceVec, shards: usize) -> Self {
         assert!(shards > 0, "a node must be visible to at least one scheduler shard");
         Node {
             id,
@@ -52,7 +55,7 @@ impl Node {
             resident_head: None,
             resident_tail: None,
             resident_len: 0,
-            warm: WarmPool::new(keepalive),
+            warm: WarmPool::new(),
             alive: true,
         }
     }
@@ -130,21 +133,23 @@ impl Node {
         }
     }
 
-    /// Park a completed invocation's container as warm, pinning `mem_mb` in
-    /// `shard`'s slice — unless there is no room to keep it, in which case
-    /// the container is simply torn down.
+    /// Park a completed invocation's container as warm until the
+    /// policy-assigned `keep_until` deadline, pinning `mem_mb` in `shard`'s
+    /// slice — unless there is no room to keep it, in which case the
+    /// container is simply torn down.
     pub fn park_warm(
         &mut self,
         func: crate::ids::FunctionId,
         shard: usize,
         mem_mb: u64,
         now: SimTime,
+        keep_until: SimTime,
     ) {
         let slice_mem = self.shard_capacity().mem_mb;
         let room =
             slice_mem.saturating_sub(self.reserved[shard].mem_mb + self.warm.pinned_for(shard));
         if mem_mb <= room {
-            self.warm.release(func, shard, mem_mb, now);
+            self.warm.release(func, shard, mem_mb, now, keep_until);
         }
     }
 
@@ -174,12 +179,7 @@ mod tests {
     use super::*;
 
     fn node(shards: usize) -> Node {
-        Node::new(
-            NodeId(0),
-            ResourceVec::from_cores_mb(32, 32_768),
-            shards,
-            SimDuration::from_secs(60),
-        )
+        Node::new(NodeId(0), ResourceVec::from_cores_mb(32, 32_768), shards)
     }
 
     #[test]

@@ -40,4 +40,15 @@ echo "==> sim-scale smoke (emits BENCH_sim.json, 2x regression gate vs committed
 # invocations/sec drop below half of benchmarks/BENCH_sim.baseline.json.
 cargo run --release -p libra-bench --bin bench_sim -- --smoke --check benchmarks/BENCH_sim.baseline.json
 
+echo "==> exp_keepalive smoke (policy x harvester sweep, determinism check)"
+# One repetition of the keep-alive sweep at two thread counts; the CSVs must
+# be byte-identical (order-preserving fan-out) or the sweep is nondeterministic.
+KA_A="$(mktemp -d)"; KA_B="$(mktemp -d)"
+LIBRA_REPS=1 LIBRA_THREADS=1 LIBRA_RESULTS_DIR="$KA_A" \
+  cargo run --release -q -p libra-bench --bin exp_keepalive > /dev/null
+LIBRA_REPS=1 LIBRA_THREADS=4 LIBRA_RESULTS_DIR="$KA_B" \
+  cargo run --release -q -p libra-bench --bin exp_keepalive > /dev/null
+cmp "$KA_A/exp_keepalive.csv" "$KA_B/exp_keepalive.csv"
+rm -rf "$KA_A" "$KA_B"
+
 echo "verify: all green"

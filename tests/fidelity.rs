@@ -19,6 +19,7 @@
 //! * **D** (t=300 ms): CPU-hungry borrower that outlives its donor.
 
 use libra::core::controlplane::Action;
+use libra::core::keepalive::{HistogramConfig, PolicyKind, WithKeepAlive};
 use libra::core::{LibraConfig, LibraPlatform};
 use libra::live::{run_live, LiveConfig, LiveRequest};
 use libra::sim::demand::{ConstantDemand, InputMeta, TrueDemand};
@@ -118,6 +119,12 @@ impl Platform for FixedPredPlatform {
 
 /// Drive the scenario through the simulator; return the recorded action trace.
 fn sim_trace() -> Vec<Action> {
+    sim_trace_with(PolicyKind::default())
+}
+
+/// Same, under an explicit keep-alive policy (wrapped via [`WithKeepAlive`],
+/// the same composition the experiment harness uses).
+fn sim_trace_with(policy: PolicyKind) -> Vec<Action> {
     let funcs: Vec<FunctionSpec> = ACTORS
         .iter()
         .enumerate()
@@ -143,18 +150,27 @@ fn sim_trace() -> Vec<Action> {
         vec![ResourceVec::from_cores_mb(16, 16 * 1024)],
         SimConfig { shards: 1, ..SimConfig::default() },
     );
-    let mut platform = FixedPredPlatform {
-        inner: LibraPlatform::new(LibraConfig::libra()),
-        preds: ACTORS.iter().map(|a| prediction(a.pred)).collect(),
-    };
-    platform.inner.enable_action_trace();
+    let mut platform = WithKeepAlive::new(
+        FixedPredPlatform {
+            inner: LibraPlatform::new(LibraConfig::libra()),
+            preds: ACTORS.iter().map(|a| prediction(a.pred)).collect(),
+        },
+        policy.build(),
+    );
+    platform.inner_mut().inner.enable_action_trace();
     let r = sim.run(&trace, &mut platform);
     assert_eq!(r.records.len(), 4, "all sim invocations must complete");
-    platform.inner.core().action_trace().to_vec()
+    platform.inner().inner.core().action_trace().to_vec()
 }
 
 /// Drive the same scenario through the live threaded runtime.
 fn live_trace() -> (Vec<Action>, libra::live::LiveResult) {
+    live_trace_with(PolicyKind::default())
+}
+
+/// Same, under an explicit keep-alive policy on the live cluster's
+/// warm-container registry.
+fn live_trace_with(policy: PolicyKind) -> (Vec<Action>, libra::live::LiveResult) {
     let workload: Vec<LiveRequest> = ACTORS
         .iter()
         .zip(ARRIVALS_MS)
@@ -177,6 +193,7 @@ fn live_trace() -> (Vec<Action>, libra::live::LiveResult) {
         quantum: Duration::from_millis(1),
         time_scale: 4.0,
         record_trace: true,
+        keepalive: policy,
         ..LiveConfig::default()
     };
     let r = run_live(&workload, &cfg);
@@ -189,6 +206,12 @@ fn live_trace() -> (Vec<Action>, libra::live::LiveResult) {
 /// the cluster itself (requests carry `at_ms`), so network jitter only has
 /// to stay under the 100 ms inter-arrival margin.
 fn gateway_trace() -> Vec<Action> {
+    gateway_trace_with(PolicyKind::default())
+}
+
+/// Same, under an explicit keep-alive policy threaded through the gateway's
+/// embedded live cluster.
+fn gateway_trace_with(policy: PolicyKind) -> Vec<Action> {
     use libra::gateway::client::{GatewayClient, InvokeOutcome};
     use libra::gateway::server::{Gateway, GatewayConfig};
     use libra::gateway::tenant::TenantQuota;
@@ -202,6 +225,7 @@ fn gateway_trace() -> Vec<Action> {
         quantum: Duration::from_millis(1),
         time_scale: 4.0,
         record_trace: true,
+        keepalive: policy,
         ..LiveConfig::default()
     };
     let gw = Gateway::start(GatewayConfig {
@@ -313,4 +337,43 @@ fn sim_live_and_gateway_action_traces_match() {
             .any(|a| matches!(a, Action::Revoke { reason: LoanEnd::BorrowerCompleted, vol, .. } if vol.mem_mb > 0)),
         "B completing must return its CPU+memory loan"
     );
+}
+
+/// The three substrates stay in lock-step under the *histogram* keep-alive
+/// policy too — and the policy is lifecycle-only: it decides when warm
+/// containers die (and what the harvestable-supply gauge reads), but it must
+/// never perturb the control plane's harvest/loan/safeguard decisions. In
+/// this scenario every invocation overlaps its predecessors, so all four are
+/// cold starts under any policy and the action traces must match the
+/// fixed-TTL run byte for byte.
+#[test]
+fn histogram_policy_keeps_substrates_in_lockstep() {
+    let policy = PolicyKind::Histogram(HistogramConfig::default());
+    let sim = sim_trace_with(policy);
+    let (live, result) = live_trace_with(policy);
+    let gateway = gateway_trace_with(policy);
+    let fixed_sim = sim_trace();
+
+    for inv in 0..4u32 {
+        assert_eq!(
+            project(&sim, inv),
+            project(&live, inv),
+            "sim/live diverged under histogram policy for invocation {inv}"
+        );
+        assert_eq!(
+            project(&live, inv),
+            project(&gateway, inv),
+            "live/gateway diverged under histogram policy for invocation {inv}"
+        );
+        assert_eq!(
+            format!("{:?}", project(&fixed_sim, inv)),
+            format!("{:?}", project(&sim, inv)),
+            "keep-alive policy must not perturb control-plane decisions (inv {inv})"
+        );
+    }
+
+    // The live warm registry observed the lifecycle: four overlapping
+    // invocations of one function can never hit a warm container.
+    assert_eq!(result.cold_starts, 4, "all overlapping invocations are cold");
+    assert_eq!(result.warm_hits, 0);
 }

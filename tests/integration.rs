@@ -265,3 +265,36 @@ fn fault_injection_disabled_is_byte_identical() {
     assert_eq!(b.faults_injected, 0);
     assert_eq!(b.aborted, 0);
 }
+
+#[test]
+fn histogram_policy_prewarms_sparse_arrivals_end_to_end() {
+    use libra::core::keepalive::{HistogramConfig, PolicyKind, WithKeepAlive};
+    use libra::sim::demand::InputMeta;
+    use libra::sim::ids::FunctionId;
+    use libra::sim::time::{SimDuration, SimTime};
+    use libra::sim::trace::Trace;
+
+    // One function, arrivals a regular 300 s apart — far past the prewarm
+    // cutoff, so once the histogram warms up the policy stops paying for a
+    // 300 s idle container and instead prewarms one just ahead of the next
+    // predicted arrival.
+    let mut trace = Trace::new();
+    for i in 0..10u64 {
+        trace.push(SimTime::from_secs(300 * i), FunctionId(0), InputMeta::new(1, 1));
+    }
+    let policy = PolicyKind::Histogram(HistogramConfig {
+        // Generous landing window: prewarm at 90% of the predicted gap and
+        // keep the container a full minute, absorbing histogram bin error.
+        min_window: SimDuration::from_secs(60),
+        prewarm_margin: 0.9,
+        ..HistogramConfig::default()
+    });
+    let sim = Simulation::new(sebs_suite(), testbeds::single_node(), SimConfig::default());
+    let mut platform = WithKeepAlive::new(OpenWhiskDefault, policy.build());
+    let r = sim.run(&trace, &mut platform);
+
+    assert_eq!(r.records.len(), 10, "every sparse invocation completes");
+    assert!(r.prewarms >= 1, "the engine must execute prewarm directives, got 0");
+    assert!(r.warm_hits >= 1, "a prewarmed container must convert a cold start into a warm hit");
+    assert!(r.cold_starts >= 4, "warm-up arrivals (below min_samples) stay cold");
+}

@@ -223,6 +223,86 @@ proptest! {
     }
 }
 
+// ------------------------------------------------------ warm-pool equivalence
+
+/// One warm-container lifecycle op; times advance monotonically outside.
+#[derive(Clone, Debug)]
+enum WarmOp {
+    Acquire { func: u32 },
+    Release { func: u32, shard: u8, mem: u64 },
+    EvictExpired,
+    EvictFor { shard: u8, need: u64 },
+}
+
+fn warm_op() -> impl Strategy<Value = WarmOp> {
+    prop_oneof![
+        (0u32..5).prop_map(|func| WarmOp::Acquire { func }),
+        (0u32..5, 0u8..3, 1u64..1024).prop_map(|(func, shard, mem)| WarmOp::Release {
+            func,
+            shard,
+            mem
+        }),
+        Just(WarmOp::EvictExpired),
+        (0u8..3, 1u64..2048).prop_map(|(shard, need)| WarmOp::EvictFor { shard, need }),
+    ]
+}
+
+proptest! {
+    /// The keep-alive refactor is observationally equivalent to the seed
+    /// pool: the per-function-indexed, per-entry-deadline `WarmPool` driven
+    /// with `FixedTtl`-style deadlines (`keep_until = now + ttl`) matches the
+    /// pre-refactor hard-coded-TTL reference event for event — identical
+    /// warm hits (shard and pinned memory), identical eviction batches in
+    /// identical order, identical counters and gauges — on arbitrary
+    /// acquire/release/evict sequences with expiries interleaved.
+    #[test]
+    fn warm_pool_fixed_ttl_matches_seed_reference(
+        ops in prop::collection::vec(warm_op(), 1..150),
+        ttl_secs in 1u64..120,
+    ) {
+        use libra::sim::container::{reference, WarmPool};
+        use libra::sim::ids::FunctionId;
+
+        let ttl = SimDuration::from_secs(ttl_secs);
+        let mut new = WarmPool::new();
+        let mut old = reference::WarmPool::new(ttl);
+        let mut t = 0u64;
+        for op in ops {
+            // Uneven step so deadlines fall both inside and outside windows.
+            t += 1 + (t % 13) * 7_000_000;
+            let now = SimTime(t);
+            match op {
+                WarmOp::Acquire { func } => {
+                    let f = FunctionId(func);
+                    prop_assert_eq!(new.acquire(f, now), old.acquire(f, now), "hit diverged");
+                }
+                WarmOp::Release { func, shard, mem } => {
+                    let f = FunctionId(func);
+                    new.release(f, shard as usize, mem, now, now + ttl);
+                    old.release(f, shard as usize, mem, now);
+                }
+                WarmOp::EvictExpired => {
+                    prop_assert_eq!(new.evict_expired(now), old.evict_expired(now));
+                }
+                WarmOp::EvictFor { shard, need } => {
+                    prop_assert_eq!(
+                        new.evict_for(shard as usize, need, now),
+                        old.evict_for(shard as usize, need)
+                    );
+                }
+            }
+            prop_assert_eq!(new.stats(), old.stats(), "hit/cold counters diverged");
+            for shard in 0..3usize {
+                prop_assert_eq!(new.pinned_for(shard), old.pinned_for(shard));
+            }
+            for func in 0..5u32 {
+                let f = FunctionId(func);
+                prop_assert_eq!(new.count_at(f, now), old.count_at(f, now));
+            }
+        }
+    }
+}
+
 /// Engine-level property: random small traces on a small cluster always
 /// complete, conserve records, and never violate the reservation
 /// invariants (checked by the engine's debug assertions during the run).
