@@ -5,6 +5,7 @@
 //! libra run    --platform default|freyr|libra|ns|np|nsp
 //!              [--cluster single|multi|jetstream:<n>] [--shards K]
 //!              [--trace FILE | --kind ...] [--seed S] [--out FILE]
+//!              [--trace-out FILE.html]
 //! libra compare [--cluster single|multi|jetstream:<n>] [--seed S] [--reps R]
 //! ```
 
@@ -94,7 +95,11 @@ fn cluster(opts: &Opts) -> Vec<libra_sim::resources::ResourceVec> {
 }
 
 fn execute(opts: &Opts, platform: &mut dyn Platform, trace: &Trace) -> RunResult {
-    let config = SimConfig { shards: opts.shards, ..SimConfig::default() };
+    let config = SimConfig {
+        shards: opts.shards,
+        trace_spans: opts.trace_out.is_some(),
+        ..SimConfig::default()
+    };
     let sim = Simulation::new(sebs_suite(), cluster(opts), config);
     sim.run(trace, platform)
 }
@@ -123,6 +128,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         csvio::write_results(&result, f).map_err(|e| e.to_string())?;
         eprintln!("wrote per-invocation records to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let trace = result.trace.as_ref().expect("--trace-out enables span tracing");
+        std::fs::write(path, trace.to_html()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote execution timeline ({} spans, {} loans) to {path}",
+            trace.spans.len(),
+            trace.loans.len()
+        );
     }
     Ok(())
 }
@@ -180,4 +194,17 @@ fn summarize(r: &RunResult) {
     let s = r.records.iter().filter(|x| x.flags.safeguarded).count();
     println!("harvested/accelerated/safeguarded: {h}/{a}/{s}");
     println!("warm/cold/prewarm: {}/{}/{}", r.warm_hits, r.cold_starts, r.prewarms);
+    if !r.summary.span_stats.is_empty() {
+        println!("stage spans (count, p50/p95/p99 ms):");
+        for st in &r.summary.span_stats {
+            println!(
+                "  {:<14} {:>8}  {:.1} / {:.1} / {:.1}",
+                st.kind.label(),
+                st.count,
+                st.p50_us / 1e3,
+                st.p95_us / 1e3,
+                st.p99_us / 1e3,
+            );
+        }
+    }
 }

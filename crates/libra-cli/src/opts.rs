@@ -13,6 +13,7 @@ USAGE:
                 [--cluster single|multi|jetstream:<n>] [--shards K]
                 [--keepalive fixed[:secs]|histogram|concurrency]
                 [--trace FILE | --kind ...] [--seed S] [--out FILE]
+                [--trace-out FILE.html]
   libra compare [--cluster ...] [--kind ...] [--seed S] [--reps R]
                 [--keepalive ...]
   libra help
@@ -21,6 +22,7 @@ EXAMPLES:
   libra trace --kind single --seed 7 --out single.csv
   libra run --platform libra --trace single.csv --out libra.csv
   libra run --platform libra --keepalive histogram --kind multi:120
+  libra run --platform libra --kind single --trace-out timeline.html
   libra compare --kind poisson:120:180 --reps 3";
 
 /// Which trace to generate.
@@ -67,6 +69,8 @@ pub struct Opts {
     pub seed: u64,
     /// `--out`
     pub out: Option<String>,
+    /// `--trace-out` (execution-timeline HTML; enables span tracing)
+    pub trace_out: Option<String>,
     /// `--reps`
     pub reps: u64,
     /// `--keepalive` (warm-container lifecycle policy)
@@ -83,6 +87,7 @@ impl Default for Opts {
             trace_file: None,
             seed: 42,
             out: None,
+            trace_out: None,
             reps: 1,
             keepalive: PolicyKind::default(),
         }
@@ -104,6 +109,7 @@ impl Opts {
                 "--shards" => o.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
                 "--out" => o.out = Some(value()?.clone()),
                 "--trace" => o.trace_file = Some(value()?.clone()),
+                "--trace-out" => o.trace_out = Some(value()?.clone()),
                 "--keepalive" => o.keepalive = PolicyKind::parse(value()?)?,
                 "--cluster" => {
                     let v = value()?;
@@ -175,6 +181,14 @@ mod tests {
     fn parses_multi_kind() {
         let o = Opts::parse(&args("--kind multi:120")).unwrap();
         assert_eq!(o.kind, TraceKind::Multi(120));
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        assert_eq!(Opts::parse(&[]).unwrap().trace_out, None);
+        let o = Opts::parse(&args("--trace-out t.html")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.html"));
+        assert!(Opts::parse(&args("--trace-out")).is_err(), "missing value");
     }
 
     #[test]

@@ -257,6 +257,15 @@ fn route(inner: &Arc<GatewayInner>, req: &Request) -> Response {
                 .with_header("Content-Type", "text/plain; version=0.0.4")
         }
         ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
+        ("GET", "/trace") => match inner.cluster.trace_snapshot() {
+            Some(trace) => Response::text(200, "OK", &trace.to_html())
+                .with_header("Content-Type", "text/html; charset=utf-8"),
+            None => Response::text(
+                404,
+                "Not Found",
+                "tracing disabled (start the gateway with live.trace_spans = true)\n",
+            ),
+        },
         ("POST", target) => match parse_invoke_target(target) {
             Some((tenant, func)) => invoke(inner, req, tenant, func),
             None => {
@@ -296,6 +305,8 @@ impl Drop for IdxGuard<'_> {
 /// The admission pipeline for one invocation request.
 fn invoke(inner: &Arc<GatewayInner>, req: &Request, tenant_name: &str, func: u32) -> Response {
     let frontend_start = Instant::now();
+    // Cluster-timebase stamp for the frontend span (no-op unless tracing).
+    let frontend_start_us = inner.cluster.now_us();
     let Some(tenant) = inner.tenants.get(tenant_name) else {
         inner.counters.http_404.fetch_add(1, Ordering::Relaxed);
         return Response::text(404, "Not Found", &format!("unknown tenant {tenant_name:?}\n"));
@@ -335,9 +346,9 @@ fn invoke(inner: &Arc<GatewayInner>, req: &Request, tenant_name: &str, func: u32
             return Response::text(429, "Too Many Requests", "rate limit exceeded\n")
                 .with_header("Retry-After", &retry_after_secs.to_string());
         }
-        Err(AdmitError::Quota(denied)) => {
+        Err(AdmitError::Quota { denied, retry_after_secs }) => {
             return Response::text(429, "Too Many Requests", &format!("{denied}\n"))
-                .with_header("Retry-After", "1");
+                .with_header("Retry-After", &retry_after_secs.to_string());
         }
     };
 
@@ -374,6 +385,7 @@ fn invoke(inner: &Arc<GatewayInner>, req: &Request, tenant_name: &str, func: u32
         .counters
         .frontend_us
         .fetch_add(frontend_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    inner.cluster.record_frontend_span(idx as u64, frontend_start_us, inner.cluster.now_us());
 
     // Wait for the completion record, watching for a wedged cluster. The
     // tenant and gate permits stay held until this returns.
@@ -399,7 +411,9 @@ fn invoke(inner: &Arc<GatewayInner>, req: &Request, tenant_name: &str, func: u32
         }
     };
     drop(gate_permit);
-    drop(permit);
+    // A completed invocation stamps its residence time into the ledger so
+    // future quota denials can predict how long a slot takes to free up.
+    permit.finish(inner.t0.elapsed().as_micros() as u64);
 
     tenant.counters.completed.fetch_add(1, Ordering::Relaxed);
     let sched_us = (record.sched_ms * 1e3) as u64;

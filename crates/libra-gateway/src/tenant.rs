@@ -70,7 +70,14 @@ pub enum AdmitError {
         retry_after_secs: u64,
     },
     /// Concurrency or memory quota exhausted.
-    Quota(QuotaDenied),
+    Quota {
+        /// Which quota the request busted.
+        denied: QuotaDenied,
+        /// Expected seconds until the oldest in-flight admission frees its
+        /// slot (the `Retry-After` value), derived from the ledger's
+        /// residence history rather than guessed.
+        retry_after_secs: u64,
+    },
 }
 
 /// Live admission state of one tenant.
@@ -107,10 +114,11 @@ impl TenantState {
             self.counters.rejected_rate.fetch_add(1, Ordering::Relaxed);
             return Err(AdmitError::RateLimited { retry_after_secs });
         }
-        match self.ledger.lock().try_admit(mem_mb) {
-            Ok(()) => {
+        let mut ledger = self.ledger.lock();
+        match ledger.try_admit(mem_mb, now_us) {
+            Ok(ticket) => {
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                Ok(TenantPermit { tenant: Arc::clone(self), mem_mb })
+                Ok(TenantPermit { tenant: Arc::clone(self), mem_mb, ticket, finished: false })
             }
             Err(denied) => {
                 match denied {
@@ -121,7 +129,8 @@ impl TenantState {
                         self.counters.rejected_memory.fetch_add(1, Ordering::Relaxed)
                     }
                 };
-                Err(AdmitError::Quota(denied))
+                let retry_after_secs = ledger.retry_after_secs(now_us);
+                Err(AdmitError::Quota { denied, retry_after_secs })
             }
         }
     }
@@ -135,15 +144,36 @@ impl TenantState {
 
 /// An admitted request's hold on its tenant's quota ledger; dropping it
 /// releases the concurrency slot and memory.
+///
+/// Prefer [`finish`] on the completion path: it stamps the release with a
+/// timestamp so the ledger's residence estimate (and thus quota-denial
+/// `Retry-After` values) learns from real invocations. A plain drop —
+/// every early-return error path — releases the slot without recording a
+/// residence sample.
+///
+/// [`finish`]: TenantPermit::finish
 #[derive(Debug)]
 pub struct TenantPermit {
     tenant: Arc<TenantState>,
     mem_mb: u64,
+    ticket: u64,
+    finished: bool,
+}
+
+impl TenantPermit {
+    /// Release the ledger slot at `now_us`, recording the admission's
+    /// residence time in the tenant's retry estimate.
+    pub fn finish(mut self, now_us: u64) {
+        self.tenant.ledger.lock().release(self.mem_mb, self.ticket, Some(now_us));
+        self.finished = true;
+    }
 }
 
 impl Drop for TenantPermit {
     fn drop(&mut self) {
-        self.tenant.ledger.lock().release(self.mem_mb);
+        if !self.finished {
+            self.tenant.ledger.lock().release(self.mem_mb, self.ticket, None);
+        }
     }
 }
 
@@ -194,12 +224,29 @@ mod tests {
         let p = t.try_admit(1_024, 0).expect("admitted");
         assert!(matches!(
             t.try_admit(1_024, 0),
-            Err(AdmitError::Quota(QuotaDenied::Concurrency { .. }))
+            Err(AdmitError::Quota { denied: QuotaDenied::Concurrency { .. }, .. })
         ));
         drop(p);
         assert!(t.try_admit(1_024, 0).is_ok());
         assert_eq!(t.counters.admitted.load(Ordering::Relaxed), 2);
         assert_eq!(t.counters.rejected_concurrency.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quota_denial_derives_retry_after_from_residence() {
+        let t = tenant(1, 4_096);
+        // One completed 4-second invocation seeds the residence mean.
+        let p = t.try_admit(1_024, 0).expect("admitted");
+        p.finish(4_000_000);
+        // The slot refills and a new invocation has been resident 1 s when
+        // the denial happens: expect mean − age = 4 − 1 = 3 seconds.
+        let _p = t.try_admit(1_024, 4_000_000).expect("admitted");
+        let Err(AdmitError::Quota { denied, retry_after_secs }) = t.try_admit(1_024, 5_000_000)
+        else {
+            panic!("second request must bust the concurrency quota");
+        };
+        assert!(matches!(denied, QuotaDenied::Concurrency { .. }));
+        assert_eq!(retry_after_secs, 3);
     }
 
     #[test]

@@ -60,28 +60,79 @@ proptest! {
     }
 
     /// The quota ledger conserves: any admit/release interleaving keeps
-    /// in-flight counts within the ceilings and never underflows.
+    /// in-flight counts within the ceilings and never underflows, and
+    /// every quota denial advertises a positive, bounded Retry-After.
     #[test]
     fn quota_ledger_conserves(
         max_conc in 1usize..8,
         quota_mb in 256u64..8_192,
-        ops in proptest::collection::vec((0u64..4_096, 0u8..2), 1..60),
+        ops in proptest::collection::vec((0u64..4_096, 0u8..2, 0u64..5_000_000), 1..60),
     ) {
         let mut ledger = QuotaLedger::new(max_conc, quota_mb);
-        let mut held: Vec<u64> = Vec::new();
-        for (mem, admit) in ops {
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        let mut now_us = 0u64;
+        for (mem, admit, advance_us) in ops {
+            now_us += advance_us;
             if admit == 1 {
-                if ledger.try_admit(mem).is_ok() {
-                    held.push(mem);
+                match ledger.try_admit(mem, now_us) {
+                    Ok(ticket) => held.push((mem, ticket)),
+                    Err(_) => {
+                        let retry = ledger.retry_after_secs(now_us);
+                        // Every observed residence fits inside the elapsed
+                        // clock, so the mean (and hence the predicted wait)
+                        // can never exceed it.
+                        prop_assert!(retry >= 1);
+                        let ceiling = (now_us / 1_000_000).max(1) + 1;
+                        prop_assert!(
+                            retry <= ceiling,
+                            "retry {retry}s exceeds elapsed-time ceiling {ceiling}s"
+                        );
+                    }
                 }
-            } else if let Some(mem) = held.pop() {
-                ledger.release(mem);
+            } else if let Some((mem, ticket)) = held.pop() {
+                ledger.release(mem, ticket, Some(now_us));
             }
             prop_assert!(ledger.inflight() <= max_conc);
             prop_assert!(ledger.inflight_mem_mb() <= quota_mb);
             prop_assert_eq!(ledger.inflight(), held.len());
-            prop_assert_eq!(ledger.inflight_mem_mb(), held.iter().sum::<u64>());
+            prop_assert_eq!(ledger.inflight_mem_mb(), held.iter().map(|(m, _)| *m).sum::<u64>());
         }
+    }
+
+    /// Quota-denial Retry-After mirrors the token bucket's guarantee as a
+    /// prediction: if in-flight invocations really do complete at the
+    /// tenant's historical mean residence, retrying after the advertised
+    /// wait finds a free slot.
+    #[test]
+    fn quota_retry_after_is_sufficient_at_mean_residence(
+        residence_us in 100_000u64..4_000_000,
+        warmup in 1usize..6,
+        age_us in 0u64..3_000_000,
+    ) {
+        let mut ledger = QuotaLedger::new(1, u64::MAX / 2);
+        let mut now_us = 0u64;
+        // Warm the residence estimate with completions of equal length.
+        for _ in 0..warmup {
+            let ticket = ledger.try_admit(64, now_us).unwrap();
+            now_us += residence_us;
+            ledger.release(64, ticket, Some(now_us));
+        }
+        // Fill the single slot, age it, then get denied.
+        let ticket = ledger.try_admit(64, now_us).unwrap();
+        let denial_us = now_us + age_us;
+        prop_assert!(ledger.try_admit(64, denial_us).is_err());
+        let retry_secs = ledger.retry_after_secs(denial_us);
+        // The holder completes exactly at the mean (its admit + residence).
+        let completes_us = now_us + residence_us;
+        let retry_at_us = denial_us + retry_secs * 1_000_000;
+        if retry_at_us >= completes_us {
+            ledger.release(64, ticket, Some(completes_us));
+        }
+        prop_assert!(
+            ledger.try_admit(64, retry_at_us).is_ok(),
+            "waiting the advertised {retry_secs}s must find the slot free \
+             (denied at {denial_us}µs, holder completes at {completes_us}µs)"
+        );
     }
 }
 
@@ -115,7 +166,7 @@ fn concurrent_admits_respect_the_concurrency_quota() {
                         holders.fetch_sub(1, Ordering::SeqCst);
                         drop(permit);
                     }
-                    Err(AdmitError::Quota(_)) => std::thread::yield_now(),
+                    Err(AdmitError::Quota { .. }) => std::thread::yield_now(),
                     Err(AdmitError::RateLimited { .. }) => {
                         panic!("bucket sized to never rate-limit this test")
                     }

@@ -43,7 +43,9 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
 /// a worker down. A panic mid-revocation would strand loans on the books.
 /// The sim's metrics aggregators are included because a single NaN sample
 /// (e.g. a zero-baseline speedup) must degrade a report, not abort a run
-/// that took hours to simulate.
+/// that took hours to simulate. The execution-timeline tracer is included
+/// because every substrate's hot path calls into it — a malformed span
+/// must be dropped, never allowed to panic a run it was meant to observe.
 pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/libra-core/src/controlplane.rs",
     "crates/libra-core/src/keepalive.rs",
@@ -51,6 +53,7 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/libra-gateway/src/http.rs",
     "crates/libra-gateway/src/wire.rs",
     "crates/libra-sim/src/metrics.rs",
+    "crates/libra-sim/src/trace_spans.rs",
 ];
 
 /// Per-rule allowlist: `(path suffix, rule)` pairs exempted wholesale.

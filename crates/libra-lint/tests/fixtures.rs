@@ -145,6 +145,36 @@ fn panic_rule_covers_keepalive_policies() {
 }
 
 #[test]
+fn panic_rule_covers_trace_spans() {
+    // The execution-timeline tracer sits on every substrate's hot path; a
+    // panicking span record would abort the very run it was observing.
+    let src =
+        "fn a(spans: &[u64]) -> u64 {\n    let _ = spans.first().unwrap();\n    spans[0]\n}\n";
+    assert_eq!(
+        rules_at("crates/libra-sim/src/trace_spans.rs", src),
+        vec![("panic".into(), 2), ("panic".into(), 3)],
+        "trace_spans.rs must be panic-checked"
+    );
+}
+
+#[test]
+fn determinism_covers_trace_spans() {
+    // trace_spans.rs rides on the libra-sim crate-wide determinism rule:
+    // spans carry substrate timestamps, but the tracer itself must never
+    // read a clock or hash-order its segments.
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(
+        rules_at("crates/libra-sim/src/trace_spans.rs", src),
+        vec![("determinism".into(), 1)]
+    );
+    let hashed = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rules_at("crates/libra-sim/src/trace_spans.rs", hashed),
+        vec![("determinism".into(), 1)]
+    );
+}
+
+#[test]
 fn determinism_covers_keepalive_policies() {
     // keepalive.rs rides on the libra-core crate-wide determinism rule:
     // clock reads or hash-ordered state would desync the substrates.

@@ -39,6 +39,7 @@ use libra_sim::invocation::{exec_rate_millis, mem_usage_model};
 use libra_sim::platform::LoanEnd;
 use libra_sim::resources::ResourceVec;
 use libra_sim::time::{SimDuration, SimTime};
+use libra_sim::trace_spans::{ExecTrace, LoanOutcome, LoanSpan, SpanKind, SpanSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -75,6 +76,12 @@ pub struct LiveConfig {
     pub watchdog: Duration,
     /// Record every control-plane action per node (fidelity testing).
     pub record_trace: bool,
+    /// Record per-attempt execution-timeline spans (scheduler wait and exec
+    /// segments split at OOM restarts) plus harvest-loan lifetimes, stamped
+    /// in workload microseconds since cluster start — the same span schema
+    /// the simulator emits under `SimConfig::trace_spans`. Off by default;
+    /// when off no recording call is made and the sink never locks.
+    pub trace_spans: bool,
     /// Keep-alive / autoscaling policy driving each node's warm-container
     /// registry — the same [`PolicyKind`] the simulator threads through
     /// `Platform::warm_keep`, so both substrates retire idle containers by
@@ -113,6 +120,7 @@ impl Default for LiveConfig {
             time_scale: 4.0,
             watchdog: Duration::from_secs(60),
             record_trace: false,
+            trace_spans: false,
             keepalive: PolicyKind::default(),
             chaos: None,
         }
@@ -149,6 +157,10 @@ struct NodeInner {
     warm: Vec<(u32, u64, SimTime)>,
     /// This node's keep-alive policy instance ([`LiveConfig::keepalive`]).
     policy: Box<dyn KeepAlivePolicy>,
+    /// Open harvest loans `(source, borrower) → (start µs, volume)`, kept
+    /// only while span tracing is on so loan lifetimes can be closed with
+    /// the outcome the control plane reports.
+    open_loans: HashMap<(u32, u32), (u64, ResourceVec)>,
 }
 
 impl NodeInner {
@@ -176,6 +188,32 @@ struct NodeShared {
     inner: Mutex<NodeInner>,
 }
 
+/// Close an open harvest-loan lifetime span with `outcome` (no-op when span
+/// tracing is off or the loan was never opened — e.g. a lend the scheduler
+/// refused).
+fn close_loan_span(
+    open: &mut HashMap<(u32, u32), (u64, ResourceVec)>,
+    sink: Option<&Mutex<SpanSink>>,
+    node: u32,
+    source: InvocationId,
+    borrower: InvocationId,
+    now: SimTime,
+    outcome: LoanOutcome,
+) {
+    let Some(s) = sink else { return };
+    let Some((start_us, vol)) = open.remove(&(source.0, borrower.0)) else { return };
+    s.lock().record_loan(LoanSpan {
+        source: source.0 as u64,
+        borrower: borrower.0 as u64,
+        node,
+        cpu_millis: vol.cpu_millis,
+        mem_mb: vol.mem_mb,
+        start_us,
+        end_us: now.as_micros(),
+        outcome,
+    });
+}
+
 /// Replay control-plane actions against the live substrate: the sharded
 /// scheduler's admission ledger and the per-invocation exec states.
 ///
@@ -189,8 +227,9 @@ fn apply_actions(
     actions: &[Action],
     now: SimTime,
     unwinding: Option<InvocationId>,
+    sink: Option<&Mutex<SpanSink>>,
 ) {
-    let NodeInner { core, exec, overdraft, .. } = inner;
+    let NodeInner { core, exec, overdraft, open_loans, .. } = inner;
     for &a in actions {
         match a {
             // The scheduler reservation *is* the live admission; the action
@@ -217,46 +256,75 @@ fn apply_actions(
                     if let Some(b) = exec.get_mut(&borrower.0) {
                         b.accelerated = true;
                     }
+                    if sink.is_some() {
+                        open_loans.insert((source.0, borrower.0), (now.as_micros(), vol));
+                    }
                 } else {
                     core.lend_failed(source, borrower, vol, LendFailure::NoCapacity, now);
                 }
             }
             // Trimmed volume goes back to uncommitted idle.
-            Action::Return { source, vol, .. } => {
+            Action::Return { source, borrower, vol } => {
+                close_loan_span(
+                    open_loans,
+                    sink,
+                    node,
+                    source,
+                    borrower,
+                    now,
+                    LoanOutcome::Returned,
+                );
                 if let Some(src) = exec.get(&source.0) {
                     if let Some(over) = overdraft.get_mut(src.shard) {
                         release_charge(over, sched, src.shard, node, vol);
                     }
                 }
             }
-            Action::Revoke { source, vol, reason, .. } => match reason {
-                // The source lives on: release the lend-time charge taken on
-                // its shard (re-harvest or forced unwind).
-                LoanEnd::BorrowerCompleted | LoanEnd::Safeguard | LoanEnd::SourceOom => {
-                    if let Some(src) = exec.get(&source.0) {
-                        if let Some(over) = overdraft.get_mut(src.shard) {
-                            release_charge(over, sched, src.shard, node, vol);
-                        }
-                    }
-                }
-                // The source is going away: its completion path releases the
-                // full pre-revocation charge in one shot.
-                LoanEnd::SourceCompleted => {}
-                // Drain/crash abort. When the *source* is the invocation
-                // being unwound its wholesale release covers this charge;
-                // but a loan the unwound invocation *borrowed* is charged on
-                // its still-live source's shard and must be released here —
-                // abandoning it would strand slice capacity across a drain.
-                LoanEnd::Crashed => {
-                    if unwinding != Some(source) {
+            Action::Revoke { source, borrower, vol, reason } => {
+                close_loan_span(
+                    open_loans,
+                    sink,
+                    node,
+                    source,
+                    borrower,
+                    now,
+                    match reason {
+                        LoanEnd::SourceCompleted => LoanOutcome::SourceCompleted,
+                        LoanEnd::BorrowerCompleted => LoanOutcome::BorrowerCompleted,
+                        LoanEnd::Safeguard => LoanOutcome::Safeguard,
+                        LoanEnd::SourceOom => LoanOutcome::SourceOom,
+                        LoanEnd::Crashed => LoanOutcome::Crashed,
+                    },
+                );
+                match reason {
+                    // The source lives on: release the lend-time charge taken on
+                    // its shard (re-harvest or forced unwind).
+                    LoanEnd::BorrowerCompleted | LoanEnd::Safeguard | LoanEnd::SourceOom => {
                         if let Some(src) = exec.get(&source.0) {
                             if let Some(over) = overdraft.get_mut(src.shard) {
                                 release_charge(over, sched, src.shard, node, vol);
                             }
                         }
                     }
+                    // The source is going away: its completion path releases the
+                    // full pre-revocation charge in one shot.
+                    LoanEnd::SourceCompleted => {}
+                    // Drain/crash abort. When the *source* is the invocation
+                    // being unwound its wholesale release covers this charge;
+                    // but a loan the unwound invocation *borrowed* is charged on
+                    // its still-live source's shard and must be released here —
+                    // abandoning it would strand slice capacity across a drain.
+                    LoanEnd::Crashed => {
+                        if unwinding != Some(source) {
+                            if let Some(src) = exec.get(&source.0) {
+                                if let Some(over) = overdraft.get_mut(src.shard) {
+                                    release_charge(over, sched, src.shard, node, vol);
+                                }
+                            }
+                        }
+                    }
                 }
-            },
+            }
             // Safeguard (§5.2): the grant is already back at nominal in the
             // ledger; force the substrate charge to match.
             Action::PreemptiveRelease { inv, restored } => {
@@ -336,6 +404,9 @@ pub struct LiveResult {
     /// Per-node control-plane action traces (only populated when
     /// [`LiveConfig::record_trace`] is set).
     pub actions_by_node: Vec<Vec<Action>>,
+    /// Execution-timeline trace: per-attempt stage spans and harvest-loan
+    /// lifetimes in workload µs (`None` unless [`LiveConfig::trace_spans`]).
+    pub trace: Option<ExecTrace>,
 }
 
 impl LiveResult {
@@ -421,6 +492,9 @@ struct ClusterShared {
     records: Mutex<Vec<LiveRecord>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     aux: Mutex<Vec<JoinHandle<()>>>,
+    /// Execution-timeline span sink (inert unless `config.trace_spans`;
+    /// recording paths check the config flag before ever taking this lock).
+    spans: Mutex<SpanSink>,
 }
 
 /// Decrements the in-flight gauge when an invocation thread exits, however
@@ -463,6 +537,7 @@ impl LiveCluster {
                         overdraft: vec![ResourceVec::ZERO; config.shards],
                         warm: Vec::new(),
                         policy: config.keepalive.build(),
+                        open_loans: HashMap::new(),
                     }),
                 })
             })
@@ -489,6 +564,7 @@ impl LiveCluster {
             records: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
             aux: Mutex::new(Vec::new()),
+            spans: Mutex::new(SpanSink::new(config.trace_spans)),
             config,
         });
 
@@ -602,6 +678,34 @@ impl LiveCluster {
         self.shared.expired.load(Ordering::SeqCst)
     }
 
+    /// Workload-microseconds since cluster start — the timebase every
+    /// execution-timeline span is stamped in.
+    pub fn now_us(&self) -> u64 {
+        (self.shared.t0.elapsed().as_secs_f64() * 1e6 * self.shared.config.time_scale) as u64
+    }
+
+    /// Record a frontend-stage span for `inv` (a networked frontend's
+    /// admission overhead, stamped via [`LiveCluster::now_us`]). No-op
+    /// unless [`LiveConfig::trace_spans`] is set.
+    pub fn record_frontend_span(&self, inv: u64, start_us: u64, end_us: u64) {
+        if self.shared.config.trace_spans {
+            self.shared.spans.lock().record(
+                inv,
+                0,
+                SpanKind::Frontend,
+                SimTime(start_us),
+                SimTime(end_us),
+            );
+        }
+    }
+
+    /// Snapshot the execution-timeline trace recorded so far (`None` unless
+    /// [`LiveConfig::trace_spans`]). Completions keep streaming in after the
+    /// snapshot; `shutdown` returns the final trace.
+    pub fn trace_snapshot(&self) -> Option<ExecTrace> {
+        self.shared.spans.lock().clone().into_trace()
+    }
+
     /// Observability counters for a metrics endpoint.
     pub fn stats(&self) -> LiveStats {
         let sh = &self.shared;
@@ -680,9 +784,11 @@ impl LiveCluster {
             actions_by_node.push(g.core.action_trace().to_vec());
         }
         let scale = sh.config.time_scale;
+        let trace = std::mem::replace(&mut *sh.spans.lock(), SpanSink::new(false)).into_trace();
         LiveResult {
             oom_restarts: records.iter().map(|r| r.oom_restarts as u64).sum(),
             records,
+            trace,
             makespan_ms: sh.t0.elapsed().as_secs_f64() * 1e3 * scale,
             loans_expired,
             safeguard_releases,
@@ -789,13 +895,14 @@ fn quiesce_abort(
     inv: InvocationId,
     shard: usize,
     now: SimTime,
+    sink: Option<&Mutex<SpanSink>>,
 ) {
     let Some(still) = g.core.charge(inv) else {
         g.exec.remove(&inv.0);
         return;
     };
     let actions = g.core.on_abort(inv, now);
-    apply_actions(g, sched, node, &actions, now, Some(inv));
+    apply_actions(g, sched, node, &actions, now, Some(inv), sink);
     g.exec.remove(&inv.0);
     if let Some(over) = g.overdraft.get_mut(shard) {
         release_charge(over, sched, shard, node, still);
@@ -815,6 +922,9 @@ fn run_invocation(
     let t0 = shared.t0;
     let scale = config.time_scale;
     let to_work_ms = |d: Duration| d.as_secs_f64() * 1e3 * scale;
+    let to_us = |d: Duration| (d.as_secs_f64() * 1e6 * scale) as u64;
+    let tracing = config.trace_spans;
+    let sink = if tracing { Some(&shared.spans) } else { None };
 
     // Arrive on schedule (workload ms → real ms). Network-driven requests
     // arrive with `at_ms` already in the past and start immediately. The
@@ -852,6 +962,19 @@ fn run_invocation(
         }
     };
     let sched_ms = to_work_ms(submitted.elapsed());
+    // Scheduler-stage span: submission → shard slice found. Exec segments
+    // start here and are split at every OOM restart, mirroring the
+    // simulator's per-attempt segmentation.
+    let mut seg_start_us = to_us(t0.elapsed());
+    if tracing {
+        shared.spans.lock().record(
+            idx as u64,
+            0,
+            SpanKind::Scheduler,
+            SimTime(to_us(submitted.duration_since(t0))),
+            SimTime(seg_start_us),
+        );
+    }
 
     // The scheduler only answers node ids it was spawned with, so a miss
     // here means the fleet is misconfigured — treat it like a wedged run
@@ -907,7 +1030,7 @@ fn run_invocation(
             now_ms,
         );
         harvested = actions.iter().any(|a| matches!(a, Action::SetGrant { .. }));
-        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
+        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None, sink);
     }
 
     // Execute: settle progress each quantum, feed the control plane an
@@ -919,7 +1042,7 @@ fn run_invocation(
             // Drain quiesce: unwind through the control plane so loans and
             // slice charges are conserved, not abandoned.
             let now_ms = SimTime::from_millis(to_work_ms(t0.elapsed()) as u64);
-            quiesce_abort(&mut g, sched, node_u32, inv, shard, now_ms);
+            quiesce_abort(&mut g, sched, node_u32, inv, shard, now_ms, sink);
             shared.aborted.fetch_add(1, Ordering::SeqCst);
             return;
         }
@@ -961,7 +1084,7 @@ fn run_invocation(
             // + everything still lent out.
             let still = g.core.charge(inv).unwrap_or(req.alloc);
             let actions = g.core.on_complete(inv, now_ms);
-            apply_actions(&mut g, sched, node_u32, &actions, now_ms, Some(inv));
+            apply_actions(&mut g, sched, node_u32, &actions, now_ms, Some(inv), sink);
             let Some(me) = g.exec.remove(&inv_id) else {
                 shared.expired.store(true, Ordering::SeqCst);
                 return;
@@ -984,6 +1107,15 @@ fn run_invocation(
             g.refresh_warm(now_ms);
             drop(g);
 
+            if tracing {
+                shared.spans.lock().record(
+                    idx as u64,
+                    0,
+                    SpanKind::Exec,
+                    SimTime(seg_start_us),
+                    SimTime(to_us(t0.elapsed())),
+                );
+            }
             let latency_ms = to_work_ms(submitted.elapsed());
             let record = LiveRecord {
                 idx,
@@ -1006,7 +1138,21 @@ fn run_invocation(
         let mem_used = mem_usage_model(req.demand_mem_mb, progress);
         if req.demand_mem_mb <= req.alloc.mem_mb && mem_used > eff.mem_mb {
             let actions = g.core.on_oom(inv, now_ms);
-            apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
+            apply_actions(&mut g, sched, node_u32, &actions, now_ms, None, sink);
+            // The restart splits the exec timeline into per-restart segments
+            // (same attempt: an OOM restart is a container event, not a
+            // crash requeue).
+            if tracing {
+                let now_us = to_us(t0.elapsed());
+                shared.spans.lock().record(
+                    idx as u64,
+                    0,
+                    SpanKind::Exec,
+                    SimTime(seg_start_us),
+                    SimTime(now_us),
+                );
+                seg_start_us = now_us;
+            }
             continue;
         }
 
@@ -1018,7 +1164,7 @@ fn run_invocation(
             cpu_throttled: req.demand_cpu_millis > eff.cpu_millis,
         };
         let actions = g.core.on_observe(inv, obs, now_ms);
-        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None);
+        apply_actions(&mut g, sched, node_u32, &actions, now_ms, None, sink);
     }
 }
 
@@ -1063,6 +1209,7 @@ mod tests {
             time_scale: 8.0,
             watchdog: Duration::from_secs(30),
             record_trace: false,
+            trace_spans: false,
             keepalive: PolicyKind::default(),
             chaos: None,
         }

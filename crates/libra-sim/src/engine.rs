@@ -34,6 +34,7 @@ use crate::platform::{LoanEnd, Platform, PlatformOverheads};
 use crate::resources::ResourceVec;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEntry};
+use crate::trace_spans::{LoanOutcome, LoanSpan, SpanKind, SpanSink};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Engine tuning knobs (cluster-level, not policy-level).
@@ -66,6 +67,10 @@ pub struct SimConfig {
     /// How measurements are aggregated: full record streams (default) or
     /// constant-space online summaries for huge traces.
     pub metrics: MetricsMode,
+    /// Record per-attempt execution-timeline spans and loan lifetimes
+    /// ([`crate::trace_spans`]). Off by default: a disabled sink costs one
+    /// branch per stage transition and zero allocations.
+    pub trace_spans: bool,
 }
 
 impl Default for SimConfig {
@@ -83,6 +88,7 @@ impl Default for SimConfig {
             crash_max_retries: 3,
             crash_backoff: SimDuration::from_secs(1),
             metrics: MetricsMode::Full,
+            trace_spans: false,
         }
     }
 }
@@ -175,6 +181,8 @@ pub struct World {
     drop_pings: Vec<u32>,
     delay_ping: Vec<Option<SimDuration>>,
     tick_jitter: Option<SimDuration>,
+    /// Execution-timeline span sink (inert unless `config.trace_spans`).
+    spans: SpanSink,
 }
 
 impl World {
@@ -228,6 +236,32 @@ impl World {
     /// lazy-cancelled events referencing retired invocations.
     fn try_slot(&self, id: InvocationId) -> Option<usize> {
         self.invs.slot_of(id)
+    }
+
+    /// Record a finished loan lifetime in the span sink. Inert (one branch,
+    /// no allocation) when tracing is off.
+    #[inline]
+    fn note_loan_end(&mut self, loan: &Loan, outcome: LoanOutcome) {
+        if !self.spans.enabled() {
+            return;
+        }
+        // Loans are intra-node; either end still resident names the node.
+        let node = self
+            .try_slot(loan.source)
+            .and_then(|s| self.invs.get(s).node)
+            .or_else(|| self.try_slot(loan.borrower).and_then(|s| self.invs.get(s).node))
+            .map_or(u32::MAX, |n| n.0);
+        let end = self.clock;
+        self.spans.record_loan(LoanSpan {
+            source: loan.source.0 as u64,
+            borrower: loan.borrower.0 as u64,
+            node,
+            cpu_millis: loan.res.cpu_millis,
+            mem_mb: loan.res.mem_mb,
+            start_us: loan.created.as_micros(),
+            end_us: end.as_micros(),
+            outcome,
+        });
     }
 
     /// Number of scheduler shards.
@@ -591,6 +625,24 @@ impl World {
                 }
             }
         }
+        // Breakdown-cursor conservation: stage charges are incremental, so at
+        // any instant the booked stages must sum exactly to the span between
+        // arrival and the stage cursor (the point charged up to). Completion
+        // advances the cursor to `end`, making `total()` equal latency by
+        // construction — the drift the old absolute recomputation suffered
+        // on requeue/OOM paths cannot reappear without tripping this.
+        for slot in self.invs.live_slots() {
+            let inv = self.invs.get(slot);
+            let charged = inv.stage_start.since(inv.arrival);
+            if inv.breakdown.total() != charged {
+                return Err(format!(
+                    "{:?} breakdown sums to {:?} but the stage cursor implies {:?}",
+                    inv.id,
+                    inv.breakdown.total(),
+                    charged
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -724,6 +776,7 @@ impl<'a> SimCtx<'a> {
         let mut returned = ResourceVec::ZERO;
         self.w.with_alloc_change(node, &[bi], |w| {
             let mut remaining = res;
+            let mut closed: Vec<Loan> = Vec::new();
             for loan in w.invs.get_mut(bi).borrowed_in.iter_mut() {
                 if loan.source != source || remaining.is_zero() {
                     continue;
@@ -732,6 +785,14 @@ impl<'a> SimCtx<'a> {
                 loan.res -= take;
                 remaining -= take;
                 returned += take;
+                if loan.res.is_zero() {
+                    // Fully paid back: close its lifetime span. (Partial
+                    // returns keep the loan — and its span — open.)
+                    closed.push(Loan { res: take, ..*loan });
+                }
+            }
+            for loan in &closed {
+                w.note_loan_end(loan, LoanOutcome::Returned);
             }
             w.invs.get_mut(bi).borrowed_in.retain(|l| !l.res.is_zero());
             // A live borrower can only hold loans from live sources, so the
@@ -753,6 +814,9 @@ impl<'a> SimCtx<'a> {
     /// bookkeeping synchronously.
     pub fn preemptive_release(&mut self, source: InvocationId) -> Vec<Loan> {
         let broken = self.revoke_loans_from(source);
+        for loan in &broken {
+            self.w.note_loan_end(loan, LoanOutcome::Safeguard);
+        }
         let Some(si) = self.w.try_slot(source) else {
             return broken;
         };
@@ -856,6 +920,7 @@ impl Simulation {
                 drop_pings: Vec::new(),
                 delay_ping: Vec::new(),
                 tick_jitter: None,
+                spans: SpanSink::new(config.trace_spans),
                 config,
             },
         }
@@ -977,12 +1042,19 @@ impl Simulation {
         let first = w.first_arrival.unwrap_or(SimTime::ZERO);
         let mut summary = std::mem::take(&mut w.summary);
         summary.peak_live_invocations = w.invs.peak_live();
+        // Execution-timeline trace (None unless `config.trace_spans`): the
+        // sink moves out whole; per-kind percentile stats ride the summary.
+        let trace = std::mem::replace(&mut w.spans, SpanSink::new(false)).into_trace();
+        if let Some(t) = &trace {
+            summary.span_stats = t.kind_stats();
+        }
         let (event_pushes, event_pops) = w.queue.ops();
         RunResult {
             platform: platform.name(),
             records: std::mem::take(&mut w.records),
             util: std::mem::take(&mut w.util),
             summary,
+            trace,
             event_pushes,
             event_pops,
             completion_time: w.last_completion.since(first),
@@ -1104,8 +1176,15 @@ impl Simulation {
             inv.breakdown.profiler = ovh.profiler;
             ready += ovh.profiler;
         }
+        // Stage cursor: frontend (+ profiler) are charged up front, so the
+        // next stage (scheduler) starts accruing at `ready`.
+        inv.stage_start = ready;
         let shard = id.0 as usize % w.shards.len();
         inv.shard = Some(shard);
+        w.spans.record(id.0 as u64, 0, SpanKind::Frontend, now, now + ovh.frontend);
+        if pred.is_some() {
+            w.spans.record(id.0 as u64, 0, SpanKind::Profiler, now + ovh.frontend, ready);
+        }
         w.shards[shard].queue.push_back((id, ready));
         Self::kick_shard(w, shard);
         // Warm-lifecycle hook: the policy sees every arrival and may direct
@@ -1149,22 +1228,27 @@ impl Simulation {
                 let inv = w.invs.get_mut(idx);
                 inv.decided_at = Some(now);
                 inv.node = Some(node);
-                inv.breakdown.scheduler =
-                    now.since(inv.arrival + inv.breakdown.frontend + inv.breakdown.profiler);
-                inv.breakdown.pool = w.overheads.pool;
+                // Incremental charge: everything since the stage cursor —
+                // shard queueing + decision service for *this* attempt only
+                // (a requeued attempt's cursor was reset at re-admission, so
+                // the failed attempt's exec/backoff no longer leak in here).
+                inv.breakdown.scheduler += now.since(inv.stage_start);
+                let attempt = inv.requeues;
+                let sched_from = inv.stage_start;
+                inv.stage_start = now;
+                // Pool overhead is committed now but elapses before
+                // StartExec; the gap is split there against this marker.
+                inv.pending_pool = w.overheads.pool;
                 let func = inv.func;
+                w.spans.record(id.0 as u64, attempt, SpanKind::Scheduler, sched_from, now);
                 w.resident_push(node.idx(), id);
                 let warm = w.nodes[node.idx()].warm.acquire(func, now).is_some();
                 let mut start_at = now + w.overheads.pool;
                 if !warm {
-                    let inv = w.invs.get_mut(idx);
-                    inv.cold_start = true;
-                    inv.breakdown.container_init = w.config.cold_start;
+                    w.invs.get_mut(idx).cold_start = true;
                     start_at += w.config.cold_start;
                 }
-                let inv = w.invs.get_mut(idx);
-                inv.state = InvState::ColdStarting;
-                let attempt = inv.requeues;
+                w.invs.get_mut(idx).state = InvState::ColdStarting;
                 w.queue.push(start_at, Event::StartExec { inv: id, attempt });
             }
             _ => {
@@ -1185,12 +1269,27 @@ impl Simulation {
         }
         let first_start = w.invs.get(idx).exec_start.is_none();
         {
+            // Charge the gap since the last stage transition: up to
+            // `pending_pool` of it is harvest-pool bookkeeping (set at the
+            // scheduling decision; zero after an OOM restart), the rest is
+            // container init. The split telescopes — pool + init equals the
+            // gap exactly, whatever combination of warm/cold/OOM produced it.
             let inv = w.invs.get_mut(idx);
+            let gap = now.since(inv.stage_start);
+            let pool_part = if gap < inv.pending_pool { gap } else { inv.pending_pool };
+            inv.breakdown.pool += pool_part;
+            inv.breakdown.container_init += gap.saturating_sub(pool_part);
+            let (from, attempt) = (inv.stage_start, inv.requeues);
+            inv.stage_start = now;
+            inv.pending_pool = SimDuration::ZERO;
             if first_start {
                 inv.exec_start = Some(now);
             }
             inv.state = InvState::Running;
             inv.last_update = now;
+            let id_u = id.0 as u64;
+            w.spans.record(id_u, attempt, SpanKind::Pool, from, from + pool_part);
+            w.spans.record(id_u, attempt, SpanKind::ContainerInit, from + pool_part, now);
         }
         if first_start && w.invs.get(idx).restarts == 0 {
             let mut ctx = SimCtx { w };
@@ -1251,6 +1350,7 @@ impl Simulation {
             ctx.revoke_loans_from(id)
         };
         for loan in &broken {
+            w.note_loan_end(loan, LoanOutcome::SourceOom);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceOom);
         }
@@ -1260,6 +1360,7 @@ impl Simulation {
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
             w.charge_updated(si, old);
+            w.note_loan_end(loan, LoanOutcome::BorrowerCompleted);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
         }
@@ -1272,7 +1373,14 @@ impl Simulation {
         inv.own_grant = inv.nominal;
         inv.state = InvState::ColdStarting;
         inv.finish_gen += 1;
-        inv.breakdown.container_init += w.config.cold_start;
+        // Charge the executed segment that just died; the restart's cold
+        // start is charged by the next StartExec against the cursor (the old
+        // eager `container_init += cold_start` double-counted when a crash
+        // killed the restart before it began).
+        inv.breakdown.exec += now.since(inv.stage_start);
+        let (seg_from, attempt) = (inv.stage_start, inv.requeues);
+        inv.stage_start = now;
+        w.spans.record(id.0 as u64, attempt, SpanKind::Exec, seg_from, now);
         w.charge_updated(idx, old_charge);
         let node = w.invs.get(idx).node.expect("oom without node").idx();
         w.settle_node(node);
@@ -1375,6 +1483,7 @@ impl Simulation {
             ctx.revoke_loans_from(id)
         };
         for loan in &broken {
+            w.note_loan_end(loan, LoanOutcome::Crashed);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
         }
@@ -1385,6 +1494,7 @@ impl Simulation {
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
             w.charge_updated(si, old);
+            w.note_loan_end(loan, LoanOutcome::Crashed);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
         }
@@ -1398,6 +1508,33 @@ impl Simulation {
         let charge = w.invs.get(idx).charge();
         w.nodes[node.idx()].release(shard, charge);
         w.resident_unlink(node.idx(), id);
+
+        // Charge the dying attempt's partial stage and emit its span before
+        // the attempt counter moves on; from here until requeue is backoff.
+        {
+            let inv = w.invs.get_mut(idx);
+            let (from, attempt) = (inv.stage_start, inv.requeues);
+            let gap = now.since(from);
+            let running = inv.state == InvState::Running;
+            let pool_part = if running {
+                inv.breakdown.exec += gap;
+                SimDuration::ZERO
+            } else {
+                let p = if gap < inv.pending_pool { gap } else { inv.pending_pool };
+                inv.breakdown.pool += p;
+                inv.breakdown.container_init += gap.saturating_sub(p);
+                p
+            };
+            inv.stage_start = now;
+            inv.pending_pool = SimDuration::ZERO;
+            let id_u = id.0 as u64;
+            if running {
+                w.spans.record(id_u, attempt, SpanKind::Exec, from, now);
+            } else {
+                w.spans.record(id_u, attempt, SpanKind::Pool, from, from + pool_part);
+                w.spans.record(id_u, attempt, SpanKind::ContainerInit, from + pool_part, now);
+            }
+        }
 
         let max_retries = w.config.crash_max_retries;
         let inv = w.invs.get_mut(idx);
@@ -1453,10 +1590,18 @@ impl Simulation {
         let ovh = w.overheads;
         let inv = w.invs.get_mut(idx);
         inv.state = InvState::AwaitingDecision;
-        inv.breakdown.frontend += ovh.frontend; // passes the front end again
+        // The wait since the kill is crash backoff; then the invocation
+        // passes the front end again. The new attempt's spans start here.
+        let (from, attempt) = (inv.stage_start, inv.requeues);
+        inv.breakdown.backoff += now.since(from);
+        inv.breakdown.frontend += ovh.frontend;
         let ready = now + ovh.frontend;
+        inv.stage_start = ready;
         let shard = id.0 as usize % w.shards.len();
         inv.shard = Some(shard);
+        let id_u = id.0 as u64;
+        w.spans.record(id_u, attempt, SpanKind::Backoff, from, now);
+        w.spans.record(id_u, attempt, SpanKind::Frontend, now, ready);
         w.shards[shard].queue.push_back((id, ready));
         Self::kick_shard(w, shard);
     }
@@ -1481,6 +1626,7 @@ impl Simulation {
             ctx.revoke_loans_from(id)
         };
         for loan in &broken {
+            w.note_loan_end(loan, LoanOutcome::SourceCompleted);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::SourceCompleted);
         }
@@ -1491,18 +1637,28 @@ impl Simulation {
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
             w.charge_updated(si, old);
+            w.note_loan_end(loan, LoanOutcome::BorrowerCompleted);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
         }
 
-        let inv = w.invs.get_mut(idx);
-        inv.state = InvState::Completed;
-        inv.end = Some(now);
-        let exec = now.since(inv.exec_start.expect("completed without exec start"));
-        inv.breakdown.exec = exec.saturating_sub(SimDuration(
-            inv.breakdown.container_init.as_micros()
-                - if inv.cold_start { w.config.cold_start.as_micros() } else { 0 },
-        ));
+        let (exec, seg_from, attempt) = {
+            let inv = w.invs.get_mut(idx);
+            inv.state = InvState::Completed;
+            inv.end = Some(now);
+            // Physics: wall-clock of the final attempt, OOM gaps included —
+            // what `Actuals` and the golden traces pin.
+            let exec = now.since(inv.exec_start.expect("completed without exec start"));
+            // Accounting: the segment since the stage cursor belongs to exec.
+            // Charging incrementally (never recomputing from `exec_start`)
+            // keeps `breakdown.total()` telescoping to end-to-end latency
+            // across OOM restarts and crash requeues.
+            let (seg_from, attempt) = (inv.stage_start, inv.requeues);
+            inv.breakdown.exec += now.since(seg_from);
+            inv.stage_start = now;
+            (exec, seg_from, attempt)
+        };
+        w.spans.record(id.0 as u64, attempt, SpanKind::Exec, seg_from, now);
 
         let inv = w.invs.get(idx);
         let actuals = Actuals {
@@ -1561,6 +1717,14 @@ impl Simulation {
         let idx = w.slot(id);
         let inv = w.invs.get(idx);
         let latency = inv.latency().expect("recording incomplete invocation");
+        // Breakdown auditor (debug builds): the incremental stage charges
+        // must telescope exactly to end-to-end latency — no drift, no
+        // double-count, on every retry/OOM/cold-start combination.
+        debug_assert_eq!(
+            inv.breakdown.total(),
+            latency,
+            "stage breakdown drifted from latency for {id:?}"
+        );
         let busy = inv.nominal.cpu_millis.min(inv.true_demand.cpu_peak_millis).max(1);
         let peak_mem = inv.true_demand.mem_peak_mb;
         let mem_factor = if inv.nominal.mem_mb >= peak_mem {
@@ -1852,6 +2016,82 @@ mod tests {
         assert!(r.flags.oomed);
         assert!(r.flags.harvested);
         assert!(r.speedup < -0.15, "OOM restart must show as degradation, got {}", r.speedup);
+    }
+
+    #[test]
+    fn oom_restart_breakdown_telescopes_and_traces_segments() {
+        // Same OOM-then-succeed scenario as above, with tracing on: the old
+        // absolute recomputation underflowed exec here (container_init was
+        // `+=`ed per restart but the subtraction assumed one cold start).
+        let d = TrueDemand {
+            cpu_peak_millis: 2000,
+            mem_peak_mb: 900,
+            base_duration: SimDuration::from_secs(2),
+        };
+        let funcs = vec![spec("f", 2, 1024, d)];
+        let cfg = SimConfig { trace_spans: true, ..SimConfig::default() };
+        let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], cfg);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let res = sim.run(&t, &mut OverHarvester);
+        let r = &res.records[0];
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.breakdown.total(), r.latency, "stages must telescope to latency");
+        // The restart pays a second cold start, so container_init exceeds one
+        // cold-start window and exec strictly exceeds zero (no underflow).
+        assert!(r.breakdown.container_init > SimDuration::from_millis(500));
+        assert!(r.breakdown.exec > SimDuration::ZERO);
+        let trace = res.trace.as_ref().expect("tracing enabled");
+        let spans = trace.spans_for(r.inv.0 as u64);
+        // Two exec segments (pre-OOM and post-restart), same attempt number —
+        // an OOM restart is a container event, not a requeue.
+        let execs: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Exec).collect();
+        assert_eq!(execs.len(), 2, "OOM restart must split exec into segments");
+        assert!(execs.iter().all(|s| s.attempt == 0));
+        // Two container_init segments: the original cold start and the
+        // restart's; the spans tile [arrival, completion] exactly.
+        let inits = spans.iter().filter(|s| s.kind == SpanKind::ContainerInit).count();
+        assert_eq!(inits, 2);
+        let sum: u64 = spans.iter().map(|s| s.len_us()).sum();
+        assert_eq!(SimDuration(sum), r.latency, "span tiling must cover the whole latency");
+        assert_eq!(trace.critical_path(r.inv.0 as u64).last(), Some(&SpanKind::Exec));
+        // Per-kind stats surface in the summary for traced runs.
+        assert!(res.summary.span_stats.iter().any(|s| s.kind == SpanKind::Exec && s.count == 2));
+    }
+
+    #[test]
+    fn crash_requeue_breakdown_charges_backoff_not_scheduler() {
+        // The first attempt's cold start + partial exec and the crash backoff
+        // used to be smeared into the scheduler stage on requeue; now each
+        // lands in its own stage and the total still telescopes.
+        let funcs = vec![spec("f", 2, 1024, one_sec_demand(2, 256))];
+        let cfg = SimConfig { trace_spans: true, ..SimConfig::default() };
+        let sim = Simulation::new(funcs, vec![ResourceVec::from_cores_mb(8, 8192)], cfg);
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, FunctionId(0), InputMeta::new(1, 0));
+        let mut plan = FaultPlan::empty();
+        plan.push(SimTime::from_millis(800), FaultKind::NodeCrash(NodeId(0)));
+        plan.push(SimTime::from_millis(2_800), FaultKind::NodeRecover(NodeId(0)));
+        let res = sim.run_with_faults(&t, &mut NullPlatform, &plan);
+        let r = &res.records[0];
+        assert_eq!(r.requeues, 1);
+        assert_eq!(r.breakdown.total(), r.latency, "stages must telescope to latency");
+        // Backoff is its own stage now (≥ the 1s base crash backoff)…
+        assert!(r.breakdown.backoff >= SimDuration::from_secs(1), "{:?}", r.breakdown);
+        // …and the scheduler stage no longer absorbs the failed attempt. It
+        // still holds the genuine placement wait (the requeue blocks ~1s for
+        // node recovery), but not the first attempt's cold start + exec +
+        // backoff — the old recomputation booked all of it (~2.8s) here.
+        assert!(r.breakdown.scheduler < SimDuration::from_millis(1_100), "{:?}", r.breakdown);
+        // The dead attempt's exec segment is preserved and attributed to
+        // attempt 0; the rerun's to attempt 1.
+        let trace = res.trace.as_ref().expect("tracing enabled");
+        let spans = trace.spans_for(r.inv.0 as u64);
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Exec && s.attempt == 0));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Exec && s.attempt == 1));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Backoff));
+        let sum: u64 = spans.iter().map(|s| s.len_us()).sum();
+        assert_eq!(SimDuration(sum), r.latency, "span tiling must cover the whole latency");
     }
 
     #[test]

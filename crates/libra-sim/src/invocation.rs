@@ -133,26 +133,41 @@ pub struct Loan {
 }
 
 /// Per-invocation latency breakdown (Fig 15).
+///
+/// Stages are charged *incrementally* as the lifecycle advances (see the
+/// engine's `stage_start` cursor): every microsecond between arrival and
+/// completion lands in exactly one stage, across any number of OOM restarts
+/// or crash requeues, so `total()` equals end-to-end latency by construction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct StageBreakdown {
-    /// Front-end admission.
+    /// Front-end admission (accumulated across requeue re-admissions).
     pub frontend: SimDuration,
     /// Profiler inference.
     pub profiler: SimDuration,
-    /// Scheduler queueing + decision.
+    /// Scheduler queueing + decision (accumulated across attempts).
     pub scheduler: SimDuration,
-    /// Harvest-pool operations at start.
+    /// Harvest-pool operations at start (accumulated across attempts).
     pub pool: SimDuration,
-    /// Container initialization (zero on warm start).
+    /// Container initialization (zero on warm start; accumulated across
+    /// OOM restarts and cold requeued attempts).
     pub container_init: SimDuration,
-    /// Code execution.
+    /// Code execution (sum of all attempts' executed segments).
     pub exec: SimDuration,
+    /// Crash-backoff wait between a killed attempt and its requeue. Zero in
+    /// fault-free runs.
+    pub backoff: SimDuration,
 }
 
 impl StageBreakdown {
     /// Sum of all stages.
     pub fn total(&self) -> SimDuration {
-        self.frontend + self.profiler + self.scheduler + self.pool + self.container_init + self.exec
+        self.frontend
+            + self.profiler
+            + self.scheduler
+            + self.pool
+            + self.container_init
+            + self.exec
+            + self.backoff
     }
 }
 
@@ -244,6 +259,15 @@ pub struct Invocation {
     pub flags: InvFlags,
     /// Latency breakdown.
     pub breakdown: StageBreakdown,
+    /// Stage cursor: the instant up to which the breakdown has been charged.
+    /// Every lifecycle transition charges `now − stage_start` to the stage
+    /// that just ended and advances the cursor, so the stages telescope to
+    /// exactly the end-to-end latency.
+    pub stage_start: SimTime,
+    /// Pool-bookkeeping overhead committed at the last scheduling decision
+    /// but not yet charged; the next `StartExec` splits its pre-exec gap
+    /// into `pool` (up to this much) and `container_init` (the rest).
+    pub pending_pool: SimDuration,
 
     /// ∫ (effective − nominal) CPU dt, in millicore-µs (signed):
     /// positive = net accelerated, negative = net harvested (Fig 8 x-axis).
@@ -292,6 +316,8 @@ impl Invocation {
             pred: None,
             flags: InvFlags::default(),
             breakdown: StageBreakdown::default(),
+            stage_start: arrival,
+            pending_pool: SimDuration::ZERO,
             cpu_reassigned: 0,
             mem_reassigned: 0,
         }
@@ -435,7 +461,8 @@ mod tests {
             pool: SimDuration::from_millis(4),
             container_init: SimDuration::from_millis(5),
             exec: SimDuration::from_millis(6),
+            backoff: SimDuration::from_millis(7),
         };
-        assert_eq!(b.total(), SimDuration::from_millis(21));
+        assert_eq!(b.total(), SimDuration::from_millis(28));
     }
 }

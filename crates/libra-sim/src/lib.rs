@@ -52,6 +52,7 @@ pub mod platform;
 pub mod resources;
 pub mod time;
 pub mod trace;
+pub mod trace_spans;
 
 /// One-stop imports for simulator users.
 pub mod prelude {
@@ -72,4 +73,7 @@ pub mod prelude {
     pub use crate::resources::{ResourceVec, MILLIS_PER_CORE};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEntry};
+    pub use crate::trace_spans::{
+        ExecTrace, LoanOutcome, LoanSpan, Span, SpanKind, SpanKindStats, SpanSink,
+    };
 }

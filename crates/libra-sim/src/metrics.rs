@@ -8,6 +8,7 @@
 use crate::ids::{FunctionId, InvocationId, NodeId};
 use crate::invocation::{InvFlags, Prediction, StageBreakdown};
 use crate::time::{SimDuration, SimTime};
+use crate::trace_spans::{ExecTrace, SpanKindStats};
 
 /// Completion record for one invocation.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -297,6 +298,9 @@ pub struct RunSummary {
     pub warm_pinned_mb: OnlineStats,
     /// High-water mark of concurrently in-flight invocations (arena slots).
     pub peak_live_invocations: usize,
+    /// Per-span-kind count/total/p50/p95/p99 over the execution-timeline
+    /// trace. Empty unless the run was traced (`SimConfig::trace_spans`).
+    pub span_stats: Vec<SpanKindStats>,
 }
 
 impl RunSummary {
@@ -356,6 +360,9 @@ pub struct RunResult {
     /// End-of-run safety-ledger violations (must always be 0; a non-zero
     /// value means a crash sweep corrupted the reservation/loan books).
     pub pool_violations: u64,
+    /// Execution-timeline trace: per-attempt stage spans and harvest-loan
+    /// lifetimes. `None` unless the run was traced (`SimConfig::trace_spans`).
+    pub trace: Option<ExecTrace>,
 }
 
 impl RunResult {

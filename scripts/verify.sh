@@ -40,6 +40,16 @@ echo "==> sim-scale smoke (emits BENCH_sim.json, 2x regression gate vs committed
 # invocations/sec drop below half of benchmarks/BENCH_sim.baseline.json.
 cargo run --release -p libra-bench --bin bench_sim -- --smoke --check benchmarks/BENCH_sim.baseline.json
 
+echo "==> trace-export smoke (seed workload with tracing on, grep the HTML timeline)"
+# The single-set seed workload with span tracing enabled must export a
+# self-contained HTML timeline that actually carries exec-stage spans.
+TRACE_OUT="$(mktemp -d)"
+cargo run --release -q -p libra-cli --bin libra -- \
+  run --platform libra --kind single --seed 42 --trace-out "$TRACE_OUT/timeline.html"
+grep -q 'data-kind="exec"' "$TRACE_OUT/timeline.html"
+grep -q 'data-kind="scheduler"' "$TRACE_OUT/timeline.html"
+rm -rf "$TRACE_OUT"
+
 echo "==> exp_keepalive smoke (policy x harvester sweep, determinism check)"
 # One repetition of the keep-alive sweep at two thread counts; the CSVs must
 # be byte-identical (order-preserving fan-out) or the sweep is nondeterministic.

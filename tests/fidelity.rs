@@ -377,3 +377,198 @@ fn histogram_policy_keeps_substrates_in_lockstep() {
     assert_eq!(result.cold_starts, 4, "all overlapping invocations are cold");
     assert_eq!(result.warm_hits, 0);
 }
+
+/// All three substrates emit the same span schema when tracing is on, so
+/// the scenario's per-invocation critical paths must agree: projected onto
+/// the stages every substrate measures with real duration
+/// ({scheduler, exec}), the two wall-clock substrates (live, gateway) match
+/// exactly, the exec-segment structure (one segment per attempt — OOM
+/// restarts would split it) matches across all three including the
+/// simulator, and the loan lifetimes carry identical endpoints, volumes and
+/// outcomes everywhere.
+#[test]
+fn execution_trace_critical_paths_agree_across_substrates() {
+    use libra::gateway::server::{Gateway, GatewayConfig};
+    use libra::gateway::tenant::TenantQuota;
+    use libra::sim::trace_spans::{ExecTrace, SpanKind};
+
+    // Simulator, tracing on.
+    let funcs: Vec<FunctionSpec> = ACTORS
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            FunctionSpec::new(
+                format!("actor-{i}"),
+                ResourceVec::new(a.alloc.0, a.alloc.1),
+                Arc::new(ConstantDemand(TrueDemand {
+                    cpu_peak_millis: a.demand.0,
+                    mem_peak_mb: a.demand.1,
+                    base_duration: SimDuration::from_millis(a.demand.2),
+                })),
+            )
+            .with_mem_floor(64)
+        })
+        .collect();
+    let mut trace = Trace::new();
+    for (i, at) in ARRIVALS_MS.iter().enumerate() {
+        trace.push(SimTime::from_millis(*at), FunctionId(i as u32), InputMeta::new(1, 1));
+    }
+    let sim = Simulation::new(
+        funcs,
+        vec![ResourceVec::from_cores_mb(16, 16 * 1024)],
+        SimConfig { shards: 1, trace_spans: true, ..SimConfig::default() },
+    );
+    let mut platform = WithKeepAlive::new(
+        FixedPredPlatform {
+            inner: LibraPlatform::new(LibraConfig::libra()),
+            preds: ACTORS.iter().map(|a| prediction(a.pred)).collect(),
+        },
+        PolicyKind::default().build(),
+    );
+    let sim_result = sim.run(&trace, &mut platform);
+    let sim_spans = sim_result.trace.expect("sim tracing enabled");
+    assert!(!sim_result.summary.span_stats.is_empty(), "traced runs publish span stats");
+
+    // Live threaded runtime, tracing on.
+    let workload: Vec<LiveRequest> = ACTORS
+        .iter()
+        .zip(ARRIVALS_MS)
+        .map(|(a, at_ms)| LiveRequest {
+            at_ms,
+            func: 0,
+            alloc: ResourceVec::new(a.alloc.0, a.alloc.1),
+            demand_cpu_millis: a.demand.0,
+            demand_mem_mb: a.demand.1,
+            mem_floor_mb: 64,
+            work_mcore_ms: a.demand.0 * a.demand.2,
+            pred: Some(prediction(a.pred)),
+        })
+        .collect();
+    let live_cfg = LiveConfig {
+        nodes: 1,
+        capacity: ResourceVec::from_cores_mb(16, 16 * 1024),
+        shards: 1,
+        harvesting: true,
+        quantum: Duration::from_millis(1),
+        time_scale: 4.0,
+        trace_spans: true,
+        ..LiveConfig::default()
+    };
+    let live_result = run_live(&workload, &live_cfg);
+    let live_spans = live_result.trace.expect("live tracing enabled");
+
+    // Gateway over loopback, tracing on; also probe the /trace endpoint.
+    let gw = Gateway::start(GatewayConfig {
+        workers: 8,
+        admission_capacity: 16,
+        max_funcs: 1,
+        tenants: vec![TenantQuota::generous("fidelity")],
+        live: live_cfg.clone(),
+        drain_grace: Duration::from_secs(30),
+        ..GatewayConfig::default()
+    })
+    .expect("bind on loopback");
+    let addr = gw.local_addr();
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let handles: Vec<_> = ACTORS
+        .iter()
+        .zip(ARRIVALS_MS)
+        .enumerate()
+        .map(|(idx, (a, at_ms))| {
+            use libra::gateway::client::GatewayClient;
+            let req = LiveRequest {
+                at_ms,
+                func: 0,
+                alloc: ResourceVec::new(a.alloc.0, a.alloc.1),
+                demand_cpu_millis: a.demand.0,
+                demand_mem_mb: a.demand.1,
+                mem_floor_mb: 64,
+                work_mcore_ms: a.demand.0 * a.demand.2,
+                pred: Some(prediction(a.pred)),
+            };
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = GatewayClient::connect(addr).expect("connect");
+                barrier.wait();
+                client.invoke("fidelity", 0, idx, &req).expect("transport")
+            })
+        })
+        .collect();
+    for (idx, h) in handles.into_iter().enumerate() {
+        use libra::gateway::client::InvokeOutcome;
+        let InvokeOutcome::Done(rec) = h.join().expect("no panic") else {
+            panic!("gateway invocation {idx} must complete with a record");
+        };
+        assert_eq!(rec.idx, idx as u64);
+    }
+    // The /trace endpoint serves the timeline while the gateway is up. The
+    // connection is keep-alive, so read until the document's closing tag
+    // (with a timeout guard) rather than waiting for an EOF that never comes.
+    let html = {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr).expect("connect for /trace");
+        s.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        s.write_all(b"GET /trace HTTP/1.1\r\nHost: gw\r\n\r\n").expect("send /trace");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if buf.windows(7).any(|w| w == b"</html>") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("reading /trace: {e}"),
+            }
+        }
+        String::from_utf8_lossy(&buf).into_owned()
+    };
+    assert!(html.starts_with("HTTP/1.1 200"), "/trace must serve when tracing is on: {html:.80}");
+    assert!(html.contains("data-kind=\"exec\""), "/trace HTML must carry exec spans");
+    let gw_spans = gw.shutdown().live.trace.expect("gateway tracing enabled");
+
+    let wall_stages = [SpanKind::Scheduler, SpanKind::Exec];
+    let exec_only = [SpanKind::Exec];
+    for inv in 0..4u64 {
+        let live_path = live_spans.critical_path_projected(inv, &wall_stages);
+        let gw_path = gw_spans.critical_path_projected(inv, &wall_stages);
+        assert_eq!(live_path, gw_path, "live/gateway critical paths diverged for invocation {inv}");
+        assert_eq!(live_path.last(), Some(&SpanKind::Exec), "paths end in exec (inv {inv})");
+        // Exec-segment structure is substrate-independent: one attempt each
+        // (an OOM restart or crash requeue would split it identically).
+        assert_eq!(
+            sim_spans.critical_path_projected(inv, &exec_only),
+            live_spans.critical_path_projected(inv, &exec_only),
+            "sim/live exec segments diverged for invocation {inv}"
+        );
+        assert!(
+            !sim_spans.critical_path(inv).is_empty(),
+            "sim must trace every invocation (inv {inv})"
+        );
+        // The gateway's admission frontend is visible in its spans.
+        assert!(
+            gw_spans.spans_for(inv).iter().any(|s| s.kind == SpanKind::Frontend),
+            "gateway invocation {inv} must carry a frontend span"
+        );
+    }
+    assert_eq!(sim_spans.invocations(), vec![0, 1, 2, 3]);
+    assert_eq!(live_spans.invocations(), vec![0, 1, 2, 3]);
+    assert_eq!(gw_spans.invocations(), vec![0, 1, 2, 3]);
+
+    // Loan lifetimes: identical (source, borrower, volume, outcome) multisets
+    // across substrates — only the timestamps are substrate-local.
+    fn loan_keys(t: &ExecTrace) -> Vec<(u64, u64, u64, u64, &'static str)> {
+        let mut keys: Vec<_> = t
+            .loans
+            .iter()
+            .map(|l| (l.source, l.borrower, l.cpu_millis, l.mem_mb, l.outcome.label()))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+    assert!(!sim_spans.loans.is_empty(), "scenario must exercise loans");
+    assert_eq!(loan_keys(&sim_spans), loan_keys(&live_spans), "sim/live loan spans diverged");
+    assert_eq!(loan_keys(&live_spans), loan_keys(&gw_spans), "live/gateway loan spans diverged");
+}

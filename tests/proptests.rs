@@ -388,6 +388,74 @@ proptest! {
         ids.dedup();
         prop_assert_eq!(ids.len(), r.records.len(), "duplicate completion records");
     }
+
+    /// Breakdown-vs-latency conservation under chaos: crashes, requeues and
+    /// OOM restarts route an invocation through every retry path, yet the
+    /// incremental stage charges must telescope exactly — for *every*
+    /// completion record, `StageBreakdown::total()` equals the end-to-end
+    /// latency, with no drift into the scheduler stage and no exec
+    /// underflow. (This is the regression net over the two accounting bugs
+    /// the absolute recomputation had on the requeue and OOM-restart paths.)
+    #[test]
+    fn chaos_breakdowns_telescope_to_latency(
+        seed in 0u64..400,
+        crashes in 0.0f64..3.0,
+        aborts in 0.0f64..4.0,
+        stalls in 0.0f64..2.0,
+    ) {
+        use libra::chaos::{build_plan, ChaosConfig, ClusterShape};
+        use libra::core::{LibraConfig, LibraPlatform};
+        use libra::sim::engine::{SimConfig, Simulation};
+        use libra::workloads::trace::TraceGen;
+        use libra::workloads::{sebs_suite, testbeds, ALL_APPS};
+
+        let n = 14 + (seed as usize % 10);
+        let gen = TraceGen::standard(&ALL_APPS, seed);
+        let trace = gen.poisson(n, 150.0);
+        let span = trace.entries.last().map(|e| e.at.0).unwrap_or(0);
+        let horizon = SimDuration(span) + SimDuration::from_secs(5);
+        let cfg = ChaosConfig {
+            node_crashes: crashes,
+            node_downtime: SimDuration::from_millis(1500),
+            invocation_aborts: aborts,
+            shard_stalls: stalls,
+            ..ChaosConfig::quiet(seed, horizon)
+        };
+        let shape = ClusterShape { nodes: 4, shards: 2, invocations: n as u32 };
+        let plan = build_plan(&cfg, &shape);
+
+        let sim = Simulation::new(
+            sebs_suite(),
+            testbeds::multi_node(),
+            SimConfig { shards: 2, trace_spans: true, ..SimConfig::default() },
+        );
+        let mut p = LibraPlatform::new(LibraConfig::libra());
+        let r = sim.run_with_faults(&trace, &mut p, &plan);
+
+        for rec in &r.records {
+            prop_assert_eq!(
+                rec.breakdown.total(),
+                rec.latency,
+                "breakdown drift for {:?}: requeues={} restarts={} breakdown={:?}",
+                rec.inv, rec.requeues, rec.restarts, rec.breakdown
+            );
+        }
+        // The span trace tells the same story: per completed invocation the
+        // spans tile [arrival, completion] — same total, per-attempt view.
+        let trace_out = r.trace.as_ref().expect("tracing was enabled");
+        for rec in &r.records {
+            let spans = trace_out.spans_for(rec.inv.0 as u64);
+            let sum: u64 = spans.iter().map(|s| s.len_us()).sum();
+            prop_assert_eq!(
+                SimDuration(sum),
+                rec.latency,
+                "span tiling drift for {:?}",
+                rec.inv
+            );
+            let path = trace_out.critical_path(rec.inv.0 as u64);
+            prop_assert!(!path.is_empty(), "no critical path for {:?}", rec.inv);
+        }
+    }
 }
 
 proptest! {
