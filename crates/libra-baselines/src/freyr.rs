@@ -165,7 +165,11 @@ impl Platform for Freyr {
         let rec = ctx.inv(inv);
         let Some(pred) = rec.pred else { return };
         let nominal = rec.nominal;
-        let node = rec.node.expect("start without node").idx();
+        let Some(node) = rec.node else {
+            debug_assert!(false, "start without node for {inv:?}");
+            return;
+        };
+        let node = node.idx();
         let now = ctx.now();
 
         // Harvest down to the predicted peak with a thin margin — thinner
@@ -219,7 +223,11 @@ impl Platform for Freyr {
 
     fn on_complete(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId, actuals: &Actuals) {
         let rec = ctx.inv(inv);
-        let node = rec.node.expect("complete without node").idx();
+        let Some(node) = rec.node else {
+            debug_assert!(false, "complete without node for {inv:?}");
+            return;
+        };
+        let node = node.idx();
         let f = rec.func.idx();
         let now = ctx.now();
         self.pools[node].remove(inv, now);
@@ -237,7 +245,11 @@ impl Platform for Freyr {
 
     fn on_oom(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
         let rec = ctx.inv(inv);
-        let node = rec.node.expect("oom without node").idx();
+        let Some(node) = rec.node else {
+            debug_assert!(false, "oom without node for {inv:?}");
+            return;
+        };
+        let node = node.idx();
         let f = rec.func.idx();
         self.pools[node].remove(inv, ctx.now());
         self.estimators[f].skip_next = true;

@@ -40,7 +40,11 @@ pub fn post_event(cp: &ControlPlane, event: &str) {
         #[cfg(debug_assertions)]
         AUDITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Err(why) = cp.check_conservation() {
-            panic!("conservation audit failed after {event}: {why}\nledger:\n{}", cp.dump());
+            debug_assert!(
+                false,
+                "conservation audit failed after {event}: {why}\nledger:\n{}",
+                cp.dump()
+            );
         }
     }
 }

@@ -34,7 +34,7 @@ use libra_sim::engine::UsageSample;
 use libra_sim::ids::{InvocationId, NodeId};
 use libra_sim::invocation::Prediction;
 use libra_sim::platform::LoanEnd;
-use libra_sim::resources::ResourceVec;
+use libra_sim::resources::{sat_u64, ResourceVec};
 use libra_sim::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -402,7 +402,7 @@ impl ControlPlane {
         // safety headroom (memory stays untouched for blacklisted functions).
         let h = self.cfg.harvest_headroom;
         let padded =
-            ResourceVec::new((pred.cpu_millis as f64 * h) as u64, (pred.mem_mb as f64 * h) as u64);
+            ResourceVec::new(sat_u64(pred.cpu_millis as f64 * h), sat_u64(pred.mem_mb as f64 * h));
         let mut target = padded.min(&a.nominal);
         if self.safeguard.mem_blacklisted(a.func) {
             target.mem_mb = a.nominal.mem_mb;

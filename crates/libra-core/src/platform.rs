@@ -319,9 +319,13 @@ impl<S: NodeSelector> Platform for LibraPlatform<S> {
 
     fn on_start(&mut self, ctx: &mut SimCtx<'_>, inv: InvocationId) {
         let rec = ctx.inv(inv);
+        let Some(node) = rec.node else {
+            debug_assert!(false, "on_start without node for {inv:?}");
+            return;
+        };
         let adm = Admission {
             inv,
-            node: rec.node.expect("on_start without node"),
+            node,
             func: rec.func.idx(),
             nominal: rec.nominal,
             mem_floor_mb: ctx.func_of(inv).mem_floor_mb,

@@ -205,7 +205,10 @@ impl HarvestResourcePool {
         let mut out = Vec::new();
         let mut take_from = |pool: &mut Self, id: InvocationId| {
             pool.settle(id, now);
-            let e = pool.entries.get_mut(&id).expect("entry vanished");
+            let Some(e) = pool.entries.get_mut(&id) else {
+                debug_assert!(false, "pool entry for {id:?} vanished mid-get");
+                return remaining.is_zero();
+            };
             let take = ResourceVec::new(
                 remaining.cpu_millis.min(e.cpu_idle_millis),
                 remaining.mem_mb.min(e.mem_idle_mb),
@@ -457,7 +460,10 @@ pub mod reference {
                     break;
                 }
                 self.settle(id, now);
-                let e = self.entries.get_mut(&id).expect("entry vanished");
+                let Some(e) = self.entries.get_mut(&id) else {
+                    debug_assert!(false, "pool entry for {id:?} vanished mid-get");
+                    continue;
+                };
                 let take = ResourceVec::new(
                     remaining.cpu_millis.min(e.cpu_idle_millis),
                     remaining.mem_mb.min(e.mem_idle_mb),

@@ -33,7 +33,7 @@ use libra_ml::tree::Task;
 use libra_sim::demand::InputMeta;
 use libra_sim::function::FunctionSpec;
 use libra_sim::invocation::{Actuals, Prediction, PredictionPath};
-use libra_sim::resources::MILLIS_PER_CORE;
+use libra_sim::resources::{sat_u64, MILLIS_PER_CORE};
 use libra_sim::time::SimDuration;
 
 /// Memory class granularity: OpenWhisk-style 128 MB steps.
@@ -150,7 +150,7 @@ impl WorkloadDuplicator {
         (0..self.points)
             .map(|k| {
                 let frac = k as f64 / (self.points - 1).max(1) as f64;
-                let size = (lo as f64 + frac * (hi - lo) as f64).round() as u64;
+                let size = sat_u64((lo as f64 + frac * (hi - lo) as f64).round());
                 let content = splitmix(first_input.content_seed ^ self.seed, k as u64);
                 let d = spec.model.demand(&InputMeta::new(size.max(1), content));
                 // measurement noise (memory measurements are steadier)
@@ -158,8 +158,8 @@ impl WorkloadDuplicator {
                 let n2 = 1.0 + self.noise * 0.25 * (unit(content, 12) - 0.5) * 2.0;
                 PilotObservation {
                     size: size.max(1),
-                    cpu_peak_millis: ((d.cpu_peak_millis as f64 * n1) as u64).max(1),
-                    mem_peak_mb: ((d.mem_peak_mb as f64 * n2) as u64).max(1),
+                    cpu_peak_millis: sat_u64(d.cpu_peak_millis as f64 * n1).max(1),
+                    mem_peak_mb: sat_u64(d.mem_peak_mb as f64 * n2).max(1),
                     duration: SimDuration::from_secs_f64(d.base_duration.as_secs_f64() * n1),
                 }
             })

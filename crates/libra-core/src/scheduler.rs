@@ -125,7 +125,7 @@ pub fn hash_probe(world: &World, shard: usize, inv: InvocationId) -> Option<Node
     let n = world.num_nodes();
     let home = (hash_func(rec.func.0) % n as u64) as usize;
     (0..n)
-        .map(|k| NodeId(((home + k) % n) as u32))
+        .filter_map(|k| u32::try_from((home + k) % n).ok().map(NodeId))
         .find(|&node| rec.nominal.fits_within(&world.free_in_shard(node, shard)))
 }
 
@@ -174,7 +174,13 @@ impl NodeSelector for CoverageSelector {
             InvClass::NonAccelerable => hash_probe(world, shard, inv),
             InvClass::Accelerable(extra) => {
                 let rec = world.inv(inv);
-                let dur = rec.pred.expect("accelerable implies prediction").duration;
+                let Some(pred) = rec.pred else {
+                    // Accelerable implies a prediction; if the record lost
+                    // it, place like a non-accelerable invocation.
+                    debug_assert!(false, "accelerable {inv:?} without prediction");
+                    return hash_probe(world, shard, inv);
+                };
+                let dur = pred.duration;
                 let now = world.now();
                 // Lost contact with every pool: stop chasing coverage and
                 // fall back to the non-accelerable placement path, which

@@ -1,0 +1,467 @@
+//! The workspace call graph and reachability engine.
+//!
+//! Built from every file's [`crate::items::FileItems`], the graph has one
+//! node per non-test function and an edge per resolvable call site.
+//! Resolution is heuristic — name plus receiver type where the receiver is
+//! inferable (params, `let` bindings, `self` fields, one level of container
+//! element) — with a deliberate bias: a call we cannot resolve to a
+//! workspace function produces **no edge** unless its bare name uniquely
+//! suggests workspace code (see [`UBIQUITOUS_METHODS`]). Over-approximation
+//! would drown the reachability rules in false witnesses; the residual
+//! under-approximation is documented in the lint guide and backstopped by
+//! the crate-scoped token rules.
+
+use crate::items::{Call, Callee, FileItems, FnItem, StructItem, TyRef};
+use crate::lexer::Lexed;
+use crate::roots::{RootMatch, ROOTS};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One analysed file, as the graph consumes it.
+pub struct FileEntry {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Crate name derived from the path.
+    pub krate: String,
+    /// Lexed tokens + allow/root tables.
+    pub lexed: Lexed,
+    /// Per-token test mask.
+    pub mask: Vec<bool>,
+    /// Parsed items.
+    pub items: FileItems,
+}
+
+/// Method names so common on std types that an *unresolved* receiver must
+/// not produce fallback edges to same-named workspace methods: the noise
+/// would swamp every reachability rule. A receiver whose type IS inferred
+/// still resolves to these names precisely.
+pub const UBIQUITOUS_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "binary_search",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "split_whitespace",
+    "starts_with",
+    "ends_with",
+    "sum",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "trim",
+    "try_into",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Crates that are developer tooling, not product code: nothing in the
+/// product depends on them, so by-name fallback edges must never land in
+/// them (a driver's `.build()` is not `CallGraph::build`).
+pub const TOOL_CRATES: &[&str] = &["libra-lint"];
+
+/// A function node: `(file index, fn index within the file)`.
+pub type FnId = usize;
+
+/// The workspace call graph.
+pub struct CallGraph<'a> {
+    /// The files the graph was built over.
+    pub files: &'a [FileEntry],
+    /// Node → `(file idx, fn idx)`.
+    pub nodes: Vec<(usize, usize)>,
+    /// Outgoing edges per node (sorted, deduped).
+    pub edges: Vec<Vec<FnId>>,
+    by_ty_method: BTreeMap<(String, String), Vec<FnId>>,
+    by_trait_method: BTreeMap<(String, String), Vec<FnId>>,
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+    structs: BTreeMap<String, &'a StructItem>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// The `FnItem` behind a node id.
+    pub fn item(&self, id: FnId) -> &'a FnItem {
+        let (f, i) = self.nodes[id];
+        &self.files[f].items.fns[i]
+    }
+
+    /// The file entry behind a node id.
+    pub fn file(&self, id: FnId) -> &'a FileEntry {
+        &self.files[self.nodes[id].0]
+    }
+
+    /// Human-readable name: `Type::name` or `name`.
+    pub fn display(&self, id: FnId) -> String {
+        let f = self.item(id);
+        match &f.self_ty {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Build the graph over `files`, excluding test functions.
+    pub fn build(files: &'a [FileEntry]) -> Self {
+        let mut g = CallGraph {
+            files,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            by_ty_method: BTreeMap::new(),
+            by_trait_method: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+            structs: BTreeMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            for s in &file.items.structs {
+                g.structs.entry(s.name.clone()).or_insert(s);
+            }
+            for (ii, f) in file.items.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = g.nodes.len();
+                g.nodes.push((fi, ii));
+                match &f.self_ty {
+                    Some(ty) => {
+                        g.by_ty_method.entry((ty.clone(), f.name.clone())).or_default().push(id);
+                        g.methods_by_name.entry(f.name.clone()).or_default().push(id);
+                        if let Some(tr) = &f.trait_name {
+                            g.by_trait_method
+                                .entry((tr.clone(), f.name.clone()))
+                                .or_default()
+                                .push(id);
+                        }
+                    }
+                    None => g.free_by_name.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+        }
+        g.edges = g
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, _)| {
+                let mut out: Vec<FnId> = self_calls(&g, id);
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        g
+    }
+
+    /// Resolve the declared + comment roots for `rule`. Returns sorted ids.
+    pub fn roots_for(&self, rule: &str) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (id, &(fi, ii)) in self.nodes.iter().enumerate() {
+            let file = &self.files[fi];
+            let f = &file.items.fns[ii];
+            let table_match = ROOTS.iter().any(|spec| {
+                spec.rule == rule
+                    && match spec.matcher {
+                        RootMatch::InFile(suffix) => file.path.ends_with(suffix),
+                        RootMatch::ImplOf(ty) => f.self_ty.as_deref() == Some(ty),
+                        RootMatch::TraitImpl(tr) => f.trait_name.as_deref() == Some(tr),
+                    }
+            });
+            let comment_match = [f.line, f.line.saturating_sub(1)]
+                .iter()
+                .any(|l| file.lexed.roots.get(l).is_some_and(|rules| rules.contains(rule)));
+            if table_match || comment_match {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// BFS from `roots`. Returns `(reachable, parent)` where `parent[n]` is
+    /// the BFS predecessor (roots have none). Deterministic: roots are
+    /// visited in id order and edges are sorted.
+    pub fn reachable_from(&self, roots: &[FnId]) -> (Vec<bool>, Vec<Option<FnId>>) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut parent = vec![None; self.nodes.len()];
+        let mut q: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if !seen[r] {
+                seen[r] = true;
+                q.push_back(r);
+            }
+        }
+        while let Some(n) = q.pop_front() {
+            for &m in &self.edges[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    parent[m] = Some(n);
+                    q.push_back(m);
+                }
+            }
+        }
+        (seen, parent)
+    }
+
+    /// The call-path witness from a root down to `id`:
+    /// `["file:line Root::fn", ..., "file:line Target::fn"]`.
+    pub fn witness(&self, id: FnId, parent: &[Option<FnId>]) -> Vec<String> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .into_iter()
+            .map(|n| {
+                let f = self.item(n);
+                format!("{}:{} {}", self.file(n).path, f.line, self.display(n))
+            })
+            .collect()
+    }
+
+    /// Deterministic debug dump for snapshot tests: every node with its
+    /// sorted out-edges, one line each.
+    pub fn debug_dump(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (id, _) in self.nodes.iter().enumerate() {
+            let f = self.item(id);
+            let mut callees: Vec<String> =
+                self.edges[id].iter().map(|&m| self.display(m)).collect();
+            callees.sort();
+            callees.dedup();
+            lines.push(format!(
+                "{}:{} {} -> [{}]",
+                self.file(id).path,
+                f.line,
+                self.display(id),
+                callees.join(", ")
+            ));
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Infer the receiver type named by `recv` ("x" or "self.field") inside
+    /// `f`, following one field access through the struct table.
+    fn receiver_ty(&self, f: &FnItem, recv: &str) -> Option<TyRef> {
+        if let Some(field) = recv.strip_prefix("self.") {
+            let ty = f.self_ty.as_ref()?;
+            let s = self.structs.get(ty)?;
+            return s.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.clone());
+        }
+        if recv == "self" {
+            return f.self_ty.as_ref().map(|t| TyRef { head: t.clone(), args: Vec::new() });
+        }
+        f.lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == recv)
+            .or_else(|| f.params.iter().find(|(n, _)| n == recv))
+            .map(|(_, t)| t.clone())
+    }
+
+    /// Candidates for method `name` on concrete-or-trait type `ty`.
+    fn method_candidates(&self, ty: &str, name: &str) -> Vec<FnId> {
+        let key = (ty.to_string(), name.to_string());
+        let mut out = self.by_ty_method.get(&key).cloned().unwrap_or_default();
+        if let Some(more) = self.by_trait_method.get(&key) {
+            out.extend(more.iter().copied());
+        }
+        out
+    }
+
+    /// Whether any workspace type with name `ty` exists (struct or impl'd).
+    fn knows_type(&self, ty: &str) -> bool {
+        self.structs.contains_key(ty)
+            || self.by_ty_method.keys().any(|(t, _)| t == ty)
+            || self.by_trait_method.keys().any(|(t, _)| t == ty)
+    }
+}
+
+/// Containers whose element type carries the interesting methods: an
+/// indexed receiver (`xs[i].m(..)`) or a known wrapper resolves through the
+/// first generic argument.
+const CONTAINERS: &[&str] = &["Vec", "Option", "Box", "Rc", "Arc", "VecDeque", "Mutex", "RefCell"];
+
+/// Resolve every call in node `id` to edge targets.
+fn self_calls(g: &CallGraph<'_>, id: FnId) -> Vec<FnId> {
+    let f = g.item(id);
+    let file = g.file(id);
+    let mut out = Vec::new();
+    for call in &f.calls {
+        resolve_call(g, f, &file.krate, &file.path, call, &mut out);
+    }
+    out
+}
+
+/// Resolve one call site, appending candidate targets to `out`.
+fn resolve_call(
+    g: &CallGraph<'_>,
+    f: &FnItem,
+    krate: &str,
+    caller_path: &str,
+    call: &Call,
+    out: &mut Vec<FnId>,
+) {
+    // By-name fallbacks never cross into tool crates (see [`TOOL_CRATES`]).
+    let cross_ok =
+        |m: FnId| g.file(m).krate == *krate || !TOOL_CRATES.contains(&g.file(m).krate.as_str());
+    match &call.callee {
+        Callee::SelfMethod(name) => {
+            if let Some(ty) = &f.self_ty {
+                out.extend(g.method_candidates(ty, name));
+            }
+        }
+        Callee::Qualified { qual, name } => {
+            if qual == "self" || qual == "crate" || qual == "super" {
+                // Module-qualified free call: same-crate free fns.
+                if let Some(ids) = g.free_by_name.get(name) {
+                    out.extend(ids.iter().filter(|&&m| g.file(m).krate == *krate));
+                }
+                return;
+            }
+            let is_type = qual.chars().next().is_some_and(|c| c.is_uppercase());
+            if is_type {
+                out.extend(g.method_candidates(qual, name));
+            } else if let Some(ids) = g.free_by_name.get(name) {
+                // `module::f(..)` — free fns named `f` (any crate; module
+                // names are not tracked, so this over-approximates mildly).
+                out.extend(ids.iter().copied().filter(|&m| cross_ok(m)));
+            }
+        }
+        Callee::Method { recv, name, indexed } => {
+            let ty = recv.as_deref().and_then(|r| g.receiver_ty(f, r));
+            match ty {
+                Some(t) => {
+                    // Follow one container level for subscripted receivers
+                    // or known wrappers.
+                    let elem = if (*indexed || CONTAINERS.contains(&t.head.as_str()))
+                        && !t.args.is_empty()
+                    {
+                        t.args[0].clone()
+                    } else {
+                        t.head.clone()
+                    };
+                    let cands = g.method_candidates(&elem, name);
+                    if !cands.is_empty() {
+                        out.extend(cands);
+                    } else if !g.knows_type(&elem) && !UBIQUITOUS_METHODS.contains(&name.as_str()) {
+                        // Unknown (std/generic) type: fall back by name.
+                        if let Some(ids) = g.methods_by_name.get(name) {
+                            out.extend(ids.iter().copied().filter(|&m| cross_ok(m)));
+                        }
+                    }
+                }
+                None => {
+                    // Unresolved receiver: fallback by distinctive name only.
+                    if !UBIQUITOUS_METHODS.contains(&name.as_str()) {
+                        if let Some(ids) = g.methods_by_name.get(name) {
+                            out.extend(ids.iter().copied().filter(|&m| cross_ok(m)));
+                        }
+                    }
+                }
+            }
+        }
+        Callee::Free(name) => {
+            if let Some(ids) = g.free_by_name.get(name) {
+                // Prefer same-file, then same-crate, then workspace.
+                let same_file: Vec<FnId> =
+                    ids.iter().copied().filter(|&m| g.file(m).path == caller_path).collect();
+                if !same_file.is_empty() {
+                    out.extend(same_file);
+                    return;
+                }
+                let same_crate: Vec<FnId> =
+                    ids.iter().copied().filter(|&m| g.file(m).krate == *krate).collect();
+                if !same_crate.is_empty() {
+                    out.extend(same_crate);
+                } else {
+                    out.extend(ids.iter().copied().filter(|&m| cross_ok(m)));
+                }
+            }
+        }
+        Callee::Macro(_) => {}
+    }
+}

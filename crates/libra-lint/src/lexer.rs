@@ -40,6 +40,18 @@ pub struct Token {
     pub line: u32,
 }
 
+/// One `// libra-lint: allow(..)` comment, with its optional trailing
+/// `: <reason>` clause.
+#[derive(Clone, Debug)]
+pub struct AllowSite {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Rules named inside `allow(..)`.
+    pub rules: BTreeSet<String>,
+    /// The reason text after the closing paren's `:`, if any.
+    pub reason: Option<String>,
+}
+
 /// Lexer output: the token stream plus the per-line allow-comment table.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -47,6 +59,11 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Lines carrying a `libra-lint: allow(...)` comment → allowed rules.
     pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Every allow comment with its reason clause, in source order.
+    pub allow_sites: Vec<AllowSite>,
+    /// Lines carrying a `libra-lint: root(...)` comment → rules the next
+    /// `fn` is declared a reachability root for.
+    pub roots: BTreeMap<u32, BTreeSet<String>>,
 }
 
 /// Multi-char operators, longest first so maximal munch works by scan order.
@@ -93,14 +110,30 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Parse the rule list out of a `libra-lint: allow(a, b)` comment body.
-fn parse_allow(comment: &str) -> Option<BTreeSet<String>> {
+/// Parse the rule list (and optional `: reason`) out of a
+/// `libra-lint: allow(a, b): reason` comment body.
+fn parse_allow(comment: &str) -> Option<(BTreeSet<String>, Option<String>)> {
+    let (rules, tail) = parse_marker(comment, "allow")?;
+    let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).filter(|r| !r.is_empty());
+    Some((rules, reason))
+}
+
+/// Parse the rule list out of a `libra-lint: root(a, b)` comment body.
+fn parse_root(comment: &str) -> Option<BTreeSet<String>> {
+    parse_marker(comment, "root").map(|(rules, _)| rules)
+}
+
+/// Shared `libra-lint: <kind>(a, b)<tail>` recogniser: returns the rule set
+/// and whatever trails the closing paren (trimmed at the front).
+fn parse_marker(comment: &str, kind: &str) -> Option<(BTreeSet<String>, String)> {
     let idx = comment.find("libra-lint:")?;
     let rest = comment[idx + "libra-lint:".len()..].trim_start();
-    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix(kind)?.trim_start();
     let rest = rest.strip_prefix('(')?;
     let end = rest.find(')')?;
-    Some(rest[..end].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect())
+    let rules =
+        rest[..end].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    Some((rules, rest[end + 1..].trim_start().to_string()))
 }
 
 /// Lex `src` into tokens + allow table. Unknown bytes are skipped — the lexer
@@ -134,8 +167,18 @@ pub fn lex(src: &str) -> Lexed {
                 i += 1;
             }
             let body: String = chars[start..i].iter().collect();
-            if let Some(rules) = parse_allow(&body) {
-                out.allows.entry(line).or_default().extend(rules);
+            // Markers must lead the comment (`// libra-lint: ...`) and doc
+            // comments never carry them — prose *describing* the escape
+            // hatch must not activate it.
+            let is_doc = body.starts_with("///") || body.starts_with("//!");
+            let leads = body.trim_start_matches('/').trim_start().starts_with("libra-lint:");
+            if !is_doc && leads {
+                if let Some((rules, reason)) = parse_allow(&body) {
+                    out.allows.entry(line).or_default().extend(rules.iter().cloned());
+                    out.allow_sites.push(AllowSite { line, rules, reason });
+                } else if let Some(rules) = parse_root(&body) {
+                    out.roots.entry(line).or_default().extend(rules);
+                }
             }
             continue;
         }

@@ -1,26 +1,55 @@
-//! `cargo run -p libra-lint [workspace-root]` — lint the workspace and exit
+//! `cargo run -p libra-lint [--json <path>] [workspace-root]` — lint the
+//! workspace, optionally write the machine-readable `LINT.json`, and exit
 //! non-zero on any diagnostic (the `scripts/verify.sh` gate).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(libra_lint::default_root);
-    let (files, diags) = match libra_lint::lint_workspace(&root) {
+    let mut json_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("libra-lint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => root = Some(PathBuf::from(a)),
+        }
+    }
+    let root = root.unwrap_or_else(libra_lint::default_root);
+    let report = match libra_lint::lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("libra-lint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for d in &diags {
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("libra-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for d in &report.diagnostics {
         eprintln!("error: {d}");
     }
-    if diags.is_empty() {
-        println!("libra-lint: {files} files scanned, 0 diagnostics");
+    let summary = format!(
+        "{} files, {} functions, {} allow(s), {} diagnostic(s)",
+        report.files,
+        report.functions,
+        report.allows.len(),
+        report.diagnostics.len()
+    );
+    if report.diagnostics.is_empty() {
+        println!("libra-lint: {summary}");
         ExitCode::SUCCESS
     } else {
-        eprintln!("libra-lint: {files} files scanned, {} diagnostic(s)", diags.len());
+        eprintln!("libra-lint: {summary}");
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,129 @@
+//! Declared reachability roots.
+//!
+//! A *root* is a function the outside world enters through: a control-plane
+//! event method, a `Platform` policy hook, the sim event loop, the gateway
+//! request path, a tracer sink. The reachability rules compute their scope
+//! as "everything transitively callable from a root" — replacing the
+//! hand-maintained file allowlists that rotted whenever a helper moved.
+//!
+//! # Declaring a root
+//!
+//! Two mechanisms, both rule-scoped:
+//!
+//! 1. **The table below** ([`ROOTS`]) — one [`RootSpec`] per entry point,
+//!    matched structurally (by file, by impl type, or by implemented
+//!    trait). Prefer this for durable architectural roots: the entry says
+//!    *why* the entry point must uphold the invariant.
+//! 2. **In-source comment** — `// libra-lint: root(<rule>)` on the line of
+//!    (or directly above) a `fn` declares that single function a root.
+//!    Prefer this for one-off roots (new binaries, fixtures).
+//!
+//! Deleting code a root matches is harmless: the matcher simply stops
+//! matching. The self-check keeps the table honest the other way — a spec
+//! that matches *no* function at all is reported by
+//! [`crate::rules::stale_roots`] so the table cannot rot into dead weight.
+
+use crate::rules::{RULE_DETERMINISM, RULE_PANIC};
+
+/// How a [`RootSpec`] selects functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootMatch {
+    /// Every non-test `fn` in files whose path ends with the suffix.
+    InFile(&'static str),
+    /// Every `fn` inside an `impl` block for the named type.
+    ImplOf(&'static str),
+    /// Every `fn` inside an `impl <Trait> for ..` block for the named trait.
+    TraitImpl(&'static str),
+}
+
+/// One declared reachability root.
+#[derive(Clone, Copy, Debug)]
+pub struct RootSpec {
+    /// Which rule's reachability this seeds (`panic` or `determinism`).
+    pub rule: &'static str,
+    /// The structural matcher.
+    pub matcher: RootMatch,
+    /// Why these functions are entry points for the invariant.
+    pub why: &'static str,
+}
+
+/// The workspace root table. See the module docs for how to extend it.
+pub const ROOTS: &[RootSpec] = &[
+    // ---- panic-freedom roots ------------------------------------------
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-core/src/controlplane.rs"),
+        why: "control-plane event methods: a panic mid-revocation strands loans on the ledger",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-core/src/keepalive.rs"),
+        why: "keep-alive policies run on every arrival/completion in every substrate",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-live/src/cluster.rs"),
+        why: "the live driver's node/event threads: a panic takes a worker thread down mid-invocation",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/http.rs"),
+        why: "malformed bytes off the network must become 400s, never a dead worker",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/wire.rs"),
+        why: "body codec on the request path: malformed bodies must surface as errors",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/server.rs"),
+        why: "the gateway request path: accept/parse/route/invoke runs on pooled worker threads",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-sim/src/metrics.rs"),
+        why: "a NaN sample must degrade a report, not abort a run that took hours",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::InFile("crates/libra-sim/src/trace_spans.rs"),
+        why: "the tracer sits on every substrate's hot path; a bad span must be dropped, not panic",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::ImplOf("Simulation"),
+        why: "the sim event loop: every event dispatch of a million-invocation run flows through it",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::TraitImpl("Platform"),
+        why: "platform policy hooks are called from inside the event loop on every decision",
+    },
+    RootSpec {
+        rule: RULE_PANIC,
+        matcher: RootMatch::TraitImpl("KeepAlivePolicy"),
+        why: "policy hooks run per arrival/completion under the live cluster's node locks",
+    },
+    // ---- determinism roots --------------------------------------------
+    RootSpec {
+        rule: RULE_DETERMINISM,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/tenant.rs"),
+        why: "token-bucket grant/deny decisions take injected now_us and must replay byte-identically",
+    },
+    RootSpec {
+        rule: RULE_DETERMINISM,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/quota.rs"),
+        why: "quota-ledger admission accounting must replay from injected timestamps",
+    },
+    RootSpec {
+        rule: RULE_DETERMINISM,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/backpressure.rs"),
+        why: "the bounded admission gate's decisions feed the fidelity trace",
+    },
+    RootSpec {
+        rule: RULE_DETERMINISM,
+        matcher: RootMatch::InFile("crates/libra-gateway/src/wire.rs"),
+        why: "the wire codec must encode/decode identically on every substrate",
+    },
+];

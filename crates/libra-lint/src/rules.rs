@@ -1,65 +1,59 @@
-//! The four codebase-specific lint rules (see `DESIGN.md` §"Enforced
-//! invariants" for the paper clause each rule protects).
+//! The lint rules (see `DESIGN.md` §"Enforced invariants" for the paper
+//! clause each rule protects).
 //!
-//! Every rule walks the lexed token stream of one file, skipping tokens
-//! inside test code (`#[cfg(test)]` / `#[test]` items), and emits
-//! [`Diagnostic`]s. A diagnostic is suppressed by a
-//! `// libra-lint: allow(<rule>)` comment on the same line or the line
-//! directly above, or by an entry in the per-rule [`ALLOWLIST`].
+//! Two kinds of rule run over each workspace snapshot:
+//!
+//! * **token rules** walk one file's lexed token stream (determinism in the
+//!   deterministic crates, `Action` match exhaustiveness, float equality);
+//! * **reachability rules** walk the workspace [`crate::graph::CallGraph`]
+//!   from declared [`crate::roots`]: panic-reachability, clock/determinism
+//!   reachability, and the narrowing-cast audit. Their diagnostics carry
+//!   the full call-path witness from a root to the offending function.
+//!
+//! A diagnostic is suppressed by a
+//! `// libra-lint: allow(<rule>): <reason>` comment on the same line or the
+//! line directly above, or by an entry in the per-rule [`ALLOWLIST`]. The
+//! `allow-hygiene` rule then audits the escape hatches themselves: every
+//! allow must carry a reason, every allow must still suppress something,
+//! and every `ALLOWLIST` entry must still match a diagnostic — stale
+//! entries fail the build instead of silently widening the holes.
 
-use crate::lexer::{Lexed, Tok, Token};
+use crate::graph::{CallGraph, FnId};
+use crate::items::{is_expr_keyword, Callee, FnItem};
+use crate::lexer::{Tok, Token};
+use std::collections::BTreeSet;
+
+pub use crate::graph::FileEntry;
 
 /// Rule names, as used in allow-comments and diagnostics.
 pub const RULE_DETERMINISM: &str = "determinism";
-/// Panic-freedom rule name.
+/// Panic-reachability rule name.
 pub const RULE_PANIC: &str = "panic";
 /// Action-exhaustiveness rule name.
 pub const RULE_ACTION_WILDCARD: &str = "action-wildcard";
 /// Float-equality rule name.
 pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Charge/release pairing rule name.
+pub const RULE_CHARGE: &str = "charge-pairing";
+/// Narrowing-cast audit rule name.
+pub const RULE_CAST: &str = "cast";
+/// Allow-comment hygiene rule name.
+pub const RULE_ALLOW_HYGIENE: &str = "allow-hygiene";
 
 /// Crates whose library sources must stay clock-free and deterministic: the
 /// sim-vs-live fidelity test replays identical event sequences through them
-/// and asserts identical action traces.
+/// and asserts identical action traces. Inside these crates the determinism
+/// rule is token-strict (it also catches `HashMap` struct fields and `use`
+/// declarations); outside them, coverage is *computed* — anything reachable
+/// from a declared determinism root is checked, wherever it lives.
 pub const DETERMINISTIC_CRATES: &[&str] =
     &["libra-core", "libra-sim", "libra-workloads", "libra-chaos"];
 
-/// Individual files outside the deterministic crates whose accounting must
-/// stay clock-free: the gateway's admission pipeline (token bucket, quota
-/// ledger, backpressure gate, wire codec) takes injected `now_us`
-/// parameters so every grant/deny decision replays deterministically.
-/// Socket I/O lives in `server.rs`/`http.rs`/`client.rs`, which are free to
-/// read real clocks.
-pub const DETERMINISTIC_FILES: &[&str] = &[
-    "crates/libra-gateway/src/tenant.rs",
-    "crates/libra-gateway/src/quota.rs",
-    "crates/libra-gateway/src/backpressure.rs",
-    "crates/libra-gateway/src/wire.rs",
-];
-
-/// Files whose non-test code must be panic-free: the control-plane action
-/// paths, plus the gateway's request parser and body codec — malformed
-/// bytes off the network must surface as 400s, never as a panic that takes
-/// a worker down. A panic mid-revocation would strand loans on the books.
-/// The sim's metrics aggregators are included because a single NaN sample
-/// (e.g. a zero-baseline speedup) must degrade a report, not abort a run
-/// that took hours to simulate. The execution-timeline tracer is included
-/// because every substrate's hot path calls into it — a malformed span
-/// must be dropped, never allowed to panic a run it was meant to observe.
-pub const PANIC_FREE_FILES: &[&str] = &[
-    "crates/libra-core/src/controlplane.rs",
-    "crates/libra-core/src/keepalive.rs",
-    "crates/libra-live/src/cluster.rs",
-    "crates/libra-gateway/src/http.rs",
-    "crates/libra-gateway/src/wire.rs",
-    "crates/libra-sim/src/metrics.rs",
-    "crates/libra-sim/src/trace_spans.rs",
-];
-
 /// Per-rule allowlist: `(path suffix, rule)` pairs exempted wholesale.
 /// Deliberately empty — prefer the in-source
-/// `// libra-lint: allow(<rule>)` escape hatch, which keeps the
-/// justification next to the code. Entries here are for generated files.
+/// `// libra-lint: allow(<rule>): <reason>` escape hatch, which keeps the
+/// justification next to the code. Entries here are for generated files,
+/// and entries that stop matching any diagnostic fail the build as stale.
 pub const ALLOWLIST: &[(&str, &str)] = &[];
 
 /// One finding.
@@ -73,42 +67,56 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable message with remediation.
     pub msg: String,
+    /// Call-path witness from a declared root down to the diagnostic site
+    /// (`file:line Type::fn` per hop); empty for token rules.
+    pub witness: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)?;
+        for (i, hop) in self.witness.iter().enumerate() {
+            write!(f, "\n    {} {hop}", if i == 0 { "root" } else { " via" })?;
+        }
+        Ok(())
     }
 }
 
-/// Per-file lint context: path, crate, tokens, and the test-code mask.
-pub struct FileCtx<'a> {
-    /// Workspace-relative path (forward slashes).
-    pub path: &'a str,
-    /// Crate name derived from the path (`libra-core`, ... or `root`).
-    pub krate: &'a str,
-    /// The lexed file.
-    pub lexed: &'a Lexed,
-    /// `mask[i]` is true when token `i` is inside test code.
-    pub mask: &'a [bool],
+/// Collects diagnostics and tracks which escape hatches earned their keep.
+#[derive(Default)]
+pub struct Emitter {
+    /// Diagnostics that survived suppression.
+    pub diags: Vec<Diagnostic>,
+    /// `(path, allow-comment line)` pairs that suppressed ≥ 1 diagnostic.
+    pub used_allows: BTreeSet<(String, u32)>,
+    /// [`ALLOWLIST`] indices that suppressed ≥ 1 diagnostic.
+    pub used_allowlist: BTreeSet<usize>,
 }
 
-impl FileCtx<'_> {
-    fn emit(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: u32, msg: String) {
-        // Escape hatch: allow-comment on the same line or the one above.
+impl Emitter {
+    /// Emit one diagnostic against `file`, honouring the allow-comment (same
+    /// line or line above) and [`ALLOWLIST`] escape hatches.
+    pub fn emit(
+        &mut self,
+        file: &FileEntry,
+        rule: &'static str,
+        line: u32,
+        msg: String,
+        witness: Vec<String>,
+    ) {
         for l in [line, line.saturating_sub(1)] {
-            if self.lexed.allows.get(&l).is_some_and(|rules| rules.contains(rule)) {
+            if file.lexed.allows.get(&l).is_some_and(|rules| rules.contains(rule)) {
+                self.used_allows.insert((file.path.clone(), l));
                 return;
             }
         }
-        if ALLOWLIST.iter().any(|(suffix, r)| *r == rule && self.path.ends_with(suffix)) {
-            return;
+        for (i, (suffix, r)) in ALLOWLIST.iter().enumerate() {
+            if *r == rule && file.path.ends_with(suffix) {
+                self.used_allowlist.insert(i);
+                return;
+            }
         }
-        out.push(Diagnostic { rule, path: self.path.to_string(), line, msg });
-    }
-
-    fn tokens(&self) -> &[Token] {
-        &self.lexed.tokens
+        self.diags.push(Diagnostic { rule, path: file.path.clone(), line, msg, witness });
     }
 }
 
@@ -116,7 +124,7 @@ impl FileCtx<'_> {
 /// `test` outside a `not(...)` (covers `#[cfg(test)]`, `#[test]`,
 /// `#[cfg(all(test, ...))]`), plus everything when an inner `#![cfg(test)]`
 /// marks the whole file. The item body is skipped by brace matching.
-pub fn test_mask(lexed: &Lexed) -> Vec<bool> {
+pub fn test_mask(lexed: &crate::lexer::Lexed) -> Vec<bool> {
     let toks = &lexed.tokens;
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
@@ -216,106 +224,72 @@ fn attr_mentions_test(attr: &[Token]) -> bool {
     false
 }
 
-/// Rule 1 — determinism: the deterministic crates must not read wall clocks,
-/// draw from ambient RNGs, or use hash-ordered containers whose iteration
-/// order could leak into behaviour.
-pub fn rule_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !DETERMINISTIC_CRATES.contains(&ctx.krate)
-        && !DETERMINISTIC_FILES.iter().any(|f| ctx.path.ends_with(f))
-    {
+// ====================================================================
+// Token rules (per file)
+// ====================================================================
+
+/// Rule — determinism, crate-strict half: the deterministic crates must not
+/// read wall clocks, draw from ambient RNGs, or use hash-ordered containers
+/// whose iteration order could leak into behaviour. Token-strict so `use`
+/// declarations and struct fields are covered, not just calls.
+pub fn rule_determinism_crates(file: &FileEntry, out: &mut Emitter) {
+    if !DETERMINISTIC_CRATES.contains(&file.krate.as_str()) {
         return;
     }
-    let toks = ctx.tokens();
+    let toks = &file.lexed.tokens;
     for i in 0..toks.len() {
-        if ctx.mask[i] {
+        if file.mask[i] {
             continue;
         }
-        let t = &toks[i];
-        let line = t.line;
-        let path2 = |a: &str, b: &str| {
-            toks[i].is_ident(a)
-                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
-                && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+        if let Some((line, msg)) = determinism_sink(toks, i, &file.krate) {
+            out.emit(file, RULE_DETERMINISM, line, msg, Vec::new());
+        }
+    }
+}
+
+/// Recognise one determinism sink at token `i`; returns `(line, message)`.
+fn determinism_sink(toks: &[Token], i: usize, scope: &str) -> Option<(u32, String)> {
+    let t = &toks[i];
+    let line = t.line;
+    let path2 = |a: &str, b: &str| {
+        toks[i].is_ident(a)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+    };
+    if path2("Instant", "now") {
+        return Some((line, format!(
+            "`Instant::now()` in deterministic scope `{scope}`: thread a `libra_core::clock::Clock` (sim substrates pass `NullClock`) instead of reading the wall clock"
+        )));
+    }
+    if path2("SystemTime", "now") {
+        return Some((line, format!(
+            "`SystemTime::now()` in deterministic scope `{scope}`: derive time from the event's explicit `now: SimTime`"
+        )));
+    }
+    if t.is_ident("thread_rng") {
+        return Some((line, format!(
+            "`thread_rng` in deterministic scope `{scope}`: use a seeded `ChaCha8Rng` threaded through the config"
+        )));
+    }
+    if t.is_ident("HashMap") || t.is_ident("HashSet") {
+        let name = match &t.tok {
+            Tok::Ident(s) => s.as_str(),
+            _ => "",
         };
-        if path2("Instant", "now") {
-            ctx.emit(out, RULE_DETERMINISM, line, format!(
-                "`Instant::now()` in deterministic crate `{}`: thread a `libra_core::clock::Clock` (sim substrates pass `NullClock`) instead of reading the wall clock",
-                ctx.krate
-            ));
-        } else if path2("SystemTime", "now") {
-            ctx.emit(out, RULE_DETERMINISM, line, format!(
-                "`SystemTime::now()` in deterministic crate `{}`: derive time from the event's explicit `now: SimTime`",
-                ctx.krate
-            ));
-        } else if t.is_ident("thread_rng") {
-            ctx.emit(out, RULE_DETERMINISM, line, format!(
-                "`thread_rng` in deterministic crate `{}`: use a seeded `ChaCha8Rng` threaded through the config",
-                ctx.krate
-            ));
-        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
-            let name = match &t.tok {
-                Tok::Ident(s) => s.as_str(),
-                _ => "",
-            };
-            ctx.emit(out, RULE_DETERMINISM, line, format!(
-                "`{name}` in deterministic crate `{}`: iteration order is nondeterministic and silently leaks into replay — use the BTree equivalent (or an explicitly ordered index)",
-                ctx.krate
-            ));
-        }
+        return Some((line, format!(
+            "`{name}` in deterministic scope `{scope}`: iteration order is nondeterministic and silently leaks into replay — use the BTree equivalent (or an explicitly ordered index)"
+        )));
     }
+    None
 }
 
-/// Rule 2 — panic-freedom: control-plane action paths must not `unwrap`,
-/// `expect` or index panically. A panic mid-revocation strands loans.
-pub fn rule_panic(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !PANIC_FREE_FILES.iter().any(|f| ctx.path.ends_with(f)) {
-        return;
-    }
-    let toks = ctx.tokens();
-    for i in 0..toks.len() {
-        if ctx.mask[i] {
-            continue;
-        }
-        let t = &toks[i];
-        // `.unwrap(` / `.expect(` — exact method names only, so the
-        // infallible `unwrap_or*` family stays legal.
-        if i >= 1
-            && toks[i - 1].is_punct(".")
-            && (t.is_ident("unwrap") || t.is_ident("expect"))
-            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
-        {
-            let what = match &t.tok {
-                Tok::Ident(s) => s.clone(),
-                _ => String::new(),
-            };
-            ctx.emit(out, RULE_PANIC, t.line, format!(
-                "`.{what}()` on a control-plane action path: restructure with `let .. else` / `if let`, or return a typed error"
-            ));
-        }
-        // Panicking indexing: `expr[..]` — a `[` directly after an
-        // identifier, `)`, `]` or `?` is an index expression (array literals,
-        // attributes, slice patterns and `vec![` all have different
-        // predecessors).
-        if t.is_punct("[") && i >= 1 {
-            let p = &toks[i - 1];
-            let indexing = matches!(&p.tok, Tok::Ident(_))
-                || p.is_punct(")")
-                || p.is_punct("]")
-                || p.is_punct("?");
-            if indexing {
-                ctx.emit(out, RULE_PANIC, t.line, "panicking index on a control-plane action path: use `.get()`/`.get_mut()` and handle the miss".to_string());
-            }
-        }
-    }
-}
-
-/// Rule 3 — action exhaustiveness: a `match` whose patterns name
+/// Rule — action exhaustiveness: a `match` whose patterns name
 /// `Action::...` must not carry a wildcard arm. New `Action` variants must
 /// fail the build in every driver rather than being silently dropped.
-pub fn rule_action_wildcard(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let toks = ctx.tokens();
+pub fn rule_action_wildcard(file: &FileEntry, out: &mut Emitter) {
+    let toks = &file.lexed.tokens;
     for i in 0..toks.len() {
-        if ctx.mask[i] || !toks[i].is_ident("match") {
+        if file.mask[i] || !toks[i].is_ident("match") {
             continue;
         }
         // Find the body `{` (scrutinees cannot contain a bare `{`).
@@ -335,14 +309,14 @@ pub fn rule_action_wildcard(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
         if j >= toks.len() {
             continue;
         }
-        analyze_match_body(ctx, toks, j, out);
+        analyze_match_body(file, toks, j, out);
     }
 }
 
 /// Analyze one match body starting at its `{` token: collect arm patterns at
 /// depth 1 and flag a top-level `_` alternative when any pattern names
 /// `Action::`.
-fn analyze_match_body(ctx: &FileCtx<'_>, toks: &[Token], open: usize, out: &mut Vec<Diagnostic>) {
+fn analyze_match_body(file: &FileEntry, toks: &[Token], open: usize, out: &mut Emitter) {
     #[derive(PartialEq)]
     enum St {
         Pattern,
@@ -429,17 +403,17 @@ fn analyze_match_body(ctx: &FileCtx<'_>, toks: &[Token], open: usize, out: &mut 
     }
     if mentions_action {
         if let Some(line) = wildcard_line {
-            ctx.emit(out, RULE_ACTION_WILDCARD, line, "wildcard arm in a `match` over `controlplane::Action`: enumerate every variant so new Actions fail the build instead of being silently dropped".to_string());
+            out.emit(file, RULE_ACTION_WILDCARD, line, "wildcard arm in a `match` over `controlplane::Action`: enumerate every variant so new Actions fail the build instead of being silently dropped".to_string(), Vec::new());
         }
     }
 }
 
-/// Rule 4 — float equality: `==`/`!=` against a float literal compares
+/// Rule — float equality: `==`/`!=` against a float literal compares
 /// resource volumes exactly; use an approx helper (`(a - b).abs() < eps`).
-pub fn rule_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let toks = ctx.tokens();
+pub fn rule_float_eq(file: &FileEntry, out: &mut Emitter) {
+    let toks = &file.lexed.tokens;
     for i in 0..toks.len() {
-        if ctx.mask[i] {
+        if file.mask[i] {
             continue;
         }
         let t = &toks[i];
@@ -449,17 +423,595 @@ pub fn rule_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
         let float_adjacent = (i >= 1 && toks[i - 1].tok == Tok::Float)
             || toks.get(i + 1).is_some_and(|n| n.tok == Tok::Float);
         if float_adjacent {
-            ctx.emit(out, RULE_FLOAT_EQ, t.line, "exact float equality: compare with an epsilon helper (`(a - b).abs() < EPS`) — bit-exact float compares silently diverge across refactors".to_string());
+            out.emit(file, RULE_FLOAT_EQ, t.line, "exact float equality: compare with an epsilon helper (`(a - b).abs() < EPS`) — bit-exact float compares silently diverge across refactors".to_string(), Vec::new());
         }
     }
 }
 
-/// Run every rule over one lexed file.
-pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+// ====================================================================
+// Reachability rules (workspace)
+// ====================================================================
+
+/// One panic sink found in a function body.
+struct Sink {
+    line: u32,
+    msg: String,
+}
+
+/// Scan one function body for panic sinks: `.unwrap()`, `.expect()`,
+/// `panic!`/`todo!`/`unimplemented!`, and panicking index expressions.
+/// `assert!`-family and `unreachable!` are deliberately not sinks — they
+/// state invariants; the rule targets recoverable-situation panics.
+fn panic_sinks(file: &FileEntry, f: &FnItem) -> Vec<Sink> {
+    let toks = &file.lexed.tokens;
     let mut out = Vec::new();
-    rule_determinism(ctx, &mut out);
-    rule_panic(ctx, &mut out);
-    rule_action_wildcard(ctx, &mut out);
-    rule_float_eq(ctx, &mut out);
+    for i in f.body.0..f.body.1 {
+        if file.mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if i >= 1
+            && toks[i - 1].is_punct(".")
+            && (t.is_ident("unwrap") || t.is_ident("expect"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let what = match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                _ => String::new(),
+            };
+            out.push(Sink {
+                line: t.line,
+                msg: format!("`.{what}()` on a panic-free path: restructure with `let .. else` / `if let`, or return a typed error"),
+            });
+        }
+        if let Tok::Ident(name) = &t.tok {
+            if (name == "panic" || name == "todo" || name == "unimplemented")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+            {
+                out.push(Sink {
+                    line: t.line,
+                    msg: format!("`{name}!` on a panic-free path: degrade (skip, return an error) instead of aborting"),
+                });
+            }
+        }
+        if t.is_punct("[") && i >= 1 && is_index_expr(toks, i) && computed_subscript(toks, i) {
+            out.push(Sink {
+                line: t.line,
+                msg: "computed-index `[..]` on a panic-free path: the offset arithmetic can overflow the buffer — use `.get()`/`.get_mut()` and handle the miss".to_string(),
+            });
+        }
+    }
     out
+}
+
+/// Does the subscript starting at the `[` at `i` *compute* its index —
+/// arithmetic inside the brackets? Plain subscripts (`xs[i]`,
+/// `nodes[id.idx()]`) are the arena idiom whose validity is structural
+/// (typed ids handed out by the arena itself, checked by the invariant
+/// auditor); computed offsets (`buf[off + 2]`, `bins[(v / w) as usize]`)
+/// are the class that actually walks off the end.
+fn computed_subscript(toks: &[Token], open: usize) -> bool {
+    const ARITH: &[&str] = &["+", "/", "%", "<<", ">>"];
+    // `*` and `-` are arithmetic only in infix position — after an operand
+    // — otherwise they are deref (`row[*feature]`) / negation.
+    const INFIX_ONLY: &[&str] = &["*", "-"];
+    let operand_end = |t: &Token| match &t.tok {
+        Tok::Ident(name) => !is_expr_keyword(name),
+        Tok::Int | Tok::Float | Tok::Punct(")") | Tok::Punct("]") => true,
+        _ => false,
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("[") || t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct("]") || t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if let Tok::Punct(p) = &t.tok {
+            if ARITH.contains(p) || (INFIX_ONLY.contains(p) && j > 0 && operand_end(&toks[j - 1])) {
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Panicking indexing heuristic: a `[` directly after an identifier, `)`,
+/// `]` or `?` is an index expression — except after keywords (`&mut [u8]`,
+/// `in [..]`), which are types, patterns or literals.
+fn is_index_expr(toks: &[Token], i: usize) -> bool {
+    let p = &toks[i - 1];
+    match &p.tok {
+        Tok::Ident(name) => !is_expr_keyword(name) && name != "_",
+        Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("?") => true,
+        _ => false,
+    }
+}
+
+/// Rule — panic-reachability: any panic sink in a function transitively
+/// reachable from a declared panic root is a diagnostic carrying the full
+/// call-path witness.
+pub fn rule_panic_reachability(g: &CallGraph<'_>, out: &mut Emitter) {
+    let roots = g.roots_for(RULE_PANIC);
+    let (seen, parent) = g.reachable_from(&roots);
+    for (id, &is_seen) in seen.iter().enumerate() {
+        if !is_seen {
+            continue;
+        }
+        let file = g.file(id);
+        let f = g.item(id);
+        let witness = g.witness(id, &parent);
+        for sink in panic_sinks(file, f) {
+            out.emit(file, RULE_PANIC, sink.line, sink.msg, witness.clone());
+        }
+    }
+}
+
+/// Rule — determinism-reachability: clock reads, ambient RNG, and
+/// hash-ordered containers in functions reachable from declared determinism
+/// roots, *outside* the deterministic crates (inside them the token-strict
+/// crate rule already covers every token). Top-level tokens (`use`
+/// declarations, struct fields) of root-declaring files are scanned too —
+/// computed, not curated, coverage of the old `DETERMINISTIC_FILES` list.
+pub fn rule_determinism_reachability(g: &CallGraph<'_>, out: &mut Emitter) {
+    let roots = g.roots_for(RULE_DETERMINISM);
+    let (seen, parent) = g.reachable_from(&roots);
+    for (id, &is_seen) in seen.iter().enumerate() {
+        if !is_seen {
+            continue;
+        }
+        let file = g.file(id);
+        if DETERMINISTIC_CRATES.contains(&file.krate.as_str()) {
+            continue; // the crate-strict rule owns these
+        }
+        let f = g.item(id);
+        let witness = g.witness(id, &parent);
+        let toks = &file.lexed.tokens;
+        for i in f.body.0..f.body.1 {
+            if file.mask[i] {
+                continue;
+            }
+            if let Some((line, msg)) =
+                determinism_sink(toks, i, "reachable-from-deterministic-root")
+            {
+                out.emit(file, RULE_DETERMINISM, line, msg, witness.clone());
+            }
+        }
+    }
+    // Top-level scan of files that declare a determinism root: struct
+    // fields and `use` lines must be hash-free too.
+    let root_files: BTreeSet<usize> = roots.iter().map(|&r| g.nodes[r].0).collect();
+    for &fi in &root_files {
+        let file = &g.files[fi];
+        if DETERMINISTIC_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        let in_fn = |i: usize| file.items.fns.iter().any(|f| i >= f.body.0 && i < f.body.1);
+        for i in 0..toks.len() {
+            if file.mask[i] || in_fn(i) {
+                continue;
+            }
+            if let Some((line, msg)) = determinism_sink(toks, i, "determinism-root file") {
+                out.emit(file, RULE_DETERMINISM, line, msg, Vec::new());
+            }
+        }
+    }
+}
+
+/// Integer types a raw `as` cast can silently truncate into.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Wide integer targets — flagged only for float→int casts.
+const WIDE_INTS: &[&str] = &["u64", "u128", "i64", "i128", "usize", "isize"];
+
+/// Rule — narrowing-cast audit: on the deterministic crates' hot paths
+/// (functions reachable from the panic roots — the event loop, the control
+/// plane, the policy hooks), a raw `as` cast to a narrow integer type, or a
+/// float→int `as` cast, must become `try_from`/checked arithmetic or carry
+/// a reasoned allow. Silent truncation on a million-invocation trace is a
+/// wrong-answer generator, not a crash.
+pub fn rule_cast(g: &CallGraph<'_>, out: &mut Emitter) {
+    let roots = g.roots_for(RULE_PANIC);
+    let (seen, parent) = g.reachable_from(&roots);
+    for (id, &is_seen) in seen.iter().enumerate() {
+        if !is_seen {
+            continue;
+        }
+        let file = g.file(id);
+        if !DETERMINISTIC_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let f = g.item(id);
+        let witness = g.witness(id, &parent);
+        let toks = &file.lexed.tokens;
+        for i in f.body.0..f.body.1 {
+            if file.mask[i] || !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(Tok::Ident(target)) = toks.get(i + 1).map(|t| &t.tok) else { continue };
+            let line = toks[i].line;
+            if NARROW_INTS.contains(&target.as_str()) {
+                // A cast of an integer *literal* is value-visible: exempt.
+                if i >= 1 && matches!(toks[i - 1].tok, Tok::Int) {
+                    continue;
+                }
+                out.emit(file, RULE_CAST, line, format!(
+                    "raw `as {target}` narrowing cast on a deterministic hot path: use `{target}::try_from(..)` and degrade on overflow, or add `// libra-lint: allow(cast): <reason>`"
+                ), witness.clone());
+            } else if WIDE_INTS.contains(&target.as_str()) && float_source(toks, i) {
+                out.emit(file, RULE_CAST, line, format!(
+                    "float→`{target}` `as` cast on a deterministic hot path: saturating semantics are easy to get wrong — route through a checked helper or add `// libra-lint: allow(cast): <reason>`"
+                ), witness.clone());
+            }
+        }
+    }
+}
+
+/// Does the expression cast by the `as` at `i` visibly involve floats?
+/// Recognises `(.. f64 ..) as T` and `<float-literal> as T`.
+fn float_source(toks: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let p = &toks[i - 1];
+    if p.tok == Tok::Float {
+        return true;
+    }
+    if !p.is_punct(")") {
+        return false;
+    }
+    // Walk back to the matching `(` and look for f64/f32/float literals.
+    let mut depth = 0i32;
+    let mut k = i - 1;
+    loop {
+        let t = &toks[k];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+    toks[k..i].iter().any(|t| t.is_ident("f64") || t.is_ident("f32") || t.tok == Tok::Float)
+}
+
+// ====================================================================
+// Charge/release pairing (intra-procedural, branch-aware)
+// ====================================================================
+
+/// Rule — charge/release pairing: inside any one function, a
+/// `charge_*(..)` acquisition must not be followed by an early exit
+/// (`return`, `?`) on a path that has not seen a `release_*(..)`. Charges
+/// that flow to the end of the function are fine — they are handed to the
+/// ledger/state machine, whose global balance the debug-assert auditor
+/// checks at runtime; this rule mechanizes the *local* discipline that an
+/// error path must give back what it took. Binding the charge result
+/// (`let guard = charge_..(..)`) counts as guarded ownership.
+pub fn rule_charge_pairing(file: &FileEntry, out: &mut Emitter) {
+    let toks = &file.lexed.tokens;
+    for f in &file.items.fns {
+        if f.is_test || f.body.0 == f.body.1 {
+            continue;
+        }
+        let mut walker = ChargeWalker { file, toks, out };
+        let body = (f.body.0 + 1, f.body.1.saturating_sub(1));
+        walker.walk(body.0, body.1, &mut Vec::new());
+    }
+}
+
+struct ChargeWalker<'a, 'b> {
+    file: &'a FileEntry,
+    toks: &'a [Token],
+    out: &'b mut Emitter,
+}
+
+impl ChargeWalker<'_, '_> {
+    /// Walk tokens `[i, end)` at one nesting level. `outstanding` carries
+    /// the lines of unreleased `charge_*` calls on this path; mutated in
+    /// place to reflect the state at the end of the range.
+    fn walk(&mut self, mut i: usize, end: usize, outstanding: &mut Vec<u32>) {
+        while i < end {
+            let t = &self.toks[i];
+            if self.file.mask[i] {
+                i += 1;
+                continue;
+            }
+            if t.is_ident("if") || t.is_ident("else") {
+                // Branch: process arms with cloned states, union after.
+                let (arms, next) = self.branch_blocks(i, end);
+                if arms.is_empty() {
+                    i += 1;
+                    continue;
+                }
+                let mut merged: Vec<u32> = outstanding.clone(); // else-less: fallthrough keeps state
+                for (s, e) in arms {
+                    let mut st = outstanding.clone();
+                    self.walk(s, e, &mut st);
+                    for l in st {
+                        if !merged.contains(&l) {
+                            merged.push(l);
+                        }
+                    }
+                }
+                *outstanding = merged;
+                i = next;
+                continue;
+            }
+            if t.is_ident("match") || t.is_ident("loop") || t.is_ident("while") || t.is_ident("for")
+            {
+                // Approximation: scan the construct's block linearly with
+                // the current state (a release in any arm clears; an early
+                // exit after a charge still diagnoses).
+                i += 1;
+                continue;
+            }
+            if let Tok::Ident(name) = &t.tok {
+                if name.starts_with("charge_")
+                    && self.toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    let close = self.match_paren(i + 1, end);
+                    // `let g = charge_..(..)` — guard binding owns the charge.
+                    if !self.is_let_bound(i) {
+                        outstanding.push(t.line);
+                    }
+                    // `charge_..(..)?` — if the `?` fires the charge itself
+                    // failed and nothing is held; skip that `?` (later exits
+                    // still see the charge as outstanding).
+                    if self.toks.get(close).is_some_and(|n| n.is_punct("?")) {
+                        i = close + 1;
+                    } else {
+                        i = close;
+                    }
+                    continue;
+                }
+                if name.starts_with("release_")
+                    && self.toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    outstanding.clear();
+                    i += 1;
+                    continue;
+                }
+                if name == "return" && !outstanding.is_empty() {
+                    self.leak(t.line, outstanding, "`return`");
+                    outstanding.clear();
+                    i += 1;
+                    continue;
+                }
+            }
+            if t.is_punct("?") && !outstanding.is_empty() {
+                self.leak(t.line, outstanding, "`?` propagation");
+                outstanding.clear();
+            }
+            i += 1;
+        }
+    }
+
+    fn leak(&mut self, line: u32, outstanding: &[u32], how: &str) {
+        let charged: Vec<String> = outstanding.iter().map(|l| format!("line {l}")).collect();
+        self.out.emit(
+            self.file,
+            RULE_CHARGE,
+            line,
+            format!(
+                "early exit via {how} with an unreleased `charge_*` ({}) on this path: release the charge on the error path (or bind it to a guard)",
+                charged.join(", ")
+            ),
+            Vec::new(),
+        );
+    }
+
+    /// Is the `charge_*` call at `i` the initialiser of a `let` binding?
+    /// Looks back to the statement start for `let .. =`.
+    fn is_let_bound(&self, i: usize) -> bool {
+        let mut k = i;
+        let mut saw_eq = false;
+        while k > 0 {
+            k -= 1;
+            let t = &self.toks[k];
+            if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                return false;
+            }
+            if t.is_punct("=") {
+                saw_eq = true;
+            }
+            if t.is_ident("let") {
+                return saw_eq;
+            }
+        }
+        false
+    }
+
+    /// One past the `)` matching the `(` at `open` (bounded by `end`).
+    fn match_paren(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// For an `if`/`else` at `i`, find its arm block(s): returns the token
+    /// ranges (inside the braces) of the then-block (and, transparently,
+    /// subsequent `else`/`else if` blocks are handled by the caller seeing
+    /// the `else` keyword next). Returns `(arms, resume_index)`.
+    fn branch_blocks(&self, i: usize, end: usize) -> (Vec<(usize, usize)>, usize) {
+        // Scan from `i` to the block `{` at depth 0 (the condition may
+        // contain parens but not bare braces except struct literals, which
+        // the lexer can't distinguish — accepted imprecision).
+        let mut j = i + 1;
+        let mut d = 0i32;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                d += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                d -= 1;
+            } else if t.is_punct("{") && d == 0 {
+                break;
+            } else if t.is_punct(";") && d == 0 {
+                return (Vec::new(), i + 1);
+            }
+            j += 1;
+        }
+        if j >= end {
+            return (Vec::new(), i + 1);
+        }
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < end {
+            let t = &self.toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return (vec![(j + 1, k)], k + 1);
+                }
+            }
+            k += 1;
+        }
+        (Vec::new(), j + 1)
+    }
+}
+
+// ====================================================================
+// Allow hygiene
+// ====================================================================
+
+/// Rule — allow-comment hygiene, run after every other rule: each allow
+/// must carry a `: <reason>` clause, and each must still suppress at least
+/// one diagnostic (an allow that suppresses nothing is stale — the code it
+/// excused moved or was fixed, and the hole should close with it).
+pub fn rule_allow_hygiene(files: &[FileEntry], em: &mut Emitter) {
+    for file in files {
+        for site in &file.lexed.allow_sites {
+            if site.reason.is_none() {
+                em.diags.push(Diagnostic {
+                    rule: RULE_ALLOW_HYGIENE,
+                    path: file.path.clone(),
+                    line: site.line,
+                    msg: format!(
+                        "allow({}) without a reason: write `// libra-lint: allow({}): <why this is safe>`",
+                        comma(&site.rules), comma(&site.rules)
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+            if !em.used_allows.contains(&(file.path.clone(), site.line)) {
+                em.diags.push(Diagnostic {
+                    rule: RULE_ALLOW_HYGIENE,
+                    path: file.path.clone(),
+                    line: site.line,
+                    msg: format!(
+                        "stale allow({}): it no longer suppresses any diagnostic — delete it",
+                        comma(&site.rules)
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+    for (i, (suffix, rule)) in ALLOWLIST.iter().enumerate() {
+        if !em.used_allowlist.contains(&i) {
+            em.diags.push(Diagnostic {
+                rule: RULE_ALLOW_HYGIENE,
+                path: "(workspace)".to_string(),
+                line: 0,
+                msg: format!(
+                    "stale ALLOWLIST entry (\"{suffix}\", \"{rule}\"): it matches no diagnostic — delete it from crates/libra-lint/src/rules.rs"
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+}
+
+fn comma(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+/// Root specs that match no function are reported so the roots table cannot
+/// rot. Called by the workspace pass (not per-file fixtures, which lint
+/// single files where most specs legitimately match nothing).
+pub fn stale_roots(g: &CallGraph<'_>, em: &mut Emitter) {
+    for spec in crate::roots::ROOTS {
+        let matched = g.nodes.iter().any(|&(fi, ii)| {
+            let file = &g.files[fi];
+            let f = &file.items.fns[ii];
+            match spec.matcher {
+                crate::roots::RootMatch::InFile(suffix) => file.path.ends_with(suffix),
+                crate::roots::RootMatch::ImplOf(ty) => f.self_ty.as_deref() == Some(ty),
+                crate::roots::RootMatch::TraitImpl(tr) => f.trait_name.as_deref() == Some(tr),
+            }
+        });
+        if !matched {
+            em.diags.push(Diagnostic {
+                rule: RULE_ALLOW_HYGIENE,
+                path: "(workspace)".to_string(),
+                line: 0,
+                msg: format!(
+                    "stale root spec {:?} for rule `{}`: it matches no function — update crates/libra-lint/src/roots.rs",
+                    spec.matcher, spec.rule
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Resolve one call for the `Action` helper — kept for the fixture suite.
+pub fn callee_name(c: &Callee) -> &str {
+    match c {
+        Callee::SelfMethod(n)
+        | Callee::Free(n)
+        | Callee::Macro(n)
+        | Callee::Method { name: n, .. }
+        | Callee::Qualified { name: n, .. } => n,
+    }
+}
+
+/// Run every rule over the file set: token rules per file, then the
+/// reachability rules over the workspace call graph, then hygiene.
+pub fn run_all(files: &[FileEntry], workspace: bool) -> (Emitter, FnId) {
+    let mut em = Emitter::default();
+    let g = CallGraph::build(files);
+    for file in files {
+        rule_determinism_crates(file, &mut em);
+        rule_action_wildcard(file, &mut em);
+        rule_float_eq(file, &mut em);
+        rule_charge_pairing(file, &mut em);
+    }
+    rule_panic_reachability(&g, &mut em);
+    rule_determinism_reachability(&g, &mut em);
+    rule_cast(&g, &mut em);
+    if workspace {
+        stale_roots(&g, &mut em);
+    }
+    rule_allow_hygiene(files, &mut em);
+    let n = g.nodes.len();
+    (em, n)
 }

@@ -1,0 +1,57 @@
+//! Call-graph snapshot: a small fixture workspace must resolve to exactly
+//! this node/edge set. Pins the resolution heuristics — self-method calls,
+//! free-fn preference order (same file → same crate), receiver-typed method
+//! calls across files, and the no-edge bias for unresolvable ubiquitous
+//! names — so a resolver change shows up as a readable diff, not as a
+//! mysterious reachability shift.
+
+use libra_lint::{analyze_file, CallGraph};
+
+const ALPHA: &str = "\
+pub struct Gadget { pub count: u32 }
+impl Gadget {
+    pub fn tick(&mut self) -> u32 {
+        self.bump();
+        helper(self.count)
+    }
+    pub fn bump(&mut self) {}
+}
+pub fn helper(x: u32) -> u32 { double(x) }
+pub fn double(x: u32) -> u32 { x * 2 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { super::helper(1); }
+}
+";
+
+const BETA: &str = "\
+pub fn drive(g: &mut Gadget) -> u32 {
+    let xs: Vec<u32> = Vec::new();
+    let _ = xs.len();
+    g.tick()
+}
+";
+
+#[test]
+fn call_graph_snapshot() {
+    let files = vec![
+        analyze_file("crates/libra-core/src/alpha.rs", ALPHA),
+        analyze_file("crates/libra-core/src/beta.rs", BETA),
+    ];
+    let g = CallGraph::build(&files);
+    let expected = "\
+crates/libra-core/src/alpha.rs:10 double -> []
+crates/libra-core/src/alpha.rs:3 Gadget::tick -> [Gadget::bump, helper]
+crates/libra-core/src/alpha.rs:7 Gadget::bump -> []
+crates/libra-core/src/alpha.rs:9 helper -> [double]
+crates/libra-core/src/beta.rs:1 drive -> [Gadget::tick]";
+    assert_eq!(g.debug_dump(), expected);
+}
+
+#[test]
+fn test_functions_are_not_graph_nodes() {
+    let files = vec![analyze_file("crates/libra-core/src/alpha.rs", ALPHA)];
+    let g = CallGraph::build(&files);
+    assert_eq!(g.nodes.len(), 4, "the #[cfg(test)] fn must be excluded:\n{}", g.debug_dump());
+}

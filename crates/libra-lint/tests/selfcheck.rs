@@ -1,7 +1,7 @@
-//! Workspace self-check: the tree this crate ships in must lint clean, and
-//! `libra-core` must be clean *without* escape hatches — its determinism is
-//! load-bearing for the sim-vs-live fidelity argument, so violations there
-//! must be fixed, never allowed away.
+//! Workspace self-check: the tree this crate ships in must lint clean, every
+//! escape hatch must carry a reason, and `libra-core` must be clean *without*
+//! escape hatches — its determinism is load-bearing for the sim-vs-live
+//! fidelity argument, so violations there must be fixed, never allowed away.
 
 use std::fs;
 use std::path::Path;
@@ -9,13 +9,46 @@ use std::path::Path;
 #[test]
 fn workspace_is_lint_clean() {
     let root = libra_lint::default_root();
-    let (files, diags) = libra_lint::lint_workspace(&root).expect("scan workspace");
-    assert!(files > 0, "scanned no files — wrong root? {}", root.display());
+    let report = libra_lint::lint_workspace(&root).expect("scan workspace");
+    assert!(report.files > 0, "scanned no files — wrong root? {}", root.display());
     assert!(
-        diags.is_empty(),
-        "workspace has lint diagnostics:\n{}",
-        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+        report.functions > 500,
+        "call graph collapsed to {} functions — item pass regression?",
+        report.functions
     );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint diagnostics:\n{}",
+        report.diagnostics.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn every_allow_carries_a_reason() {
+    // Redundant with the allow-hygiene rule (a reasonless allow is itself a
+    // diagnostic), but pinned separately so a hygiene-rule regression cannot
+    // silently re-open the hole.
+    let root = libra_lint::default_root();
+    let report = libra_lint::lint_workspace(&root).expect("scan workspace");
+    let unreasoned: Vec<String> = report
+        .allows
+        .iter()
+        .filter(|a| a.reason.is_none())
+        .map(|a| format!("{}:{}", a.path, a.line))
+        .collect();
+    assert!(unreasoned.is_empty(), "allows without a reason clause: {unreasoned:?}");
+}
+
+#[test]
+fn lint_json_report_is_well_formed() {
+    let root = libra_lint::default_root();
+    let report = libra_lint::lint_workspace(&root).expect("scan workspace");
+    let json = report.to_json();
+    assert!(json.contains("\"files\":"), "{json}");
+    assert!(json.contains("\"functions\":"), "{json}");
+    assert!(json.contains("\"diagnostics\": ["), "{json}");
+    assert!(json.contains("\"allows\": ["), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "unbalanced braces");
 }
 
 #[test]

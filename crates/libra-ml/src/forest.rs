@@ -84,7 +84,7 @@ impl RandomForest {
             let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
             let chunk = params.n_trees.div_ceil(threads);
             let mut out: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
-            crossbeam::scope(|s| {
+            let scope_ok = crossbeam::scope(|s| {
                 for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
                     s.spawn(move |_| {
                         for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
@@ -93,8 +93,14 @@ impl RandomForest {
                     });
                 }
             })
-            .expect("forest training thread panicked");
-            out.into_iter().map(|t| t.expect("tree slot unfilled")).collect()
+            .is_ok();
+            debug_assert!(scope_ok, "forest training thread panicked");
+            // A panicked worker leaves holes; refit those trees here rather
+            // than aborting the whole control plane mid-run.
+            out.into_iter()
+                .zip(&seeds)
+                .map(|(t, &seed)| t.unwrap_or_else(|| fit_one(seed)))
+                .collect()
         } else {
             seeds.iter().map(|&s| fit_one(s)).collect()
         };

@@ -96,8 +96,8 @@ impl StreamingHistogram {
     fn double_range(&mut self) {
         let n = self.bins.len();
         let mut merged = vec![0u64; n];
-        for i in 0..n {
-            merged[i / 2] += self.bins[i];
+        for (m, pair) in merged.iter_mut().zip(self.bins.chunks(2)) {
+            *m = pair.iter().sum();
         }
         self.bins = merged;
         self.hi *= 2.0;

@@ -166,9 +166,9 @@ impl LogisticRegression {
                 let z: f64 = w.iter().zip(&xs).map(|(wi, v)| wi * v).sum::<f64>() + b;
                 (c, z)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN score"))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(c, _)| c)
-            .expect("predict before fit")
+            .unwrap_or_default()
     }
 }
 

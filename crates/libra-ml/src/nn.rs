@@ -188,9 +188,9 @@ impl Mlp {
     fn predict_class_inner(&self, o: &[f64]) -> usize {
         o.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(k, _)| k)
-            .expect("predict before fit")
+            .unwrap_or_default()
     }
 }
 

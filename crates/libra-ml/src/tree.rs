@@ -155,12 +155,13 @@ impl DecisionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         for &f in &feats {
             let mut vals: Vec<(f64, usize)> = idx.iter().map(|&i| (x[i][f], i)).collect();
-            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
-            for w in 1..vals.len() {
-                if vals[w].0 == vals[w - 1].0 {
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for pair in vals.windows(2) {
+                let (prev, cur) = (pair[0].0, pair[1].0);
+                if cur == prev {
                     continue;
                 }
-                let thr = (vals[w].0 + vals[w - 1].0) / 2.0;
+                let thr = (cur + prev) / 2.0;
                 let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][f] <= thr);
                 if l.is_empty() || r.is_empty() {
                     continue;

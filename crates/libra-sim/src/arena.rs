@@ -101,12 +101,14 @@ impl InvArena {
     /// invocations only).
     #[inline]
     pub fn get(&self, slot: usize) -> &Invocation {
+        // libra-lint: allow(panic): arena contract — slots come from slot_of, which filters stale ids generationally; a free slot is engine corruption and must fail loudly
         self.slots[slot].as_ref().expect("free arena slot")
     }
 
     /// Mutably borrow by slot.
     #[inline]
     pub fn get_mut(&mut self, slot: usize) -> &mut Invocation {
+        // libra-lint: allow(panic): arena contract — slots come from slot_of, which filters stale ids generationally; a free slot is engine corruption and must fail loudly
         self.slots[slot].as_mut().expect("free arena slot")
     }
 

@@ -31,7 +31,7 @@ use crate::invocation::{Actuals, InvState, Invocation, Loan};
 use crate::metrics::{InvRecord, MetricsMode, RunResult, RunSummary, UtilSample};
 use crate::node::Node;
 use crate::platform::{LoanEnd, Platform, PlatformOverheads};
-use crate::resources::ResourceVec;
+use crate::resources::{sat_u64, ResourceVec};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEntry};
 use crate::trace_spans::{LoanOutcome, LoanSpan, SpanKind, SpanSink};
@@ -213,7 +213,7 @@ impl World {
 
     /// All node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..u32::try_from(self.nodes.len()).unwrap_or(u32::MAX)).map(NodeId)
     }
 
     /// One invocation record. Panics if the invocation has not arrived yet
@@ -228,6 +228,7 @@ impl World {
     fn slot(&self, id: InvocationId) -> usize {
         match self.invs.slot_of(id) {
             Some(s) => s,
+            // libra-lint: allow(panic): accessor contract — engine paths resolve ids through slot_of first; a miss here is state-machine corruption and must fail loudly
             None => panic!("{id:?} is not in flight (not yet arrived, or retired)"),
         }
     }
@@ -326,7 +327,7 @@ impl World {
         let inv = self.invs.get(idx);
         let eff = inv.effective_alloc();
         let scale = inv.node.map_or(1.0, |n| self.node_cpu_scale(n.idx()));
-        let usable = (eff.cpu_millis as f64 * scale) as u64;
+        let usable = sat_u64(eff.cpu_millis as f64 * scale);
         crate::invocation::exec_rate_millis(
             usable,
             eff.mem_mb,
@@ -469,7 +470,7 @@ impl World {
             None => return 0,
         };
         let scale = self.node_cpu_scale(node);
-        let usable = (inv.effective_alloc().cpu_millis as f64 * scale) as u64;
+        let usable = sat_u64(inv.effective_alloc().cpu_millis as f64 * scale);
         usable.min(inv.true_demand.cpu_peak_millis)
     }
 
@@ -529,7 +530,7 @@ impl World {
     /// Reconcile node reservation bookkeeping after an invocation's charge
     /// (own grant + lent out) changed, and wake parked invocations when the
     /// change freed capacity.
-    fn charge_updated(&mut self, idx: usize, old: ResourceVec) {
+    fn reconcile_charge(&mut self, idx: usize, old: ResourceVec) {
         let inv = self.invs.get(idx);
         let new = inv.charge();
         if new == old {
@@ -690,7 +691,11 @@ impl<'a> SimCtx<'a> {
     /// grant cut into resources already on loan.
     pub fn set_own_grant(&mut self, i: InvocationId, want: ResourceVec) {
         let idx = self.w.slot(i);
-        let node = self.w.invs.get(idx).node.expect("set_own_grant before placement").idx();
+        let Some(node) = self.w.invs.get(idx).node else {
+            debug_assert!(false, "set_own_grant before placement for {i:?}");
+            return;
+        };
+        let node = node.idx();
         let floor_mb = self.w.func(self.w.invs.get(idx).func).mem_floor_mb;
         self.w.with_alloc_change(node, &[idx], |w| {
             let inv = w.invs.get_mut(idx);
@@ -709,7 +714,7 @@ impl<'a> SimCtx<'a> {
             if g.cpu_millis < inv.nominal.cpu_millis || g.mem_mb < inv.nominal.mem_mb {
                 inv.flags.harvested = true;
             }
-            w.charge_updated(idx, old);
+            w.reconcile_charge(idx, old);
         });
     }
 
@@ -740,8 +745,12 @@ impl<'a> SimCtx<'a> {
         }
         // Lending re-commits previously harvested (uncommitted) volume, so
         // it must still fit the node: admission may have consumed it.
-        let node = self.w.invs.get(si).node.expect("checked above").idx();
-        let shard = self.w.invs.get(si).shard.expect("resident without shard");
+        let (Some(node), Some(shard)) = (self.w.invs.get(si).node, self.w.invs.get(si).shard)
+        else {
+            debug_assert!(false, "running {source:?} without placement");
+            return false;
+        };
+        let node = node.idx();
         if !res.fits_within(&self.w.nodes[node].free_in_shard(shard)) {
             return false;
         }
@@ -752,7 +761,7 @@ impl<'a> SimCtx<'a> {
             w.invs.get_mut(si).lent_out += res;
             w.invs.get_mut(bi).borrowed_in.push(loan);
             w.invs.get_mut(bi).flags.accelerated = true;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
         });
         true
     }
@@ -800,7 +809,7 @@ impl<'a> SimCtx<'a> {
             if let Some(si) = w.try_slot(source) {
                 let old = w.invs.get(si).charge();
                 w.invs.get_mut(si).lent_out -= returned;
-                w.charge_updated(si, old);
+                w.reconcile_charge(si, old);
             } else {
                 debug_assert!(returned.is_zero(), "returned volume to a retired source");
             }
@@ -828,7 +837,7 @@ impl<'a> SimCtx<'a> {
             let inv = w.invs.get_mut(si);
             inv.own_grant = inv.nominal;
             inv.flags.safeguarded = true;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
         });
         broken
     }
@@ -873,7 +882,7 @@ impl<'a> SimCtx<'a> {
             }
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out = ResourceVec::ZERO;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
         });
         borrowers
     }
@@ -892,7 +901,9 @@ impl Simulation {
         let nodes = node_caps
             .into_iter()
             .enumerate()
-            .map(|(i, cap)| Node::new(NodeId(i as u32), cap, config.shards))
+            .map(|(i, cap)| {
+                Node::new(NodeId(u32::try_from(i).unwrap_or(u32::MAX)), cap, config.shards)
+            })
             .collect();
         let shards = (0..config.shards).map(|_| Shard::new()).collect();
         Simulation {
@@ -955,7 +966,8 @@ impl Simulation {
         // Stable argsort of the trace by arrival time: the same permutation
         // `Trace::sorted` would produce, without cloning the entries. An
         // invocation's id is still its position in sorted order.
-        let mut order: Vec<u32> = (0..trace.entries.len() as u32).collect();
+        let mut order: Vec<u32> =
+            (0..u32::try_from(trace.entries.len()).unwrap_or(u32::MAX)).collect();
         order.sort_by_key(|&i| trace.entries[i as usize].at);
         let max_slice =
             w.nodes.iter().map(Node::shard_capacity).fold(ResourceVec::ZERO, |a, c| a.max(&c));
@@ -979,8 +991,10 @@ impl Simulation {
         // Periodic events.
         w.queue.push(SimTime::ZERO, Event::UtilizationSample);
         for n in 0..w.nodes.len() {
-            w.queue
-                .push(SimTime::ZERO + w.config.ping_interval, Event::HealthPing(NodeId(n as u32)));
+            w.queue.push(
+                SimTime::ZERO + w.config.ping_interval,
+                Event::HealthPing(NodeId(u32::try_from(n).unwrap_or(u32::MAX))),
+            );
         }
         // Injected faults (none in the common case).
         for f in faults.events() {
@@ -1009,16 +1023,26 @@ impl Simulation {
                     w.completed
                 );
                 w.clock = e.at;
-                Self::on_arrival(w, platform, InvocationId(next as u32), e);
+                Self::on_arrival(
+                    w,
+                    platform,
+                    InvocationId(u32::try_from(next).unwrap_or(u32::MAX)),
+                    e,
+                );
                 next += 1;
                 continue;
             }
-            let (at, ev) = w.queue.pop().unwrap_or_else(|| {
-                panic!(
+            let Some((at, ev)) = w.queue.pop() else {
+                // A drained queue with in-flight invocations is a scheduling
+                // deadlock: end the run and let the metrics report the
+                // shortfall instead of aborting a multi-hour sweep.
+                debug_assert!(
+                    false,
                     "event queue drained with {} completed + {} aborted of {total} invocations",
                     w.completed, w.aborted
-                )
-            });
+                );
+                break;
+            };
             debug_assert!(at >= w.clock, "time went backwards");
             assert!(
                 at.since(SimTime::ZERO) <= w.config.max_sim_time,
@@ -1030,7 +1054,9 @@ impl Simulation {
             Self::dispatch(w, platform, ev, total);
         }
         #[cfg(debug_assertions)]
-        w.check_invariants().expect("invariants violated at end of run");
+        if let Err(why) = w.check_invariants() {
+            debug_assert!(false, "invariants violated at end of run: {why}");
+        }
         let pool_violations = u64::from(w.check_invariants().is_err());
 
         let (mut warm, mut cold) = (0, 0);
@@ -1215,7 +1241,10 @@ impl Simulation {
     }
 
     fn on_decision_done(w: &mut World, platform: &mut dyn Platform, shard: usize) {
-        let (id, _) = w.shards[shard].busy.take().expect("DecisionDone without busy shard");
+        let Some((id, _)) = w.shards[shard].busy.take() else {
+            debug_assert!(false, "DecisionDone without busy shard {shard}");
+            return;
+        };
         let now = w.clock;
         let idx = w.slot(id);
         match platform.select_node(w, shard, id) {
@@ -1297,7 +1326,11 @@ impl Simulation {
         }
         // Joining the running set changes the node's CPU-share balance when
         // it is oversubscribed; refresh everyone.
-        let node = w.invs.get(idx).node.expect("exec without node").idx();
+        let Some(node) = w.invs.get(idx).node else {
+            debug_assert!(false, "exec without node for {id:?}");
+            return;
+        };
+        let node = node.idx();
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.monitor_interval;
@@ -1359,7 +1392,7 @@ impl Simulation {
             let si = w.slot(loan.source);
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
             w.note_loan_end(loan, LoanOutcome::BorrowerCompleted);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
@@ -1381,8 +1414,12 @@ impl Simulation {
         let (seg_from, attempt) = (inv.stage_start, inv.requeues);
         inv.stage_start = now;
         w.spans.record(id.0 as u64, attempt, SpanKind::Exec, seg_from, now);
-        w.charge_updated(idx, old_charge);
-        let node = w.invs.get(idx).node.expect("oom without node").idx();
+        w.reconcile_charge(idx, old_charge);
+        let Some(node) = w.invs.get(idx).node else {
+            debug_assert!(false, "oom without node for {id:?}");
+            return;
+        };
+        let node = node.idx();
         w.settle_node(node);
         w.reschedule_node(node);
         let at = now + w.config.cold_start;
@@ -1493,7 +1530,7 @@ impl Simulation {
             let si = w.slot(loan.source);
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
             w.note_loan_end(loan, LoanOutcome::Crashed);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::Crashed);
@@ -1503,8 +1540,10 @@ impl Simulation {
             let mut ctx = SimCtx { w };
             platform.on_abort(&mut ctx, id);
         }
-        let node = w.invs.get(idx).node.expect("killed attempt without node");
-        let shard = w.invs.get(idx).shard.expect("killed attempt without shard");
+        let (Some(node), Some(shard)) = (w.invs.get(idx).node, w.invs.get(idx).shard) else {
+            debug_assert!(false, "killed attempt {id:?} without placement");
+            return;
+        };
         let charge = w.invs.get(idx).charge();
         w.nodes[node.idx()].release(shard, charge);
         w.resident_unlink(node.idx(), id);
@@ -1636,7 +1675,7 @@ impl Simulation {
             let si = w.slot(loan.source);
             let old = w.invs.get(si).charge();
             w.invs.get_mut(si).lent_out -= loan.res;
-            w.charge_updated(si, old);
+            w.reconcile_charge(si, old);
             w.note_loan_end(loan, LoanOutcome::BorrowerCompleted);
             let mut ctx = SimCtx { w };
             platform.on_loan_ended(&mut ctx, loan, LoanEnd::BorrowerCompleted);
@@ -1648,7 +1687,8 @@ impl Simulation {
             inv.end = Some(now);
             // Physics: wall-clock of the final attempt, OOM gaps included —
             // what `Actuals` and the golden traces pin.
-            let exec = now.since(inv.exec_start.expect("completed without exec start"));
+            debug_assert!(inv.exec_start.is_some(), "completed {id:?} without exec start");
+            let exec = now.since(inv.exec_start.unwrap_or(inv.stage_start));
             // Accounting: the segment since the stage cursor belongs to exec.
             // Charging incrementally (never recomputing from `exec_start`)
             // keeps `breakdown.total()` telescoping to end-to-end latency
@@ -1670,8 +1710,10 @@ impl Simulation {
 
         // Release the node reservation (the invocation's current charge:
         // loans were already unwound above) and recycle the container.
-        let node = inv.node.expect("completed without node");
-        let shard = inv.shard.expect("completed without shard");
+        let (Some(node), Some(shard)) = (inv.node, inv.shard) else {
+            debug_assert!(false, "completed {id:?} without placement");
+            return;
+        };
         let charge = inv.charge();
         let func = inv.func;
         w.nodes[node.idx()].release(shard, charge);
@@ -1700,7 +1742,9 @@ impl Simulation {
         // retire the slot so arena memory tracks concurrency, not trace length.
         w.invs.retire(id);
         #[cfg(debug_assertions)]
-        w.check_invariants().expect("invariants violated at completion");
+        if let Err(why) = w.check_invariants() {
+            debug_assert!(false, "invariants violated at completion: {why}");
+        }
 
         // Freed capacity: give parked invocations another chance.
         for s in 0..w.shards.len() {
@@ -1716,7 +1760,10 @@ impl Simulation {
     fn record_completion(w: &mut World, id: InvocationId, exec: SimDuration) {
         let idx = w.slot(id);
         let inv = w.invs.get(idx);
-        let latency = inv.latency().expect("recording incomplete invocation");
+        let Some(latency) = inv.latency() else {
+            debug_assert!(false, "recording incomplete invocation {id:?}");
+            return;
+        };
         // Breakdown auditor (debug builds): the incremental stage charges
         // must telescope exactly to end-to-end latency — no drift, no
         // double-count, on every retry/OOM/cold-start combination.
@@ -1732,7 +1779,7 @@ impl Simulation {
         } else {
             (inv.nominal.mem_mb as f64 / peak_mem as f64).max(0.3)
         };
-        let rate_nominal = ((busy as f64 * mem_factor) as u64).max(1);
+        let rate_nominal = sat_u64(busy as f64 * mem_factor).max(1);
         let base_exec_us = inv.work_total.div_ceil(rate_nominal as u128);
         let overhead = latency.saturating_sub(exec);
         let baseline = overhead + SimDuration(base_exec_us as u64);
@@ -1746,11 +1793,15 @@ impl Simulation {
             return; // streaming mode: the online summary is the whole record
         }
         let inv = w.invs.get(idx);
+        let Some(node) = inv.node else {
+            debug_assert!(false, "record without node for {id:?}");
+            return;
+        };
         let rec = InvRecord {
             inv: id,
             func: inv.func,
             func_name: w.funcs[inv.func.idx()].name.clone(),
-            node: inv.node.expect("record without node"),
+            node,
             arrival: inv.arrival,
             latency,
             exec,

@@ -39,7 +39,7 @@ pub fn exec_rate_millis(
         // OOM rule fires (checked on monitor ticks).
         1.0
     };
-    ((busy as f64 * mem_factor) as u64).max(1)
+    crate::resources::sat_u64(busy as f64 * mem_factor).max(1)
 }
 
 /// Substrate-shared footprint model: instantaneous memory usage (MB) ramps

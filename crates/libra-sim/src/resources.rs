@@ -12,6 +12,21 @@ use core::ops::{Add, AddAssign, Sub, SubAssign};
 /// Millicores per physical core.
 pub const MILLIS_PER_CORE: u64 = 1_000;
 
+/// Checked float→integer conversion for resource volumes: NaN and negative
+/// values clamp to 0, overflow saturates at `u64::MAX`. The single audited
+/// home for float→int truncation on deterministic hot paths — raw `as`
+/// casts there are rejected by libra-lint's `cast` rule.
+#[inline]
+pub fn sat_u64(x: f64) -> u64 {
+    if x.is_nan() {
+        0
+    } else {
+        // `as` on a finite/infinite float already saturates at the integer
+        // range bounds and truncates toward zero.
+        x as u64
+    }
+}
+
 /// A `(cpu, memory)` pair. All arithmetic saturates at zero so transient
 /// bookkeeping imbalances can never underflow and panic mid-simulation; the
 /// engine separately asserts its conservation invariants.

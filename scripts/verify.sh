@@ -10,8 +10,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> libra-lint (workspace invariants: determinism, panic-freedom, action exhaustiveness, float equality)"
-cargo run -q -p libra-lint
+echo "==> libra-lint (call-graph reachability: determinism, panic-freedom, charge pairing, casts; emits LINT.json)"
+cargo run -q -p libra-lint -- --json LINT.json
 
 echo "==> cargo doc (workspace, deny rustdoc warnings)"
 # --exclude libra-cli: its `libra` bin collides with the root `libra` lib in
